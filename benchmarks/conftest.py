@@ -1,0 +1,21 @@
+"""Shared benchmark configuration.
+
+Set ``REPRO_FULL=1`` to run the figure benches on the complete EPFL
+suite at the default widths (minutes); the default configuration uses
+a representative subset so that ``pytest benchmarks/`` completes
+quickly while still exercising every experiment end-to-end.
+"""
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_FULL", "0") == "1"
+
+#: Circuits used by the synthesis figures when not in FULL mode.
+FAST_CIRCUITS = ["ctrl", "dec", "int2float", "priority", "router", "cavlc", "i2c"]
+
+
+@pytest.fixture(scope="session")
+def full_mode() -> bool:
+    return FULL

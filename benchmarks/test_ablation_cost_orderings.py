@@ -1,0 +1,64 @@
+"""Ablation: all six orderings of {power, area, delay} in the mapper.
+
+The paper proposes two specific hierarchies (p->a->d, p->d->a).  This
+ablation maps the same optimized networks under *every* permutation of
+the three cost metrics, quantifying how much of the benefit comes from
+making power primary versus the secondary/tertiary order.
+"""
+
+import numpy as np
+
+from repro.benchgen import build_suite
+from repro.charlib import default_library
+from repro.mapping import TechLibraryView, TechnologyMapper, all_orderings
+from repro.sta import analyze_power, critical_delay
+from repro.synth import compress2rs
+
+CIRCUITS = ["ctrl", "dec", "int2float", "priority", "cavlc"]
+
+
+def _run():
+    library = default_library(10.0)
+    view = TechLibraryView(library)
+    suite = build_suite("small", names=CIRCUITS)
+    optimized = {name: compress2rs(aig) for name, aig in suite.items()}
+
+    table: dict[str, dict[str, float]] = {}
+    for policy in all_orderings():
+        nets = {
+            name: TechnologyMapper(view, policy).map(aig)
+            for name, aig in optimized.items()
+        }
+        delays = {n: critical_delay(net, library) for n, net in nets.items()}
+        powers = {}
+        for name, net in nets.items():
+            clock = delays[name] * 1.5
+            powers[name] = analyze_power(net, library, clock, vectors=256).total
+        table[policy.name] = {
+            "power": float(np.mean(list(powers.values()))),
+            "delay": float(np.mean(list(delays.values()))),
+            "area": float(np.mean([net.total_area(library) for net in nets.values()])),
+        }
+    return table
+
+
+def test_ablation_cost_orderings(benchmark):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    print("\nAblation: mapper cost orderings (averages over circuits)")
+    print(f"{'ordering':>10} {'power [uW]':>11} {'delay [ps]':>11} {'area [um2]':>11}")
+    for name, row in sorted(table.items(), key=lambda kv: kv[1]["power"]):
+        print(
+            f"{name:>10} {row['power'] * 1e6:11.3f} {row['delay'] * 1e12:11.2f}"
+            f" {row['area']:11.3f}"
+        )
+
+    assert len(table) == 6
+    # Power-primary orderings must, on average, dissipate no more than
+    # the worst non-power-primary ordering.
+    power_first = [row["power"] for name, row in table.items() if name.startswith("p")]
+    others = [row["power"] for name, row in table.items() if not name.startswith("p")]
+    assert min(power_first) <= max(others)
+    # Delay-primary orderings deliver the fastest circuits.
+    delay_first = [row["delay"] for name, row in table.items() if name.startswith("d")]
+    assert min(delay_first) <= min(row["delay"] for row in table.values()) * 1.05

@@ -1,0 +1,62 @@
+"""Ablation: where does leakage stop mattering on the way down to 10 K?
+
+The paper contrasts the endpoints (300 K vs 10 K).  This sweep
+characterizes the library and signs off a circuit at intermediate
+cryogenic corners, locating the temperature below which the leakage
+share becomes negligible and the conventional leakage-aware synthesis
+objective loses its justification.
+"""
+
+from repro.benchgen import build_circuit
+from repro.charlib import characterize_library
+from repro.mapping import map_to_gates
+from repro.pdk import cryo5_technology
+from repro.sta import analyze_power, critical_delay
+from repro.synth import compress2rs
+
+TEMPERATURES = (300.0, 200.0, 77.0, 40.0, 10.0)
+
+
+def _run():
+    tech = cryo5_technology()
+    aig = compress2rs(build_circuit("i2c", "small"))
+    rows = []
+    for temperature in TEMPERATURES:
+        library = characterize_library(tech, temperature)
+        net = map_to_gates(aig, library)
+        delay = critical_delay(net, library)
+        report = analyze_power(net, library, clock_period=1e-9, vectors=256)
+        rows.append(
+            {
+                "temperature": temperature,
+                "delay": delay,
+                "leakage_share": report.leakage_share,
+                "total": report.total,
+            }
+        )
+    return rows
+
+
+def test_ablation_temperature_sweep(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    print("\nAblation: temperature ladder (i2c @ 1 GHz)")
+    print(f"{'T [K]':>7} {'delay [ps]':>11} {'leakage share':>14} {'total [uW]':>11}")
+    for row in rows:
+        print(
+            f"{row['temperature']:7.0f} {row['delay'] * 1e12:11.2f}"
+            f" {row['leakage_share']:14.6%} {row['total'] * 1e6:11.3f}"
+        )
+
+    by_t = {row["temperature"]: row for row in rows}
+    # Leakage share decreases monotonically with temperature.
+    shares = [by_t[t]["leakage_share"] for t in TEMPERATURES]
+    assert all(b <= a * 1.05 + 1e-12 for a, b in zip(shares, shares[1:]))
+    # It is visible at 300 K and negligible at and below 77 K
+    # (the paper's premise: below ~100 K the objective changes).
+    assert by_t[300.0]["leakage_share"] > 0.005
+    assert by_t[77.0]["leakage_share"] < 1e-4
+    assert by_t[10.0]["leakage_share"] < 1e-5
+    # Delay stays within a narrow band over the whole ladder.
+    delays = [row["delay"] for row in rows]
+    assert max(delays) / min(delays) < 1.25

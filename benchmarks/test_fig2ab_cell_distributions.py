@@ -1,0 +1,70 @@
+"""Figure 2 (a, b): library-wide delay/energy distributions, 300 K vs 10 K.
+
+Characterizes the full 200-cell library at both corners and summarizes
+the distributions the paper plots:
+
+* (a) propagation delay — the 300 K and 10 K distributions largely
+  overlap (ON current is nearly temperature independent),
+* (b) switching energy — slightly lower at 10 K (gate-capacitance
+  shift from the cryogenic surface potential).
+"""
+
+import numpy as np
+
+from repro.charlib import characterize_library
+from repro.pdk import cryo5_technology
+
+
+def _characterize_both():
+    tech = cryo5_technology()
+    return {t: characterize_library(tech, t) for t in (300.0, 10.0)}
+
+
+def _summary(values: np.ndarray) -> dict[str, float]:
+    return {
+        "mean": float(np.mean(values)),
+        "median": float(np.median(values)),
+        "p10": float(np.percentile(values, 10)),
+        "p90": float(np.percentile(values, 90)),
+    }
+
+
+def test_fig2ab_cell_distributions(benchmark):
+    libraries = benchmark.pedantic(_characterize_both, rounds=1, iterations=1)
+
+    assert all(len(lib) == 200 for lib in libraries.values())
+
+    delay = {t: lib.delay_distribution() for t, lib in libraries.items()}
+    energy = {t: lib.energy_distribution() for t, lib in libraries.items()}
+
+    print("\nFig. 2(a) reproduction: cell propagation delay [ps]")
+    print(f"{'T [K]':>7} {'mean':>8} {'median':>8} {'p10':>8} {'p90':>8}")
+    for t in (300.0, 10.0):
+        s = _summary(delay[t] * 1e12)
+        print(f"{t:7.0f} {s['mean']:8.3f} {s['median']:8.3f} {s['p10']:8.3f} {s['p90']:8.3f}")
+
+    print("\nFig. 2(b) reproduction: cell switching energy [fJ]")
+    for t in (300.0, 10.0):
+        s = _summary(energy[t] * 1e15)
+        print(f"{t:7.0f} {s['mean']:8.4f} {s['median']:8.4f} {s['p10']:8.4f} {s['p90']:8.4f}")
+
+    # (a) distributions largely overlap: medians within 5 %, and the
+    # bulk of both distributions occupies the same range.
+    median_ratio = np.median(delay[10.0]) / np.median(delay[300.0])
+    print(f"\ndelay median ratio 10K/300K: {median_ratio:.4f}")
+    assert 0.95 < median_ratio < 1.05
+
+    overlap_low = max(np.percentile(delay[300.0], 10), np.percentile(delay[10.0], 10))
+    overlap_high = min(np.percentile(delay[300.0], 90), np.percentile(delay[10.0], 90))
+    assert overlap_high > overlap_low, "delay distributions must overlap"
+
+    # (b) energy slightly lower at 10 K — lower, but by less than 15 %.
+    energy_ratio = np.median(energy[10.0]) / np.median(energy[300.0])
+    print(f"energy median ratio 10K/300K: {energy_ratio:.4f}")
+    assert 0.85 < energy_ratio < 1.0
+
+    # Sanity on the library-level leakage trend that drives Fig. 2(c).
+    leak300 = float(np.mean(libraries[300.0].leakage_distribution()))
+    leak10 = float(np.mean(libraries[10.0].leakage_distribution()))
+    print(f"mean cell leakage: {leak300 * 1e9:.2f} nW @300K -> {leak10 * 1e9:.3e} nW @10K")
+    assert leak10 < 1e-4 * leak300

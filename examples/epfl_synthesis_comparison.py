@@ -1,0 +1,58 @@
+"""Fig. 3 on demand: three synthesis scenarios on chosen EPFL circuits.
+
+Runs the conventional power-aware baseline against the two proposed
+cryogenic-aware cost hierarchies on a selection of the EPFL suite and
+prints the per-circuit power-saving / delay-overhead table of Fig. 3.
+
+Run:  python examples/epfl_synthesis_comparison.py [circuit ...]
+      (default: a fast five-circuit selection; pass names like
+       'adder bar dec priority voter' or 'all')
+"""
+
+import sys
+
+from repro.benchgen import EPFL_SUITE
+from repro.core import figure3_summary, figure3_synthesis_comparison
+
+FAST_SELECTION = ["ctrl", "dec", "int2float", "priority", "router"]
+
+
+def main() -> None:
+    names = sys.argv[1:] or FAST_SELECTION
+    if names == ["all"]:
+        names = sorted(EPFL_SUITE)
+    unknown = [n for n in names if n not in EPFL_SUITE]
+    if unknown:
+        raise SystemExit(f"unknown circuits: {unknown}; choose from {sorted(EPFL_SUITE)}")
+
+    print(f"running scenarios on: {', '.join(names)} (10 K library)")
+    rows = figure3_synthesis_comparison(circuits=names, preset="default", vectors=256)
+
+    header = (
+        f"{'circuit':12s} {'base P[uW]':>11} {'base D[ps]':>11}"
+        f" {'p_a_d dP%':>10} {'p_a_d dD%':>10} {'p_d_a dP%':>10} {'p_d_a dD%':>10}"
+    )
+    print("\n" + header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row.circuit:12s} {row.baseline_power * 1e6:11.2f}"
+            f" {row.baseline_delay * 1e12:11.1f}"
+            f" {row.power_saving('p_a_d'):+10.2f} {row.delay_overhead('p_a_d'):+10.2f}"
+            f" {row.power_saving('p_d_a'):+10.2f} {row.delay_overhead('p_d_a'):+10.2f}"
+        )
+
+    summary = figure3_summary(rows)
+    print("\nsummary (positive dP% = proposed flow saves power):")
+    for scenario, stats in summary.items():
+        print(
+            f"  {scenario}: avg saving {stats['avg_power_saving']:+.2f}%"
+            f" (max {stats['max_power_saving']:+.2f}%,"
+            f" min {stats['min_power_saving']:+.2f}%),"
+            f" improved {stats['circuits_improved']}/{len(rows)} circuits,"
+            f" avg delay overhead {stats['avg_delay_overhead']:+.2f}%"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: enables `python setup.py develop` / editable
+installs on environments whose pip/setuptools lack PEP 660 support
+(this offline container has no `wheel` package)."""
+
+from setuptools import setup
+
+setup()

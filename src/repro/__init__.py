@@ -1,0 +1,19 @@
+"""cryo-eda: reproduction of "Design Automation for Cryogenic CMOS
+Circuits" (DAC 2023).
+
+Subpackages follow the paper's abstraction ladder:
+
+- :mod:`repro.device`   -- cryogenic-aware FinFET compact model (Sec. II)
+- :mod:`repro.spice`    -- circuit simulation substrate
+- :mod:`repro.pdk`      -- ASAP7-class cells and technology
+- :mod:`repro.charlib`  -- standard-cell characterization + liberty (Sec. III)
+- :mod:`repro.sat`      -- CDCL solver / equivalence checking
+- :mod:`repro.synth`    -- AIG logic synthesis algorithms (Sec. IV-A)
+- :mod:`repro.mapping`  -- technology mapping with cost-priority lists (Sec. IV-B)
+- :mod:`repro.sta`      -- signoff timing and power analysis
+- :mod:`repro.benchgen` -- EPFL benchmark circuit generators
+- :mod:`repro.io`       -- AIGER / BLIF / Verilog / liberty interchange
+- :mod:`repro.core`     -- the end-to-end flow + experiments (Sec. V)
+"""
+
+__version__ = "1.0.0"

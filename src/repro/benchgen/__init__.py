@@ -1,0 +1,15 @@
+"""EPFL-class benchmark circuit generators (all 20 suite circuits)."""
+
+from .wordlevel import WordBuilder
+from .suite import EPFL_SUITE, BenchmarkSpec, build_circuit, build_suite
+from . import arithmetic, control
+
+__all__ = [
+    "WordBuilder",
+    "EPFL_SUITE",
+    "BenchmarkSpec",
+    "build_circuit",
+    "build_suite",
+    "arithmetic",
+    "control",
+]

@@ -1,0 +1,155 @@
+"""EPFL arithmetic benchmark generators (10 circuits).
+
+Programmatic re-creations of the EPFL combinational suite's arithmetic
+half: adder, barrel shifter (bar), divisor (div), hypotenuse (hyp),
+log2, max, multiplier, sine (sin), square-root (sqrt), and square.
+Each generator is width-parameterized; the defaults are scaled so the
+*full suite* synthesizes through the pure-Python flow in minutes while
+preserving the structural character of the originals (ripple/carry
+chains, digit-recurrence dividers, shift-add cores, mux trees).
+"""
+
+from __future__ import annotations
+
+from ..synth.aig import AIG, CONST0
+from .wordlevel import WordBuilder
+
+
+def adder(width: int = 64) -> AIG:
+    """Ripple-carry adder: two ``width``-bit inputs, width+1 outputs."""
+    wb = WordBuilder("adder")
+    a = wb.input_word("a", width)
+    b = wb.input_word("b", width)
+    total, carry = wb.add(a, b)
+    wb.output_word("sum", total + [carry])
+    return wb.aig
+
+
+def bar(width: int = 32) -> AIG:
+    """Barrel shifter: variable left-rotate of a ``width``-bit word."""
+    if width & (width - 1):
+        raise ValueError("barrel shifter width must be a power of two")
+    shift_bits = width.bit_length() - 1
+    wb = WordBuilder("bar")
+    data = wb.input_word("data", width)
+    amount = wb.input_word("shift", shift_bits)
+    wb.output_word("out", wb.rotate_left(data, amount))
+    return wb.aig
+
+
+def div(width: int = 16) -> AIG:
+    """Restoring divider: quotient and remainder of two words."""
+    wb = WordBuilder("div")
+    dividend = wb.input_word("n", width)
+    divisor = wb.input_word("d", width)
+    quotient, remainder = wb.divide(dividend, divisor)
+    wb.output_word("q", quotient)
+    wb.output_word("r", remainder)
+    return wb.aig
+
+
+def hyp(width: int = 12) -> AIG:
+    """Hypotenuse: isqrt(a^2 + b^2)."""
+    wb = WordBuilder("hyp")
+    a = wb.input_word("a", width)
+    b = wb.input_word("b", width)
+    a2 = wb.square(a, 2 * width)
+    b2 = wb.square(b, 2 * width)
+    total, carry = wb.add(a2, b2)
+    root = wb.isqrt(total + [carry, CONST0])
+    wb.output_word("h", root)
+    return wb.aig
+
+
+def log2(width: int = 16, frac_bits: int = 4) -> AIG:
+    """Base-2 logarithm: integer part + linear-interpolated fraction.
+
+    Computes floor(log2(x)) by leading-one detection and approximates
+    the fractional part by the normalized mantissa bits below the
+    leading one (the classic piecewise-linear log approximation the
+    hardware log2 blocks use).
+    """
+    wb = WordBuilder("log2")
+    x = wb.input_word("x", width)
+    index, found = wb.leading_one_index(x)
+    # Normalize: shift x left so the leading one reaches the MSB, then
+    # the next bits form the fraction.
+    int_bits = len(index)
+    max_shift = width - 1
+    shift_amount = wb.sub(wb.constant(max_shift, int_bits), index)[0]
+    normalized = wb.shift_left(x, shift_amount)
+    fraction = normalized[width - 1 - frac_bits : width - 1]
+    wb.output_word("int", index)
+    wb.output_word("frac", fraction)
+    wb.aig.add_po(found, "valid")
+    return wb.aig
+
+
+def max_circuit(width: int = 32, operands: int = 4) -> AIG:
+    """Maximum of several unsigned words (comparator + mux tree)."""
+    wb = WordBuilder("max")
+    words = [wb.input_word(f"w{i}", width) for i in range(operands)]
+    current = words[0]
+    for contender in words[1:]:
+        keep = wb.greater_equal(current, contender)
+        current = wb.mux_word(keep, current, contender)
+    wb.output_word("max", current)
+    return wb.aig
+
+
+def multiplier(width: int = 12) -> AIG:
+    """Shift-and-add array multiplier."""
+    wb = WordBuilder("multiplier")
+    a = wb.input_word("a", width)
+    b = wb.input_word("b", width)
+    wb.output_word("p", wb.mul(a, b))
+    return wb.aig
+
+
+def sin(width: int = 12) -> AIG:
+    """Fixed-point sine over a quarter period (shift-add polynomial).
+
+    Input x in [0, 1) scaled to ``width`` bits represents an angle of
+    x * pi/2; output approximates sin(x * pi/2) in the same fixed-point
+    format via the odd polynomial  c1*x - c3*x^3  with shift-add
+    constant multipliers — the structure of hardware sine datapaths.
+    """
+    wb = WordBuilder("sin")
+    x = wb.input_word("x", width)
+    # x^2 and x^3, truncated back to `width` fractional bits.
+    x2_full = wb.square(x, 2 * width)
+    x2 = x2_full[width:]  # keep the top bits: x^2 in same format
+    x3_full = wb.mul(x2, x, 2 * width)
+    x3 = x3_full[width:]
+    # sin(pi/2 * x) ~ 1.5708 x - 0.6460 x^3 (minimax-ish over [0,1)).
+    # Constant multiplication by shift-add: 1.5708 ~ 1 + 1/2 + 1/16,
+    # 0.6460 ~ 1/2 + 1/8 + 1/64.
+    def const_mul(word, shifts):
+        acc = wb.constant(0, width + 1)
+        for shift in shifts:
+            shifted = (word[shift:] + [CONST0] * shift) if shift else list(word)
+            shifted = shifted + [CONST0]
+            acc, _ = wb.add(acc, shifted[: width + 1])
+        return acc
+
+    term1 = const_mul(x, [0, 1, 4])
+    term3 = const_mul(x3, [1, 3, 6])
+    result, _ = wb.sub(term1, term3)
+    wb.output_word("sin", result[:width])
+    return wb.aig
+
+
+def sqrt(width: int = 16) -> AIG:
+    """Integer square root (digit recurrence)."""
+    wb = WordBuilder("sqrt")
+    x = wb.input_word("x", width)
+    wb.output_word("r", wb.isqrt(x))
+    return wb.aig
+
+
+def square(width: int = 16) -> AIG:
+    """Squarer: x * x."""
+    wb = WordBuilder("square")
+    x = wb.input_word("x", width)
+    wb.output_word("p", wb.square(x))
+    return wb.aig

@@ -1,0 +1,336 @@
+"""EPFL control/random-logic benchmark generators (10 circuits).
+
+Programmatic counterparts of the EPFL suite's control half: arbiter,
+cavlc, ctrl, dec, i2c, int2float, mem_ctrl, priority, router, voter.
+``dec``, ``int2float``, ``priority``, and ``voter`` implement the exact
+original semantics (width-parameterized); the protocol controllers
+(cavlc, ctrl, i2c, mem_ctrl, router, arbiter) are representative
+re-creations built from the same ingredients — priority chains,
+opcode decoders, FSM next-state functions, field comparators — since
+the original RTL is not redistributable.  The synthesis comparison
+(Fig. 3) needs this structural class, not bit-exact H.264 tables.
+"""
+
+from __future__ import annotations
+
+from ..synth.aig import AIG, CONST0, CONST1, lit_not
+from .wordlevel import WordBuilder
+
+
+def arbiter(requesters: int = 32) -> AIG:
+    """Round-robin-masked priority arbiter.
+
+    Grants exactly one of ``requesters`` request lines, using a mask
+    word (the round-robin pointer state) so that masked requests win
+    before unmasked ones — the EPFL arbiter's structure.
+    """
+    wb = WordBuilder("arbiter")
+    req = wb.input_word("req", requesters)
+    mask = wb.input_word("mask", requesters)
+    masked = wb.and_word(req, mask)
+
+    def priority_grant(lines: list[int]) -> list[int]:
+        grants = []
+        blocked = CONST0
+        for line in lines:
+            grants.append(wb.aig.add_and(line, lit_not(blocked)))
+            blocked = wb.aig.add_or(blocked, line)
+        return grants
+
+    grant_masked = priority_grant(masked)
+    grant_plain = priority_grant(req)
+    any_masked = wb.reduce_or(masked)
+    grant = wb.mux_word(any_masked, grant_masked, grant_plain)
+    wb.output_word("grant", grant)
+    wb.aig.add_po(wb.reduce_or(req), "busy")
+    return wb.aig
+
+
+def cavlc(symbols: int = 8) -> AIG:
+    """CAVLC-style coefficient-token encoder (representative).
+
+    Counts total/trailing coefficients of a symbol vector and selects
+    a variable-length code through nested comparator/mux tables — the
+    ingredient structure of the H.264 CAVLC block.
+    """
+    wb = WordBuilder("cavlc")
+    coeff_nonzero = wb.input_word("nz", symbols)
+    coeff_sign = wb.input_word("sign", symbols)
+    table_sel = wb.input_word("tsel", 2)
+
+    # total_coeff = popcount(nz) via a full-adder tree.
+    def popcount(bits: list[int]) -> list[int]:
+        words = [[b] for b in bits]
+        while len(words) > 1:
+            next_words = []
+            for i in range(0, len(words) - 1, 2):
+                a, b = words[i], words[i + 1]
+                width = max(len(a), len(b)) + 1
+                a = a + [CONST0] * (width - len(a))
+                b = b + [CONST0] * (width - len(b))
+                s, c = wb.add(a[: width - 1], b[: width - 1])
+                next_words.append(s + [c])
+            if len(words) % 2:
+                next_words.append(words[-1])
+            words = next_words
+        return words[0]
+
+    total = popcount(coeff_nonzero)
+    # trailing ones: count consecutive sign bits from the top while nz.
+    trailing = wb.constant(0, 2)
+    run = CONST1
+    for i in reversed(range(symbols)):
+        is_one = wb.aig.add_and(coeff_nonzero[i], coeff_sign[i])
+        run = wb.aig.add_and(run, is_one)
+        inc, _ = wb.add(trailing, wb.constant(1, 2))
+        trailing = wb.mux_word(run, inc, trailing)
+    # Code selection: nested muxes keyed by table_sel and total.
+    base_code = total + trailing
+    alt_code = wb.xor_word(base_code, wb.constant(0b1011, len(base_code))[: len(base_code)])
+    swapped = wb.mux_word(table_sel[0], alt_code, base_code)
+    length_boost, _ = wb.add(swapped, wb.constant(3, len(swapped)))
+    code = wb.mux_word(table_sel[1], length_boost, swapped)
+    wb.output_word("code", code)
+    wb.aig.add_po(wb.reduce_or(coeff_nonzero), "nonempty")
+    return wb.aig
+
+
+def ctrl(opcode_bits: int = 7) -> AIG:
+    """Instruction-decoder control block (representative).
+
+    Decodes an opcode into one-hot control lines plus derived strobe
+    signals, the structure of the EPFL ``ctrl`` block.
+    """
+    wb = WordBuilder("ctrl")
+    opcode = wb.input_word("op", opcode_bits)
+    enable = wb.aig.add_pi("en")
+    # Decode the low 4 bits to 16 one-hot lines gated by enable.
+    lines = []
+    for value in range(16):
+        term = enable
+        for bit in range(4):
+            lit = opcode[bit]
+            if not (value >> bit) & 1:
+                lit = lit_not(lit)
+            term = wb.aig.add_and(term, lit)
+        lines.append(term)
+    for i, line in enumerate(lines):
+        wb.aig.add_po(line, f"sel{i}")
+    # Derived strobes from the upper opcode bits.
+    upper = opcode[4:]
+    wb.aig.add_po(wb.reduce_and(upper), "priv")
+    wb.aig.add_po(wb.reduce_xor(opcode), "parity")
+    wb.aig.add_po(wb.aig.add_and(enable, wb.reduce_or(upper)), "ext")
+    return wb.aig
+
+
+def dec(address_bits: int = 8) -> AIG:
+    """Full decoder: ``address_bits`` -> 2^address_bits one-hot lines."""
+    wb = WordBuilder("dec")
+    address = wb.input_word("a", address_bits)
+    for value in range(1 << address_bits):
+        term = CONST1
+        for bit in range(address_bits):
+            lit = address[bit]
+            if not (value >> bit) & 1:
+                lit = lit_not(lit)
+            term = wb.aig.add_and(term, lit)
+        wb.aig.add_po(term, f"line{value}")
+    return wb.aig
+
+
+def i2c(addr_bits: int = 7) -> AIG:
+    """I2C-master next-state/control logic (representative).
+
+    Computes the combinational next-state and bus-control outputs of a
+    bit-banged I2C master: address match, acknowledge generation,
+    shift enable, and arbitration-loss detection.
+    """
+    wb = WordBuilder("i2c")
+    state = wb.input_word("state", 4)
+    bit_count = wb.input_word("cnt", 3)
+    shift_reg = wb.input_word("shift", 8)
+    own_addr = wb.input_word("addr", addr_bits)
+    sda_in = wb.aig.add_pi("sda")
+    scl_in = wb.aig.add_pi("scl")
+    start_req = wb.aig.add_pi("start")
+    stop_req = wb.aig.add_pi("stop")
+
+    addr_match = wb.equal(shift_reg[1 : 1 + addr_bits], own_addr)
+    count_done = wb.reduce_and(bit_count)
+    is_idle = wb.equal(state, wb.constant(0, 4))
+    is_addr = wb.equal(state, wb.constant(1, 4))
+    is_data = wb.equal(state, wb.constant(2, 4))
+    is_ack = wb.equal(state, wb.constant(3, 4))
+
+    next_state_idle = wb.mux_word(start_req, wb.constant(1, 4), wb.constant(0, 4))
+    next_state_addr = wb.mux_word(count_done, wb.constant(3, 4), wb.constant(1, 4))
+    next_state_data = wb.mux_word(count_done, wb.constant(3, 4), wb.constant(2, 4))
+    ack_next = wb.mux_word(addr_match, wb.constant(2, 4), wb.constant(0, 4))
+    next_state = wb.mux_word(is_idle, next_state_idle, wb.constant(0, 4))
+    next_state = wb.mux_word(is_addr, next_state_addr, next_state)
+    next_state = wb.mux_word(is_data, next_state_data, next_state)
+    next_state = wb.mux_word(is_ack, ack_next, next_state)
+    stop_gate = lit_not(stop_req)
+    next_state = [wb.aig.add_and(b, stop_gate) for b in next_state]
+
+    incremented, _ = wb.add(bit_count, wb.constant(1, 3))
+    next_count = wb.mux_word(wb.aig.add_or(is_addr, is_data), incremented, bit_count)
+
+    shifted = [sda_in] + shift_reg[:-1]
+    shift_en = wb.aig.add_and(scl_in, wb.aig.add_or(is_addr, is_data))
+    next_shift = wb.mux_word(shift_en, shifted, shift_reg)
+
+    wb.output_word("next_state", next_state)
+    wb.output_word("next_cnt", next_count)
+    wb.output_word("next_shift", next_shift)
+    wb.aig.add_po(wb.aig.add_and(is_ack, addr_match), "ack_out")
+    wb.aig.add_po(wb.aig.add_and(sda_in, lit_not(scl_in)), "arb_lost")
+    return wb.aig
+
+
+def int2float(int_bits: int = 11, mantissa_bits: int = 4, exponent_bits: int = 3) -> AIG:
+    """Integer to tiny-float conversion (exact EPFL semantics).
+
+    Normalizes an ``int_bits`` unsigned integer into (exponent,
+    mantissa) with leading-one detection and truncation — the EPFL
+    int2float is an 11-bit to (3-exp, 4-mant) converter.
+    """
+    wb = WordBuilder("int2float")
+    value = wb.input_word("x", int_bits)
+    index, found = wb.leading_one_index(value)
+    index_bits = len(index)
+    # Shift value left so the leading one sits at the MSB.
+    shift_amount = wb.sub(wb.constant(int_bits - 1, index_bits), index)[0]
+    normalized = wb.shift_left(value, shift_amount)
+    mantissa = normalized[int_bits - 1 - mantissa_bits : int_bits - 1]
+    exponent = index[:exponent_bits]
+    exponent = [wb.aig.add_and(e, found) for e in exponent]
+    mantissa = [wb.aig.add_and(m, found) for m in mantissa]
+    wb.output_word("exp", exponent)
+    wb.output_word("mant", mantissa)
+    return wb.aig
+
+
+def mem_ctrl(banks: int = 4, addr_bits: int = 10, ports: int = 3) -> AIG:
+    """Memory-controller slice (representative).
+
+    Per-port bank decoding, inter-port priority arbitration per bank,
+    refresh override, and data-path parity — the ingredient mix of the
+    EPFL mem_ctrl block, width-parameterized.
+    """
+    wb = WordBuilder("mem_ctrl")
+    bank_bits = max(1, (banks - 1).bit_length())
+    reqs = [wb.aig.add_pi(f"req{p}") for p in range(ports)]
+    addrs = [wb.input_word(f"addr{p}", addr_bits) for p in range(ports)]
+    wdata = wb.input_word("wdata", 8)
+    refresh = wb.aig.add_pi("refresh")
+
+    grants_per_bank: list[list[int]] = []
+    for bank in range(banks):
+        bank_requests = []
+        for p in range(ports):
+            match = wb.equal(addrs[p][:bank_bits], wb.constant(bank, bank_bits))
+            bank_requests.append(wb.aig.add_and(reqs[p], match))
+        # Fixed-priority arbitration within the bank.
+        grants = []
+        blocked = refresh
+        for line in bank_requests:
+            grants.append(wb.aig.add_and(line, lit_not(blocked)))
+            blocked = wb.aig.add_or(blocked, line)
+        grants_per_bank.append(grants)
+        wb.aig.add_po(wb.reduce_or(bank_requests), f"bank{bank}_busy")
+
+    for p in range(ports):
+        granted = wb.reduce_or([grants_per_bank[b][p] for b in range(banks)])
+        wb.aig.add_po(granted, f"gnt{p}")
+    # Row address of the granted port 0 request (mux through banks).
+    row = addrs[0][bank_bits:]
+    for p in range(1, ports):
+        take = wb.reduce_or([grants_per_bank[b][p] for b in range(banks)])
+        row = wb.mux_word(take, addrs[p][bank_bits:], row)
+    wb.output_word("row", row)
+    wb.aig.add_po(wb.reduce_xor(wdata), "wparity")
+    return wb.aig
+
+
+def priority(width: int = 64) -> AIG:
+    """Priority encoder: one-hot grant of the lowest-index request."""
+    wb = WordBuilder("priority")
+    req = wb.input_word("req", width)
+    blocked = CONST0
+    for i in range(width):
+        wb.aig.add_po(wb.aig.add_and(req[i], lit_not(blocked)), f"grant{i}")
+        blocked = wb.aig.add_or(blocked, req[i])
+    wb.aig.add_po(blocked, "any")
+    return wb.aig
+
+
+def router(flit_bits: int = 16, addr_bits: int = 6) -> AIG:
+    """NoC-router route-computation logic (representative).
+
+    Compares destination coordinates against the local address and
+    produces one-hot output-port requests plus a parity-checked drop
+    signal — the EPFL router's decision structure.
+    """
+    wb = WordBuilder("router")
+    dest_x = wb.input_word("dx", addr_bits // 2)
+    dest_y = wb.input_word("dy", addr_bits // 2)
+    local_x = wb.input_word("lx", addr_bits // 2)
+    local_y = wb.input_word("ly", addr_bits // 2)
+    payload = wb.input_word("flit", flit_bits)
+    valid = wb.aig.add_pi("valid")
+
+    x_eq = wb.equal(dest_x, local_x)
+    y_eq = wb.equal(dest_y, local_y)
+    x_ge = wb.greater_equal(dest_x, local_x)
+    y_ge = wb.greater_equal(dest_y, local_y)
+
+    go_east = wb.aig.add_and(lit_not(x_eq), x_ge)
+    go_west = wb.aig.add_and(lit_not(x_eq), lit_not(x_ge))
+    go_north = wb.aig.add_and(x_eq, wb.aig.add_and(lit_not(y_eq), y_ge))
+    go_south = wb.aig.add_and(x_eq, wb.aig.add_and(lit_not(y_eq), lit_not(y_ge)))
+    go_local = wb.aig.add_and(x_eq, y_eq)
+
+    parity = wb.reduce_xor(payload)
+    ok = wb.aig.add_and(valid, lit_not(parity))
+    for name, port in (
+        ("east", go_east),
+        ("west", go_west),
+        ("north", go_north),
+        ("south", go_south),
+        ("local", go_local),
+    ):
+        wb.aig.add_po(wb.aig.add_and(port, ok), f"out_{name}")
+    wb.aig.add_po(wb.aig.add_and(valid, parity), "drop")
+    return wb.aig
+
+
+def voter(inputs: int = 101) -> AIG:
+    """Majority voter over an odd number of inputs (exact semantics).
+
+    Counts ones with a full-adder compressor tree and compares against
+    the majority threshold — structurally the EPFL voter at reduced
+    width (the original is 1001 inputs).
+    """
+    if inputs % 2 == 0:
+        raise ValueError("voter needs an odd number of inputs")
+    wb = WordBuilder("voter")
+    bits = wb.input_word("v", inputs)
+    words = [[b] for b in bits]
+    while len(words) > 1:
+        next_words = []
+        for i in range(0, len(words) - 1, 2):
+            a, b = words[i], words[i + 1]
+            width = max(len(a), len(b)) + 1
+            a = a + [CONST0] * (width - len(a))
+            b = b + [CONST0] * (width - len(b))
+            s, c = wb.add(a[: width - 1], b[: width - 1])
+            next_words.append(s + [c])
+        if len(words) % 2:
+            next_words.append(words[-1])
+        words = next_words
+    count = words[0]
+    threshold = wb.constant(inputs // 2 + 1, len(count))
+    wb.aig.add_po(wb.greater_equal(count, threshold), "majority")
+    return wb.aig

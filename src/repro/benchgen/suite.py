@@ -1,0 +1,142 @@
+"""The EPFL benchmark suite registry.
+
+All twenty circuits of the EPFL combinational benchmark suite, as
+generator functions with size presets:
+
+* ``small``  — fast preset for tests,
+* ``default`` — the preset the benchmark harness uses (full suite
+  synthesizes in minutes in pure Python),
+* ``large``  — closest to the original EPFL widths (expensive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..synth.aig import AIG
+from . import arithmetic, control
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One suite entry: a generator plus its size presets."""
+
+    name: str
+    category: str  # "arithmetic" | "control"
+    generator: Callable[..., AIG]
+    small: dict
+    default: dict
+    large: dict
+
+    def build(self, preset: str = "default") -> AIG:
+        params = getattr(self, preset)
+        aig = self.generator(**params)
+        aig.name = self.name
+        return aig
+
+
+EPFL_SUITE: dict[str, BenchmarkSpec] = {
+    spec.name: spec
+    for spec in [
+        BenchmarkSpec(
+            "adder", "arithmetic", arithmetic.adder,
+            small={"width": 16}, default={"width": 64}, large={"width": 128},
+        ),
+        BenchmarkSpec(
+            "bar", "arithmetic", arithmetic.bar,
+            small={"width": 16}, default={"width": 32}, large={"width": 128},
+        ),
+        BenchmarkSpec(
+            "div", "arithmetic", arithmetic.div,
+            small={"width": 8}, default={"width": 16}, large={"width": 32},
+        ),
+        BenchmarkSpec(
+            "hyp", "arithmetic", arithmetic.hyp,
+            small={"width": 6}, default={"width": 10}, large={"width": 16},
+        ),
+        BenchmarkSpec(
+            "log2", "arithmetic", arithmetic.log2,
+            small={"width": 8}, default={"width": 16}, large={"width": 32},
+        ),
+        BenchmarkSpec(
+            "max", "arithmetic", arithmetic.max_circuit,
+            small={"width": 8, "operands": 4},
+            default={"width": 32, "operands": 4},
+            large={"width": 128, "operands": 4},
+        ),
+        BenchmarkSpec(
+            "multiplier", "arithmetic", arithmetic.multiplier,
+            small={"width": 6}, default={"width": 12}, large={"width": 24},
+        ),
+        BenchmarkSpec(
+            "sin", "arithmetic", arithmetic.sin,
+            small={"width": 8}, default={"width": 12}, large={"width": 20},
+        ),
+        BenchmarkSpec(
+            "sqrt", "arithmetic", arithmetic.sqrt,
+            small={"width": 8}, default={"width": 16}, large={"width": 48},
+        ),
+        BenchmarkSpec(
+            "square", "arithmetic", arithmetic.square,
+            small={"width": 8}, default={"width": 16}, large={"width": 32},
+        ),
+        BenchmarkSpec(
+            "arbiter", "control", control.arbiter,
+            small={"requesters": 8}, default={"requesters": 32}, large={"requesters": 128},
+        ),
+        BenchmarkSpec(
+            "cavlc", "control", control.cavlc,
+            small={"symbols": 4}, default={"symbols": 8}, large={"symbols": 16},
+        ),
+        BenchmarkSpec(
+            "ctrl", "control", control.ctrl,
+            small={"opcode_bits": 5}, default={"opcode_bits": 7}, large={"opcode_bits": 7},
+        ),
+        BenchmarkSpec(
+            "dec", "control", control.dec,
+            small={"address_bits": 5}, default={"address_bits": 8}, large={"address_bits": 8},
+        ),
+        BenchmarkSpec(
+            "i2c", "control", control.i2c,
+            small={"addr_bits": 4}, default={"addr_bits": 7}, large={"addr_bits": 7},
+        ),
+        BenchmarkSpec(
+            "int2float", "control", control.int2float,
+            small={"int_bits": 8}, default={"int_bits": 11}, large={"int_bits": 11},
+        ),
+        BenchmarkSpec(
+            "mem_ctrl", "control", control.mem_ctrl,
+            small={"banks": 2, "addr_bits": 6, "ports": 2},
+            default={"banks": 4, "addr_bits": 10, "ports": 3},
+            large={"banks": 8, "addr_bits": 14, "ports": 4},
+        ),
+        BenchmarkSpec(
+            "priority", "control", control.priority,
+            small={"width": 16}, default={"width": 64}, large={"width": 128},
+        ),
+        BenchmarkSpec(
+            "router", "control", control.router,
+            small={"flit_bits": 8, "addr_bits": 4},
+            default={"flit_bits": 16, "addr_bits": 6},
+            large={"flit_bits": 32, "addr_bits": 8},
+        ),
+        BenchmarkSpec(
+            "voter", "control", control.voter,
+            small={"inputs": 25}, default={"inputs": 101}, large={"inputs": 501},
+        ),
+    ]
+}
+
+
+def build_circuit(name: str, preset: str = "default") -> AIG:
+    """Build one suite circuit by name."""
+    if name not in EPFL_SUITE:
+        raise KeyError(f"unknown benchmark {name!r}; choose from {sorted(EPFL_SUITE)}")
+    return EPFL_SUITE[name].build(preset)
+
+
+def build_suite(preset: str = "default", names: list[str] | None = None) -> dict[str, AIG]:
+    """Build the whole suite (or a named subset)."""
+    selected = names or sorted(EPFL_SUITE)
+    return {name: build_circuit(name, preset) for name in selected}

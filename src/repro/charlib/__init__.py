@@ -1,0 +1,30 @@
+"""Cryogenic-aware standard-cell library characterization.
+
+Implements the paper's Section III: NLDM table models, the analytic
+(SiliconSmart-surrogate) and SPICE characterization backends, the
+liberty writer/parser, and the orchestration that produces full
+200-cell libraries at arbitrary temperature corners.
+"""
+
+from .nldm import ConstraintArc, Library, LibertyCell, NLDMTable, TimingArc
+from .analytic import AnalyticCharacterizer
+from .spice_char import ArcMeasurement, SpiceCharacterizer
+from .engine import characterize_library, default_library
+from .liberty import parse_liberty, write_liberty
+from .function_parser import parse_function
+
+__all__ = [
+    "ConstraintArc",
+    "Library",
+    "LibertyCell",
+    "NLDMTable",
+    "TimingArc",
+    "AnalyticCharacterizer",
+    "ArcMeasurement",
+    "SpiceCharacterizer",
+    "characterize_library",
+    "default_library",
+    "parse_liberty",
+    "write_liberty",
+    "parse_function",
+]

@@ -1,0 +1,69 @@
+"""Library characterization orchestration.
+
+The Fig. 2 experiments need the whole 200-cell catalog characterized
+at both 300 K and 10 K.  This module drives a backend over the catalog
+(or any cell subset), assembles the :class:`Library`, and memoizes the
+default-technology corners so that tests and benchmarks share one
+characterization run per temperature.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterable, Sequence
+
+from ..pdk.catalog import standard_cell_catalog
+from ..pdk.cells import CellTemplate
+from ..pdk.technology import Technology, cryo5_technology
+from .analytic import AnalyticCharacterizer
+from .nldm import Library
+from .spice_char import SpiceCharacterizer
+
+BACKENDS = ("analytic", "spice")
+
+
+def characterize_library(
+    tech: Technology,
+    temperature_k: float,
+    cells: Sequence[CellTemplate] | None = None,
+    backend: str = "analytic",
+    slews: tuple[float, ...] | None = None,
+    loads: tuple[float, ...] | None = None,
+    name: str | None = None,
+) -> Library:
+    """Characterize a cell set into a :class:`Library` at one corner.
+
+    Parameters
+    ----------
+    backend:
+        ``"analytic"`` (fast effective-current model, used for full
+        libraries) or ``"spice"`` (transistor-level transients, used
+        for validation subsets).
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    if cells is None:
+        cells = standard_cell_catalog()
+    characterizer = (
+        AnalyticCharacterizer(tech, temperature_k)
+        if backend == "analytic"
+        else SpiceCharacterizer(tech, temperature_k)
+    )
+    library = Library(
+        name=name or f"{tech.name}_{temperature_k:g}K",
+        temperature=temperature_k,
+        vdd=tech.vdd,
+    )
+    for cell in cells:
+        library.add(characterizer.characterize_cell(cell, slews, loads))
+    return library
+
+
+@lru_cache(maxsize=8)
+def default_library(temperature_k: float) -> Library:
+    """Memoized full-catalog library of the default technology.
+
+    This is the library every synthesis experiment maps against; the
+    cache makes repeated benchmark/test invocations cheap.
+    """
+    return characterize_library(cryo5_technology(), temperature_k)

@@ -1,0 +1,85 @@
+"""Parser for Liberty ``function`` expression strings.
+
+Grammar (standard liberty Boolean syntax):
+
+    expr   := term ( ('|' | '+') term )*
+    term   := factor ( ('&' | '*') factor )*
+    factor := '!' factor | '(' expr ')' | identifier [ "'" ]
+
+Produces :class:`repro.pdk.boolexpr.Expr` trees, so parsed libraries
+plug into the same truth-table machinery as generated ones.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..pdk.boolexpr import And, Expr, Lit, Not, Or
+
+_TOKEN_RE = re.compile(r"[A-Za-z_]\w*|[!&|()*+']|\S")
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = _TOKEN_RE.findall(text)
+        self.pos = 0
+
+    def peek(self) -> str | None:
+        if self.pos < len(self.tokens):
+            return self.tokens[self.pos]
+        return None
+
+    def take(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise ValueError("unexpected end of function expression")
+        self.pos += 1
+        return token
+
+    def parse_expr(self) -> Expr:
+        left = self.parse_term()
+        while self.peek() in ("|", "+"):
+            self.take()
+            left = Or(left, self.parse_term())
+        return left
+
+    def parse_term(self) -> Expr:
+        left = self.parse_factor()
+        # Liberty allows implicit AND by juxtaposition; we require an
+        # explicit operator (that is what our writer emits).
+        while self.peek() in ("&", "*"):
+            self.take()
+            left = And(left, self.parse_factor())
+        return left
+
+    def parse_factor(self) -> Expr:
+        token = self.take()
+        if token == "!":
+            return Not(self.parse_factor())
+        if token == "(":
+            inner = self.parse_expr()
+            if self.take() != ")":
+                raise ValueError("unbalanced parentheses in function expression")
+            return self._postfix(inner)
+        if re.fullmatch(r"[A-Za-z_]\w*", token):
+            return self._postfix(Lit(token))
+        raise ValueError(f"unexpected token {token!r} in function expression")
+
+    def _postfix(self, expr: Expr) -> Expr:
+        # Postfix apostrophe negation: A' == !A.
+        while self.peek() == "'":
+            self.take()
+            expr = Not(expr)
+        return expr
+
+
+def parse_function(text: str) -> Expr:
+    """Parse a liberty function string into an expression tree."""
+    text = text.strip().strip('"')
+    if not text:
+        raise ValueError("empty function expression")
+    parser = _Parser(text)
+    expr = parser.parse_expr()
+    if parser.peek() is not None:
+        raise ValueError(f"trailing tokens in function expression: {parser.tokens[parser.pos:]}")
+    return expr

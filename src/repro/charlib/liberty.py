@@ -1,0 +1,409 @@
+"""Liberty (.lib) writer and parser.
+
+The paper's cell libraries are written in the industry-standard
+liberty format so that commercial tools (Design Compiler, PrimeTime)
+consume them unchanged.  This module produces real liberty text for
+our characterized libraries and parses it back — the round trip is the
+compatibility proof, and the parser doubles as the entry point for
+externally supplied libraries.
+
+Unit conventions (declared in the written file):
+``time 1ns | capacitance 1pF | voltage 1V | leakage power 1nW``;
+internal (energy) tables are written in ``fJ`` per event.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from .nldm import Library, LibertyCell, NLDMTable, TimingArc
+
+_TIME_SCALE = 1e9  # s -> ns
+_CAP_SCALE = 1e12  # F -> pF
+_LEAK_SCALE = 1e9  # W -> nW
+_ENERGY_SCALE = 1e15  # J -> fJ
+
+
+# ----------------------------------------------------------------------
+# Writing
+# ----------------------------------------------------------------------
+def _fmt_floats(values, scale: float) -> str:
+    return ", ".join(f"{v * scale:.6g}" for v in values)
+
+
+def _write_table(name: str, table: NLDMTable, scale: float, indent: str) -> list[str]:
+    lines = [f"{indent}{name} (tbl_7x7) {{"]
+    lines.append(f'{indent}  index_1 ("{_fmt_floats(table.slews, _TIME_SCALE)}");')
+    lines.append(f'{indent}  index_2 ("{_fmt_floats(table.loads, _CAP_SCALE)}");')
+    lines.append(f"{indent}  values ( \\")
+    for i, row in enumerate(table.values):
+        terminator = " \\" if i < len(table.values) - 1 else ""
+        lines.append(f'{indent}    "{_fmt_floats(row, scale)}"{"," if terminator else ""}{terminator}')
+    lines.append(f"{indent}  );")
+    lines.append(f"{indent}}}")
+    return lines
+
+
+def _state_to_when(state: str) -> str:
+    """Convert ``"A=0 B=1"`` into the liberty when-string ``"!A&B"``."""
+    terms = []
+    for assign in state.split():
+        pin, value = assign.split("=")
+        terms.append(pin if value == "1" else f"!{pin}")
+    return "&".join(terms)
+
+
+def _when_to_state(when: str) -> str:
+    """Inverse of :func:`_state_to_when`."""
+    terms = []
+    for token in when.split("&"):
+        token = token.strip()
+        if token.startswith("!"):
+            terms.append(f"{token[1:]}=0")
+        else:
+            terms.append(f"{token}=1")
+    return " ".join(terms)
+
+
+def write_liberty(library: Library) -> str:
+    """Render a :class:`Library` as liberty text."""
+    out: list[str] = []
+    out.append(f"library ({library.name}) {{")
+    out.append('  delay_model : table_lookup;')
+    out.append('  time_unit : "1ns";')
+    out.append('  voltage_unit : "1V";')
+    out.append('  current_unit : "1mA";')
+    out.append('  leakage_power_unit : "1nW";')
+    out.append("  capacitive_load_unit (1, pf);")
+    out.append(f"  nom_temperature : {library.temperature:g};")
+    out.append(f"  nom_voltage : {library.vdd:g};")
+    out.append("  operating_conditions (typical) {")
+    out.append(f"    temperature : {library.temperature:g};")
+    out.append(f"    voltage : {library.vdd:g};")
+    out.append("  }")
+    out.append("  default_operating_conditions : typical;")
+
+    for cell in library.cells.values():
+        out.extend(_write_cell(cell))
+    out.append("}")
+    return "\n".join(out) + "\n"
+
+
+def _write_cell(cell: LibertyCell) -> list[str]:
+    lines = [f"  cell ({cell.name}) {{"]
+    lines.append(f"    area : {cell.area:.6g};")
+    if cell.footprint:
+        lines.append(f'    cell_footprint : "{cell.footprint}";')
+    lines.append(f"    cell_leakage_power : {cell.leakage_average * _LEAK_SCALE:.6g};")
+    for state, power in cell.leakage_by_state.items():
+        lines.append("    leakage_power () {")
+        lines.append(f'      when : "{_state_to_when(state)}";')
+        lines.append(f"      value : {power * _LEAK_SCALE:.6g};")
+        lines.append("    }")
+    if cell.is_sequential:
+        lines.append("    ff (IQ, IQN) {")
+        lines.append('      next_state : "D";')
+        lines.append(f'      clocked_on : "{cell.clock_pin}";')
+        lines.append("    }")
+    pins = list(cell.input_pins)
+    if cell.clock_pin and cell.clock_pin not in pins:
+        pins.append(cell.clock_pin)
+    for pin in pins:
+        lines.append(f"    pin ({pin}) {{")
+        lines.append("      direction : input;")
+        if cell.clock_pin == pin:
+            lines.append("      clock : true;")
+        lines.append(
+            f"      capacitance : {cell.input_caps.get(pin, 0.0) * _CAP_SCALE:.6g};"
+        )
+        for constraint in cell.constraints:
+            if constraint.constrained_pin != pin:
+                continue
+            lines.append("      timing () {")
+            lines.append(f'        related_pin : "{constraint.related_pin}";')
+            lines.append(f"        timing_type : {constraint.timing_type};")
+            for name, table in (
+                ("rise_constraint", constraint.rise_constraint),
+                ("fall_constraint", constraint.fall_constraint),
+            ):
+                lines.extend(_write_table(name, table, _TIME_SCALE, "        "))
+            lines.append("      }")
+        lines.append("    }")
+    for pin in cell.output_pins:
+        lines.append(f"    pin ({pin}) {{")
+        lines.append("      direction : output;")
+        if pin in cell.functions:
+            lines.append(f'      function : "{cell.functions[pin]}";')
+        elif cell.is_sequential:
+            lines.append('      function : "IQ";')
+        for arc in cell.arcs_to(pin):
+            lines.append("      timing () {")
+            lines.append(f'        related_pin : "{arc.related_pin}";')
+            lines.append(f"        timing_sense : {arc.timing_sense};")
+            if arc.timing_type != "combinational":
+                lines.append(f"        timing_type : {arc.timing_type};")
+            for name, table in (
+                ("cell_rise", arc.cell_rise),
+                ("cell_fall", arc.cell_fall),
+                ("rise_transition", arc.rise_transition),
+                ("fall_transition", arc.fall_transition),
+            ):
+                lines.extend(_write_table(name, table, _TIME_SCALE, "        "))
+            lines.append("      }")
+            lines.append("      internal_power () {")
+            lines.append(f'        related_pin : "{arc.related_pin}";')
+            for name, table in (
+                ("rise_power", arc.rise_power),
+                ("fall_power", arc.fall_power),
+            ):
+                lines.extend(_write_table(name, table, _ENERGY_SCALE, "        "))
+            lines.append("      }")
+        lines.append("    }")
+    lines.append("  }")
+    return lines
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+class _Group:
+    """Generic parsed liberty group: ``name (args) { attrs, groups }``."""
+
+    def __init__(self, kind: str, args: list[str]):
+        self.kind = kind
+        self.args = args
+        self.attributes: dict[str, str] = {}
+        self.complex_attributes: list[tuple[str, list[str]]] = []
+        self.groups: list["_Group"] = []
+
+    def first(self, kind: str) -> "_Group | None":
+        for group in self.groups:
+            if group.kind == kind:
+                return group
+        return None
+
+    def all(self, kind: str) -> list["_Group"]:
+        return [g for g in self.groups if g.kind == kind]
+
+
+_TOKEN_RE = re.compile(
+    r'"(?:[^"\\]|\\.)*"'  # quoted string
+    r"|[A-Za-z_][\w.]*"  # identifier
+    r"|[-+]?[\d.]+(?:[eE][-+]?\d+)?"  # number
+    r"|[{}();:,]"
+)
+
+
+def _tokenize(text: str) -> Iterator[str]:
+    # Strip comments and line continuations.
+    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.S)
+    text = text.replace("\\\n", " ")
+    for match in _TOKEN_RE.finditer(text):
+        yield match.group(0)
+
+
+def _parse_args(tokens: list[str], pos: int) -> tuple[list[str], int]:
+    """Parse a parenthesized argument list starting at ``tokens[pos]``."""
+    args: list[str] = []
+    if pos < len(tokens) and tokens[pos] == "(":
+        pos += 1
+        while tokens[pos] != ")":
+            if tokens[pos] != ",":
+                args.append(tokens[pos].strip('"'))
+            pos += 1
+        pos += 1
+    return args, pos
+
+
+def _parse_body(tokens: list[str], pos: int, group: _Group) -> int:
+    """Parse ``{ ... }`` into ``group``; returns position past '}'."""
+    if tokens[pos] != "{":
+        raise ValueError(f"expected '{{' at token {pos}, got {tokens[pos]!r}")
+    pos += 1
+    while tokens[pos] != "}":
+        name = tokens[pos]
+        if tokens[pos + 1] == ":":
+            # Simple attribute: name : value ;
+            value_tokens = []
+            pos += 2
+            while tokens[pos] != ";":
+                value_tokens.append(tokens[pos].strip('"'))
+                pos += 1
+            group.attributes[name] = " ".join(value_tokens)
+            pos += 1  # skip ';'
+        elif tokens[pos + 1] == "(":
+            args, pos = _parse_args(tokens, pos + 1)
+            if pos < len(tokens) and tokens[pos] == "{":
+                sub = _Group(name, args)
+                pos = _parse_body(tokens, pos, sub)
+                group.groups.append(sub)
+            else:
+                group.complex_attributes.append((name, args))
+                if pos < len(tokens) and tokens[pos] == ";":
+                    pos += 1
+        else:
+            raise ValueError(f"unexpected token {tokens[pos + 1]!r} after {name!r}")
+    return pos + 1
+
+
+def _parse_root(text: str) -> _Group:
+    tokens = list(_tokenize(text))
+    if not tokens or tokens[0] != "library":
+        raise ValueError("not a liberty file: missing 'library' group")
+    args, pos = _parse_args(tokens, 1)
+    group = _Group("library", args)
+    _parse_body(tokens, pos, group)
+    return group
+
+
+def _floats(text: str) -> tuple[float, ...]:
+    return tuple(float(x) for x in re.split(r"[,\s]+", text.strip()) if x)
+
+
+def _read_table(group: _Group, scale: float) -> NLDMTable:
+    index_1 = index_2 = None
+    rows: list[tuple[float, ...]] = []
+    for name, args in group.complex_attributes:
+        joined = " ".join(args)
+        if name == "index_1":
+            index_1 = _floats(joined)
+        elif name == "index_2":
+            index_2 = _floats(joined)
+        elif name == "values":
+            rows = [tuple(v / scale for v in _floats(arg)) for arg in args]
+    if index_1 is None or index_2 is None or not rows:
+        raise ValueError(f"incomplete NLDM table in group {group.kind}")
+    slews = tuple(v / _TIME_SCALE for v in index_1)
+    loads = tuple(v / _CAP_SCALE for v in index_2)
+    return NLDMTable(slews, loads, tuple(rows))
+
+
+def parse_liberty(text: str) -> Library:
+    """Parse liberty text back into a :class:`Library`."""
+    root = _parse_root(text)
+    conditions = root.first("operating_conditions")
+    temperature = float(
+        (conditions.attributes.get("temperature") if conditions else None)
+        or root.attributes.get("nom_temperature", "300")
+    )
+    vdd = float(
+        (conditions.attributes.get("voltage") if conditions else None)
+        or root.attributes.get("nom_voltage", "0.7")
+    )
+    library = Library(name=root.args[0] if root.args else "parsed", temperature=temperature, vdd=vdd)
+
+    for cell_group in root.all("cell"):
+        library.add(_read_cell(cell_group))
+    return library
+
+
+def _read_cell(group: _Group) -> LibertyCell:
+    name = group.args[0]
+    area = float(group.attributes.get("area", "0"))
+    footprint = group.attributes.get("cell_footprint", "").strip('"')
+
+    input_pins: list[str] = []
+    output_pins: list[str] = []
+    input_caps: dict[str, float] = {}
+    functions: dict[str, str] = {}
+    clock_pin = None
+    arcs: list[TimingArc] = []
+
+    leakage_by_state: dict[str, float] = {}
+    for leak in group.all("leakage_power"):
+        when = leak.attributes.get("when", "")
+        value = float(leak.attributes.get("value", "0")) / _LEAK_SCALE
+        leakage_by_state[_when_to_state(when)] = value
+
+    is_sequential = group.first("ff") is not None
+
+    constraints: list = []
+    for pin_group in group.all("pin"):
+        pin_name = pin_group.args[0]
+        direction = pin_group.attributes.get("direction", "input")
+        if direction == "input":
+            if pin_group.attributes.get("clock", "false") == "true":
+                clock_pin = pin_name
+            else:
+                input_pins.append(pin_name)
+            input_caps[pin_name] = (
+                float(pin_group.attributes.get("capacitance", "0")) / _CAP_SCALE
+            )
+            for timing in pin_group.all("timing"):
+                timing_type = timing.attributes.get("timing_type", "")
+                if not timing_type.startswith(("setup", "hold")):
+                    continue
+                tables = {g.kind: g for g in timing.groups}
+                from .nldm import ConstraintArc
+
+                constraints.append(
+                    ConstraintArc(
+                        constrained_pin=pin_name,
+                        related_pin=timing.attributes.get("related_pin", "CLK"),
+                        timing_type=timing_type,
+                        rise_constraint=_read_table(tables["rise_constraint"], _TIME_SCALE),
+                        fall_constraint=_read_table(tables["fall_constraint"], _TIME_SCALE),
+                    )
+                )
+        else:
+            output_pins.append(pin_name)
+            function = pin_group.attributes.get("function")
+            if function and function != "IQ":
+                functions[pin_name] = function
+            power_groups = {
+                g.attributes.get("related_pin", ""): g
+                for g in pin_group.all("internal_power")
+            }
+            for timing in pin_group.all("timing"):
+                related = timing.attributes.get("related_pin", "")
+                power = power_groups.get(related)
+                tables = {g.kind: g for g in timing.groups}
+                power_tables = {g.kind: g for g in (power.groups if power else [])}
+                arcs.append(
+                    TimingArc(
+                        related_pin=related,
+                        output_pin=pin_name,
+                        timing_sense=timing.attributes.get("timing_sense", "non_unate"),
+                        timing_type=timing.attributes.get("timing_type", "combinational"),
+                        cell_rise=_read_table(tables["cell_rise"], _TIME_SCALE),
+                        cell_fall=_read_table(tables["cell_fall"], _TIME_SCALE),
+                        rise_transition=_read_table(tables["rise_transition"], _TIME_SCALE),
+                        fall_transition=_read_table(tables["fall_transition"], _TIME_SCALE),
+                        rise_power=_read_table(power_tables["rise_power"], _ENERGY_SCALE),
+                        fall_power=_read_table(power_tables["fall_power"], _ENERGY_SCALE),
+                    )
+                )
+
+    cell = LibertyCell(
+        name=name,
+        area=area,
+        input_pins=tuple(input_pins),
+        output_pins=tuple(output_pins),
+        functions=functions,
+        truth_tables={},
+        input_caps=input_caps,
+        leakage_by_state=leakage_by_state,
+        arcs=arcs,
+        constraints=constraints,
+        is_sequential=is_sequential,
+        clock_pin=clock_pin,
+        footprint=footprint,
+    )
+    _rebuild_truth_tables(cell)
+    return cell
+
+
+def _rebuild_truth_tables(cell: LibertyCell) -> None:
+    """Recompute packed truth tables from parsed function strings."""
+    from ..pdk.boolexpr import truth_table as expr_truth_table
+    from .function_parser import parse_function
+
+    for out, function in cell.functions.items():
+        try:
+            expr = parse_function(function)
+        except ValueError:
+            continue
+        names = list(cell.input_pins)
+        if all(v in names for v in expr.variables()):
+            cell.truth_tables[out] = expr_truth_table(expr, names)

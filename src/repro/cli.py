@@ -1,0 +1,214 @@
+"""Command-line interface: the flow as a tool.
+
+Exposes the paper's pipeline the way a user drives ABC + SiliconSmart
++ PrimeTime, as subcommands:
+
+* ``characterize`` — build a liberty file for a temperature corner;
+* ``synthesize``   — run a circuit (EPFL name or AIGER file) through a
+  scenario and write the mapped Verilog + signoff reports;
+* ``compare``      — the Fig. 3 experiment on chosen circuits;
+* ``calibrate``    — the Fig. 1 measurement + model-fitting loop;
+* ``benchmarks``   — list the available EPFL generators.
+
+Run ``python -m repro <subcommand> --help`` for the options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from .charlib import characterize_library, write_liberty
+    from .pdk import cryo5_technology
+    from dataclasses import replace
+
+    tech = replace(cryo5_technology(), vdd=args.vdd)
+    library = characterize_library(tech, args.temperature)
+    text = write_liberty(library)
+    out = Path(args.output or f"cryo5_{args.temperature:g}K.lib")
+    out.write_text(text)
+    print(f"characterized {len(library)} cells at {args.temperature:g} K, "
+          f"Vdd={args.vdd:g} V -> {out} ({len(text) // 1024} KiB)")
+    return 0
+
+
+def _load_circuit(source: str, preset: str):
+    from .benchgen import EPFL_SUITE, build_circuit
+    from .io import parse_ascii, parse_binary
+
+    if source in EPFL_SUITE:
+        return build_circuit(source, preset)
+    path = Path(source)
+    if not path.exists():
+        raise SystemExit(
+            f"'{source}' is neither an EPFL circuit ({', '.join(sorted(EPFL_SUITE))}) "
+            "nor a readable file"
+        )
+    data = path.read_bytes()
+    if data.startswith(b"aig "):
+        return parse_binary(data)
+    return parse_ascii(data.decode())
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    from .charlib import default_library
+    from .core import CryoSynthesisFlow
+    from .io import write_verilog
+    from .sta import full_signoff
+
+    aig = _load_circuit(args.circuit, args.preset)
+    library = default_library(args.temperature)
+    flow = CryoSynthesisFlow(library, args.scenario)
+    print(f"synthesizing {aig.name}: {aig.num_pis} PIs, {aig.num_pos} POs, "
+          f"{aig.num_ands} AIG nodes, scenario={args.scenario}, "
+          f"T={args.temperature:g} K")
+    result = flow.run(aig)
+    flow.signoff_power(result, clock_period=result.critical_delay * 1.1)
+    print(f"mapped: {result.num_gates} gates, {result.area:.3f} um2, "
+          f"delay {result.critical_delay * 1e12:.2f} ps, "
+          f"power {result.total_power * 1e6:.2f} uW")
+
+    if args.output:
+        out = Path(args.output)
+        out.write_text(write_verilog(result.netlist))
+        print(f"wrote {out}")
+    if args.report:
+        report = full_signoff(result.netlist, library)
+        Path(args.report).write_text(report)
+        print(f"wrote {args.report}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .core import figure3_summary, figure3_synthesis_comparison
+
+    circuits = args.circuits or None
+    rows = figure3_synthesis_comparison(
+        circuits=circuits, preset=args.preset, temperature=args.temperature
+    )
+    header = (
+        f"{'circuit':12s} {'base P[uW]':>11} {'base D[ps]':>11}"
+        f" {'p_a_d dP%':>10} {'p_a_d dD%':>10} {'p_d_a dP%':>10} {'p_d_a dD%':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row.circuit:12s} {row.baseline_power * 1e6:11.2f}"
+            f" {row.baseline_delay * 1e12:11.1f}"
+            f" {row.power_saving('p_a_d'):+10.2f} {row.delay_overhead('p_a_d'):+10.2f}"
+            f" {row.power_saving('p_d_a'):+10.2f} {row.delay_overhead('p_d_a'):+10.2f}"
+        )
+    summary = figure3_summary(rows)
+    for scenario, stats in summary.items():
+        print(
+            f"{scenario}: avg {stats['avg_power_saving']:+.2f}% "
+            f"max {stats['max_power_saving']:+.2f}% "
+            f"improved {stats['circuits_improved']}/{len(rows)}"
+        )
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from .core import figure1_model_validation
+
+    rows = figure1_model_validation(seed=args.seed)
+    print(f"{'device':>8} {'|Vds| [V]':>10} {'T [K]':>7} {'RMS log-I':>10}")
+    for row in sorted(rows, key=lambda r: (r.polarity, abs(r.vds), r.temperature)):
+        print(
+            f"{row.polarity + '-FET':>8} {abs(row.vds):10.2f}"
+            f" {row.temperature:7.0f} {row.rms_log_error:10.4f}"
+        )
+    worst = max(row.rms_log_error for row in rows)
+    print(f"worst residual: {worst:.4f} decades")
+    return 0 if worst < 0.2 else 1
+
+
+def _cmd_benchmarks(args: argparse.Namespace) -> int:
+    from .benchgen import EPFL_SUITE, build_circuit
+
+    print(f"{'name':12s} {'category':10s} {'PIs':>5} {'POs':>5} {'ANDs':>7} {'depth':>6}")
+    for name in sorted(EPFL_SUITE):
+        aig = build_circuit(name, args.preset)
+        print(
+            f"{name:12s} {EPFL_SUITE[name].category:10s} {aig.num_pis:>5}"
+            f" {aig.num_pos:>5} {aig.num_ands:>7} {aig.depth():>6}"
+        )
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from .io import write_ascii, write_binary, write_blif
+    from .synth import map_luts
+
+    aig = _load_circuit(args.circuit, args.preset)
+    out = Path(args.output or f"{aig.name}.{args.format}")
+    if args.format == "aag":
+        out.write_text(write_ascii(aig))
+    elif args.format == "aig":
+        out.write_bytes(write_binary(aig))
+    else:  # blif
+        network = map_luts(aig, k=args.lut_size)
+        out.write_text(write_blif(network))
+    print(f"exported {aig.name} ({aig.num_ands} AND nodes) -> {out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cryogenic-aware design automation (DAC 2023 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("characterize", help="build a liberty library at a corner")
+    p.add_argument("--temperature", "-t", type=float, default=10.0)
+    p.add_argument("--vdd", type=float, default=0.7)
+    p.add_argument("--output", "-o", help="output .lib path")
+    p.set_defaults(func=_cmd_characterize)
+
+    p = sub.add_parser("synthesize", help="run a circuit through the flow")
+    p.add_argument("circuit", help="EPFL circuit name or AIGER file")
+    p.add_argument("--scenario", "-s", default="p_d_a",
+                   choices=["baseline", "p_a_d", "p_d_a"])
+    p.add_argument("--temperature", "-t", type=float, default=10.0)
+    p.add_argument("--preset", default="default", choices=["small", "default", "large"])
+    p.add_argument("--output", "-o", help="mapped Verilog output path")
+    p.add_argument("--report", "-r", help="signoff report output path")
+    p.set_defaults(func=_cmd_synthesize)
+
+    p = sub.add_parser("compare", help="Fig. 3: scenarios on EPFL circuits")
+    p.add_argument("circuits", nargs="*", help="circuit names (default: all)")
+    p.add_argument("--temperature", "-t", type=float, default=10.0)
+    p.add_argument("--preset", default="default", choices=["small", "default", "large"])
+    p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("calibrate", help="Fig. 1: measure + fit the compact model")
+    p.add_argument("--seed", type=int, default=2023)
+    p.set_defaults(func=_cmd_calibrate)
+
+    p = sub.add_parser("benchmarks", help="list the EPFL generators")
+    p.add_argument("--preset", default="default", choices=["small", "default", "large"])
+    p.set_defaults(func=_cmd_benchmarks)
+
+    p = sub.add_parser("export", help="export a circuit to AIGER/BLIF")
+    p.add_argument("circuit", help="EPFL circuit name or AIGER file")
+    p.add_argument("--format", "-f", default="aag", choices=["aag", "aig", "blif"])
+    p.add_argument("--preset", default="default", choices=["small", "default", "large"])
+    p.add_argument("--lut-size", type=int, default=6, help="k for BLIF export")
+    p.add_argument("--output", "-o")
+    p.set_defaults(func=_cmd_export)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

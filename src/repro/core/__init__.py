@@ -1,0 +1,47 @@
+"""The paper's core contribution: the end-to-end cryogenic-aware
+design-automation flow and its experiment harness."""
+
+from .flow import SCENARIOS, CryoSynthesisFlow, FlowResult, run_scenarios
+from .sequential import (
+    SequentialDesign,
+    SequentialResult,
+    make_accumulator,
+    make_counter,
+    pick_flop,
+    run_sequential,
+)
+from .experiments import (
+    DistributionSummary,
+    Figure1Row,
+    Figure3Row,
+    PowerShareRow,
+    average_shares,
+    figure1_model_validation,
+    figure2ab_cell_distributions,
+    figure2c_power_breakdown,
+    figure3_summary,
+    figure3_synthesis_comparison,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "CryoSynthesisFlow",
+    "FlowResult",
+    "run_scenarios",
+    "SequentialDesign",
+    "SequentialResult",
+    "make_accumulator",
+    "make_counter",
+    "pick_flop",
+    "run_sequential",
+    "DistributionSummary",
+    "Figure1Row",
+    "Figure3Row",
+    "PowerShareRow",
+    "average_shares",
+    "figure1_model_validation",
+    "figure2ab_cell_distributions",
+    "figure2c_power_breakdown",
+    "figure3_summary",
+    "figure3_synthesis_comparison",
+]

@@ -1,0 +1,224 @@
+"""Sequential designs: registers around a combinational core.
+
+The EPFL evaluation is combinational, but the paper's cell libraries
+include sequential cells and any real cryogenic controller is clocked.
+This module closes the loop: a :class:`SequentialDesign` is a
+combinational next-state/output network plus a register bank; the
+sequential flow synthesizes the core with the cryogenic-aware
+pipeline, instantiates flops from the characterized library, and signs
+off the *sequential* timing and power:
+
+* **F_max** from the registered-path equation
+  ``T_min = t_clk->q + t_comb + t_setup`` (NLDM lookups at the actual
+  slews/loads),
+* **power** including the register clock/internal power that
+  combinational signoff never sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..charlib.nldm import Library, LibertyCell
+from ..mapping.netlist import MappedNetlist
+from ..sta.power import PowerAnalyzer
+from ..sta.timing import SignoffConfig, StaticTimingAnalyzer
+from ..synth.aig import AIG
+from .flow import CryoSynthesisFlow
+
+
+@dataclass
+class SequentialDesign:
+    """A Moore/Mealy machine: combinational core + register bank.
+
+    The core's PI order is ``[primary inputs..., state bits...]`` and
+    its PO order ``[primary outputs..., next-state bits...]``; the
+    last ``num_registers`` POs feed the D pins of the registers whose
+    Q pins drive the last ``num_registers`` PIs.
+    """
+
+    name: str
+    core: AIG
+    num_registers: int
+
+    def __post_init__(self) -> None:
+        if self.num_registers < 0:
+            raise ValueError("register count cannot be negative")
+        if self.num_registers > self.core.num_pis:
+            raise ValueError("more registers than core inputs")
+        if self.num_registers > self.core.num_pos:
+            raise ValueError("more registers than core outputs")
+
+    @property
+    def num_primary_inputs(self) -> int:
+        return self.core.num_pis - self.num_registers
+
+    @property
+    def num_primary_outputs(self) -> int:
+        return self.core.num_pos - self.num_registers
+
+    def state_input_nets(self, netlist: MappedNetlist) -> list[str]:
+        return netlist.pi_nets[self.num_primary_inputs :]
+
+    def next_state_nets(self, netlist: MappedNetlist) -> list[str]:
+        return netlist.po_nets[self.num_primary_outputs :]
+
+
+@dataclass
+class SequentialResult:
+    """Signoff summary of a sequential synthesis run."""
+
+    design: str
+    scenario: str
+    netlist: MappedNetlist
+    flop_cell: str
+    num_registers: int
+    clk_to_q: float
+    setup_time: float
+    comb_delay: float
+    register_power: float
+    core_power: float
+
+    @property
+    def min_clock_period(self) -> float:
+        """T_min = t_clk->q + t_comb + t_setup [s]."""
+        return self.clk_to_q + self.comb_delay + self.setup_time
+
+    @property
+    def fmax(self) -> float:
+        """Maximum clock frequency [Hz]."""
+        return 1.0 / self.min_clock_period
+
+    @property
+    def total_power(self) -> float:
+        return self.register_power + self.core_power
+
+
+def pick_flop(library: Library, drive: int = 1) -> LibertyCell:
+    """Select a plain D flip-flop from the library."""
+    name = f"DFFx{drive}"
+    if name in library:
+        return library[name]
+    candidates = [
+        cell
+        for cell in library.cells.values()
+        if cell.is_sequential and cell.footprint == "DFF"
+    ]
+    if not candidates:
+        raise ValueError("library has no D flip-flop")
+    return min(candidates, key=lambda c: c.area)
+
+
+def run_sequential(
+    design: SequentialDesign,
+    library: Library,
+    scenario: str = "p_d_a",
+    config: SignoffConfig | None = None,
+    vectors: int = 256,
+    flop_drive: int = 1,
+) -> SequentialResult:
+    """Synthesize the core and sign off the registered design."""
+    config = config or SignoffConfig()
+    flow = CryoSynthesisFlow(library, scenario, signoff=config)
+    result = flow.run(design.core)
+    netlist = result.netlist
+
+    flop = pick_flop(library, flop_drive)
+    timing = StaticTimingAnalyzer(netlist, library, config).analyze()
+
+    # Registered-path components.
+    clk_arc = next(a for a in flop.arcs if a.timing_type == "rising_edge")
+    setup = flop.constraint("D", "setup_rising")
+
+    # Clock-to-q at the load each state net drives; setup at the slew
+    # arriving at each next-state pin.  Worst case over registers.
+    state_nets = design.state_input_nets(netlist)
+    next_nets = design.next_state_nets(netlist)
+    clk_slew = config.input_slew
+
+    worst_clk_q = 0.0
+    for net in state_nets:
+        load = timing.net_load.get(net, config.output_load)
+        worst_clk_q = max(worst_clk_q, clk_arc.worst_delay(clk_slew, load))
+    if not state_nets:
+        worst_clk_q = clk_arc.worst_delay(clk_slew, config.output_load)
+
+    worst_setup = 0.0
+    worst_path = 0.0
+    for net in next_nets:
+        data_slew = timing.slew.get(net, config.input_slew)
+        worst_setup = max(worst_setup, setup.worst(data_slew, clk_slew))
+        worst_path = max(worst_path, timing.arrival.get(net, 0.0))
+    if not next_nets:
+        worst_setup = setup.worst(config.input_slew, clk_slew)
+        worst_path = timing.max_delay
+
+    # Also respect pure combinational PO paths (they must fit the
+    # cycle as well when sampled externally).
+    worst_path = max(worst_path, timing.max_delay)
+
+    min_period = worst_clk_q + worst_path + worst_setup
+    clock_period = max(min_period * 1.05, 1e-12)
+
+    core_power = PowerAnalyzer(netlist, library, config, vectors=vectors).analyze(
+        clock_period
+    )
+
+    # Register power: per-flop internal energy per clock edge at the
+    # driven load, plus state-averaged leakage; every flop sees the
+    # clock every cycle (clock gating not modeled).
+    frequency = 1.0 / clock_period
+    register_power = 0.0
+    for net in state_nets:
+        load = timing.net_load.get(net, config.output_load)
+        energy = clk_arc.average_energy(clk_slew, load)
+        register_power += energy * frequency + flop.leakage_average
+    if not state_nets:
+        register_power = design.num_registers * (
+            clk_arc.average_energy(clk_slew, config.output_load) * frequency
+            + flop.leakage_average
+        )
+
+    return SequentialResult(
+        design=design.name,
+        scenario=scenario,
+        netlist=netlist,
+        flop_cell=flop.name,
+        num_registers=design.num_registers,
+        clk_to_q=worst_clk_q,
+        setup_time=worst_setup,
+        comb_delay=worst_path,
+        register_power=register_power,
+        core_power=core_power.total,
+    )
+
+
+def make_counter(bits: int) -> SequentialDesign:
+    """An up-counter with enable: the classic sequential smoke test."""
+    from ..benchgen.wordlevel import WordBuilder
+
+    wb = WordBuilder("counter")
+    enable = wb.aig.add_pi("en")
+    state = wb.input_word("state", bits)
+    incremented, _ = wb.add(state, wb.constant(1, bits))
+    next_state = wb.mux_word(enable, incremented, state)
+    wb.aig.add_po(wb.reduce_and(state), "carry")
+    wb.output_word("next", next_state)
+    return SequentialDesign("counter", wb.aig, num_registers=bits)
+
+
+def make_accumulator(bits: int) -> SequentialDesign:
+    """A MAC-style accumulator: acc' = acc + in (with clear)."""
+    from ..synth.aig import lit_not
+    from ..benchgen.wordlevel import WordBuilder
+
+    wb = WordBuilder("accumulator")
+    clear = wb.aig.add_pi("clr")
+    data = wb.input_word("d", bits)
+    acc = wb.input_word("acc", bits)
+    total, carry = wb.add(acc, data)
+    keep = lit_not(clear)
+    next_acc = [wb.aig.add_and(b, keep) for b in total]
+    wb.aig.add_po(carry, "overflow")
+    wb.output_word("next_acc", next_acc)
+    return SequentialDesign("accumulator", wb.aig, num_registers=bits)

@@ -1,0 +1,46 @@
+"""Cryogenic-aware FinFET device layer.
+
+Implements the paper's Section II: a BSIM-CMG-class compact model with
+cryogenic physics extensions, a synthetic measurement substrate
+standing in for the 5 nm FinFET probe-station campaign, and the
+calibration/validation loop between the two.
+"""
+
+from .constants import BOLTZMANN, ELEMENTARY_CHARGE, T_REF, T_MIN_STABLE, thermal_voltage
+from .bsimcmg import (
+    CryoFinFET,
+    FinFETParams,
+    default_nfet_5nm,
+    default_pfet_5nm,
+    sweep_ids_vgs,
+)
+from .measurement import (
+    CryoProbeStation,
+    MeasurementPoint,
+    SweepResult,
+    paper_measurement_campaign,
+    perturbed_silicon,
+)
+from .calibration import CalibrationResult, calibrate, validate, parameter_recovery_error
+
+__all__ = [
+    "BOLTZMANN",
+    "ELEMENTARY_CHARGE",
+    "T_REF",
+    "T_MIN_STABLE",
+    "thermal_voltage",
+    "CryoFinFET",
+    "FinFETParams",
+    "default_nfet_5nm",
+    "default_pfet_5nm",
+    "sweep_ids_vgs",
+    "CryoProbeStation",
+    "MeasurementPoint",
+    "SweepResult",
+    "paper_measurement_campaign",
+    "perturbed_silicon",
+    "CalibrationResult",
+    "calibrate",
+    "validate",
+    "parameter_recovery_error",
+]

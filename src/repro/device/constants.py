@@ -1,0 +1,47 @@
+"""Physical constants and reference conditions used across the device models.
+
+All quantities are in SI units unless stated otherwise.  The module keeps
+the constants in one place so that the compact model, the measurement
+substrate, and the characterization engine cannot drift apart.
+"""
+
+from __future__ import annotations
+
+#: Boltzmann constant [J/K].
+BOLTZMANN: float = 1.380649e-23
+
+#: Elementary charge [C].
+ELEMENTARY_CHARGE: float = 1.602176634e-19
+
+#: Boltzmann constant expressed in eV/K (k_B / q).
+BOLTZMANN_EV: float = BOLTZMANN / ELEMENTARY_CHARGE
+
+#: Vacuum permittivity [F/m].
+EPSILON_0: float = 8.8541878128e-12
+
+#: Relative permittivity of SiO2.
+EPS_R_SIO2: float = 3.9
+
+#: Relative permittivity of silicon.
+EPS_R_SI: float = 11.7
+
+#: Reference (room) temperature [K] used for parameter normalization.
+T_REF: float = 300.0
+
+#: Lowest temperature the paper's probe station can hold stably [K].
+T_MIN_STABLE: float = 10.0
+
+#: ln(10), used for subthreshold-swing conversions.
+LN10: float = 2.302585092994046
+
+
+def thermal_voltage(temperature_k: float) -> float:
+    """Return the thermal voltage k_B*T/q [V] at ``temperature_k``.
+
+    This is the *physical* thermal voltage; the cryogenic compact model
+    replaces it with a band-tail-limited effective value below ~40 K
+    (see :mod:`repro.device.thermal`).
+    """
+    if temperature_k <= 0.0:
+        raise ValueError(f"temperature must be positive, got {temperature_k} K")
+    return BOLTZMANN_EV * temperature_k

@@ -1,0 +1,111 @@
+"""Process/voltage/temperature (PVT) corner modeling.
+
+Signoff happens at corners, not at nominal: slow/fast process skews
+combined with supply and temperature extremes.  This module derives
+corner parameter sets from a nominal :class:`FinFETParams` using the
+standard first-order skews (threshold shift, mobility scale) and
+bundles them with a supply and temperature into named corners the
+characterization engine can consume directly.
+
+The cryogenic flow cares about two axes the conventional PVT matrix
+does not cover: the deep-cryogenic temperature points and the
+band-tail parameter spread (the dominant device-to-device variation
+mechanism reported at 10 K).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .bsimcmg import FinFETParams
+
+
+#: First-order process skews: (vth shift [V], mobility scale).
+_PROCESS_SKEWS: dict[str, tuple[float, float]] = {
+    "ss": (+0.03, 0.90),
+    "tt": (0.0, 1.00),
+    "ff": (-0.03, 1.10),
+}
+
+
+@dataclass(frozen=True)
+class Corner:
+    """One PVT corner: skewed devices + operating conditions."""
+
+    name: str
+    process: str
+    vdd: float
+    temperature: float
+    nfet: FinFETParams
+    pfet: FinFETParams
+
+
+def skew_device(params: FinFETParams, process: str) -> FinFETParams:
+    """Apply a process skew to one device parameter set."""
+    if process not in _PROCESS_SKEWS:
+        raise ValueError(f"unknown process corner {process!r}; use ss/tt/ff")
+    vth_shift, mobility_scale = _PROCESS_SKEWS[process]
+    return replace(
+        params,
+        vth0=params.vth0 + vth_shift,
+        mu_phonon_300=params.mu_phonon_300 * mobility_scale,
+        mu_saturation=params.mu_saturation * mobility_scale,
+    )
+
+
+def make_corner(
+    name: str,
+    nfet: FinFETParams,
+    pfet: FinFETParams,
+    process: str = "tt",
+    vdd: float = 0.7,
+    temperature: float = 300.0,
+) -> Corner:
+    """Build a corner from nominal devices."""
+    if vdd <= 0.0:
+        raise ValueError("supply must be positive")
+    if temperature <= 0.0:
+        raise ValueError("temperature must be positive")
+    return Corner(
+        name=name,
+        process=process,
+        vdd=vdd,
+        temperature=temperature,
+        nfet=skew_device(nfet, process),
+        pfet=skew_device(pfet, process),
+    )
+
+
+def standard_corner_set(
+    nfet: FinFETParams,
+    pfet: FinFETParams,
+    vdd_nominal: float = 0.7,
+    vdd_margin: float = 0.05,
+) -> dict[str, Corner]:
+    """The signoff corner matrix extended with cryogenic points.
+
+    Conventional: (ss, low-V, hot) worst-delay / (ff, high-V, cold)
+    worst-leakage at the classical temperature range; cryogenic:
+    the same skews at 10 K, where "cold" stops meaning "leaky".
+    """
+    low = vdd_nominal * (1.0 - vdd_margin)
+    high = vdd_nominal * (1.0 + vdd_margin)
+    corners = {
+        "wc_delay": make_corner("wc_delay", nfet, pfet, "ss", low, 398.0),
+        "typical": make_corner("typical", nfet, pfet, "tt", vdd_nominal, 300.0),
+        "wc_leakage": make_corner("wc_leakage", nfet, pfet, "ff", high, 398.0),
+        "cryo_typical": make_corner("cryo_typical", nfet, pfet, "tt", vdd_nominal, 10.0),
+        "cryo_wc_delay": make_corner("cryo_wc_delay", nfet, pfet, "ss", low, 10.0),
+        "cryo_bc_delay": make_corner("cryo_bc_delay", nfet, pfet, "ff", high, 10.0),
+    }
+    return corners
+
+
+def corner_technology(corner: Corner):
+    """Build a :class:`repro.pdk.Technology` for a corner."""
+    from dataclasses import replace as dc_replace
+
+    from ..pdk.technology import cryo5_technology
+
+    tech = cryo5_technology(nfet=corner.nfet, pfet=corner.pfet)
+    return dc_replace(tech, vdd=corner.vdd)

@@ -1,0 +1,145 @@
+"""Temperature-dependent semiconductor physics for cryogenic operation.
+
+These are the physics-based extensions the paper adds to the BSIM-CMG
+compact model (Section II-A), following the cryogenic modeling approach
+of Pahwa et al. (TED 2021):
+
+* **Threshold voltage** rises as the temperature drops (Fermi level
+  moves toward the band edge, incomplete ionization).  We use the
+  standard linear temperature coefficient with a mild saturation below
+  the carrier freeze-out knee.
+
+* **Subthreshold swing** no longer follows the Boltzmann limit
+  ``n * kT/q * ln 10`` at deep-cryogenic temperatures.  Band-tail
+  states pin the swing to a finite floor (a few mV/dec).  We model this
+  with an *effective thermal voltage* that smoothly saturates at a
+  band-tail temperature ``T_bt``.
+
+* **Carrier mobility** improves at low temperature because phonon
+  scattering freezes out, but saturates once surface-roughness and
+  Coulomb scattering dominate.  Matthiessen's rule combines the two
+  limits.
+
+* **Saturation velocity** increases slightly at low temperature.
+
+Every function is smooth and differentiable in its arguments so that
+the compact model built on top remains Newton-friendly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .constants import BOLTZMANN_EV, LN10, T_REF
+
+
+def effective_thermal_voltage(temperature_k: float, band_tail_temperature_k: float) -> float:
+    """Band-tail-limited effective thermal voltage [V].
+
+    Uses the smooth saturation ``v_t,eff = (k_B/q) * sqrt(T^2 + T_bt^2)``.
+    At room temperature this is within ~1 % of the physical ``kT/q``;
+    below ``T_bt`` it freezes at ``(k_B/q) * T_bt``, which reproduces
+    the experimentally observed subthreshold-swing floor.
+    """
+    if temperature_k <= 0.0:
+        raise ValueError(f"temperature must be positive, got {temperature_k} K")
+    if band_tail_temperature_k < 0.0:
+        raise ValueError("band-tail temperature must be non-negative")
+    t_eff = math.sqrt(temperature_k**2 + band_tail_temperature_k**2)
+    return BOLTZMANN_EV * t_eff
+
+
+def subthreshold_swing(
+    temperature_k: float,
+    band_tail_temperature_k: float,
+    ideality: float = 1.0,
+) -> float:
+    """Subthreshold swing [V/decade] including the cryogenic floor.
+
+    ``SS = n * ln(10) * v_t,eff``.  At 300 K with n = 1 this evaluates
+    to ~60 mV/dec; at 10 K with a 35 K band-tail temperature it
+    saturates near 7 mV/dec instead of the (unphysical) Boltzmann value
+    of 2 mV/dec.
+    """
+    if ideality < 1.0:
+        raise ValueError(f"ideality factor must be >= 1, got {ideality}")
+    return ideality * LN10 * effective_thermal_voltage(temperature_k, band_tail_temperature_k)
+
+
+def threshold_shift(
+    temperature_k: float,
+    vth_temp_coeff_v_per_k: float,
+    freezeout_knee_k: float = 50.0,
+) -> float:
+    """Threshold-voltage shift [V] relative to the 300 K value.
+
+    The shift follows the familiar linear ``dVth/dT`` behaviour from
+    300 K down to the freeze-out knee and then flattens smoothly — the
+    measured 5 nm FinFET V_th keeps rising below 50 K, but more slowly
+    than the linear extrapolation.  A positive ``vth_temp_coeff_v_per_k``
+    means V_th *increases* as temperature *decreases*.
+
+    The smooth knee uses a softplus so that the shift (and therefore
+    the drain current) stays differentiable in T.
+    """
+    if freezeout_knee_k <= 0.0:
+        raise ValueError("freeze-out knee must be positive")
+    # Effective temperature that never goes below ~knee/2 contribution:
+    # softplus-smoothed clamp of T at the knee.
+    knee = freezeout_knee_k
+    t_eff = knee * math.log1p(math.exp(temperature_k / knee - 1.0)) + knee * (1.0 - math.log(2.0))
+    t_eff_ref = knee * math.log1p(math.exp(T_REF / knee - 1.0)) + knee * (1.0 - math.log(2.0))
+    return vth_temp_coeff_v_per_k * (t_eff_ref - t_eff)
+
+
+def phonon_limited_mobility(temperature_k: float, mu_phonon_300: float, exponent: float = 1.5) -> float:
+    """Phonon-scattering-limited mobility [m^2/Vs].
+
+    Classic power law ``mu_ph(T) = mu_ph(300) * (300/T)^alpha`` — the
+    component that *improves* dramatically at cryogenic temperatures.
+    """
+    if mu_phonon_300 <= 0.0:
+        raise ValueError("phonon mobility must be positive")
+    if temperature_k <= 0.0:
+        raise ValueError("temperature must be positive")
+    return mu_phonon_300 * (T_REF / temperature_k) ** exponent
+
+
+def effective_mobility(
+    temperature_k: float,
+    mu_phonon_300: float,
+    mu_saturation: float,
+    exponent: float = 1.5,
+) -> float:
+    """Matthiessen-combined effective mobility [m^2/Vs].
+
+    ``1/mu = 1/mu_ph(T) + 1/mu_sat`` where ``mu_sat`` lumps the
+    temperature-insensitive surface-roughness and Coulomb scattering
+    limits.  As T -> 0 the mobility saturates at ``mu_sat``, matching
+    the ~58 % improvement reported for 10 nm-class FinFETs rather than
+    diverging.
+    """
+    if mu_saturation <= 0.0:
+        raise ValueError("saturation mobility must be positive")
+    mu_ph = phonon_limited_mobility(temperature_k, mu_phonon_300, exponent)
+    return 1.0 / (1.0 / mu_ph + 1.0 / mu_saturation)
+
+
+def saturation_velocity(temperature_k: float, vsat_300: float, temp_coeff: float = 4.0e-4) -> float:
+    """Carrier saturation velocity [m/s], mildly increasing at low T."""
+    if vsat_300 <= 0.0:
+        raise ValueError("saturation velocity must be positive")
+    return vsat_300 * (1.0 + temp_coeff * (T_REF - temperature_k))
+
+
+def gate_capacitance_factor(temperature_k: float, cryo_reduction: float = 0.04) -> float:
+    """Relative gate-capacitance factor vs. 300 K (dimensionless).
+
+    Cryogenic surface-potential shifts slightly reduce the effective
+    gate capacitance (the paper attributes the lower switching energy
+    at 10 K to exactly this effect).  The factor moves linearly from
+    1.0 at 300 K to ``1 - cryo_reduction`` at 0 K.
+    """
+    if not 0.0 <= cryo_reduction < 1.0:
+        raise ValueError("cryo capacitance reduction must be in [0, 1)")
+    return 1.0 - cryo_reduction * (T_REF - temperature_k) / T_REF

@@ -1,0 +1,19 @@
+"""Interchange formats: AIGER (ascii/binary), BLIF, structural Verilog."""
+
+from .aiger import parse_ascii, parse_binary, write_ascii, write_binary
+from .blif import parse_blif, write_blif
+from .verilog import parse_verilog, write_verilog
+from .dot import aig_to_dot, netlist_to_dot
+
+__all__ = [
+    "parse_ascii",
+    "parse_binary",
+    "write_ascii",
+    "write_binary",
+    "parse_blif",
+    "write_blif",
+    "aig_to_dot",
+    "netlist_to_dot",
+    "parse_verilog",
+    "write_verilog",
+]

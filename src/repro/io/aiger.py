@@ -1,0 +1,206 @@
+"""AIGER format reader/writer (ASCII ``aag`` and binary ``aig``).
+
+AIGER is the interchange format of the logic-synthesis community (ABC,
+the EPFL suite, and the hardware model-checking competitions all speak
+it).  Both the ASCII variant and the delta-encoded binary variant are
+supported, including symbol tables.
+"""
+
+from __future__ import annotations
+
+from ..synth.aig import AIG, lit_var
+
+
+def write_ascii(aig: AIG) -> str:
+    """Serialize to the ASCII ``aag`` format."""
+    n_ands = aig.num_ands
+    max_var = aig.num_pis + n_ands
+    lines = [f"aag {max_var} {aig.num_pis} 0 {aig.num_pos} {n_ands}"]
+    # AIGER requires inputs to take literals 2, 4, ... — our AIG
+    # allocates PIs first, so node ids already match.
+    remap = _build_remap(aig)
+    for node in aig.pis:
+        lines.append(str(remap[node]))
+    for po in aig.pos:
+        lines.append(str(remap[lit_var(po)] ^ (po & 1)))
+    for node in aig.and_nodes():
+        f0, f1 = aig.fanins(node)
+        lhs = remap[node]
+        rhs0 = remap[lit_var(f0)] ^ (f0 & 1)
+        rhs1 = remap[lit_var(f1)] ^ (f1 & 1)
+        if rhs0 < rhs1:
+            rhs0, rhs1 = rhs1, rhs0
+        lines.append(f"{lhs} {rhs0} {rhs1}")
+    for i, name in enumerate(aig.pi_names):
+        lines.append(f"i{i} {name}")
+    for i, name in enumerate(aig.po_names):
+        lines.append(f"o{i} {name}")
+    return "\n".join(lines) + "\n"
+
+
+def _build_remap(aig: AIG) -> dict[int, int]:
+    """Old node id -> AIGER literal (positive), PIs first then ANDs."""
+    remap = {0: 0}
+    next_var = 1
+    for node in aig.pis:
+        remap[node] = 2 * next_var
+        next_var += 1
+    for node in aig.and_nodes():
+        remap[node] = 2 * next_var
+        next_var += 1
+    return remap
+
+
+def parse_ascii(text: str) -> AIG:
+    """Parse the ASCII ``aag`` format."""
+    lines = [line.strip() for line in text.strip().splitlines()]
+    if not lines or not lines[0].startswith("aag "):
+        raise ValueError("not an ASCII AIGER file")
+    header = lines[0].split()
+    max_var, n_in, n_latch, n_out, n_and = (int(x) for x in header[1:6])
+    if n_latch:
+        raise ValueError("latches are not supported (combinational AIGs only)")
+    index = 1
+    aig = AIG()
+    lit_map: dict[int, int] = {0: 0, 1: 1}
+    for _ in range(n_in):
+        lit = int(lines[index])
+        index += 1
+        new_lit = aig.add_pi()
+        lit_map[lit] = new_lit
+        lit_map[lit ^ 1] = new_lit ^ 1
+    out_lits = []
+    for _ in range(n_out):
+        out_lits.append(int(lines[index]))
+        index += 1
+    and_rows = []
+    for _ in range(n_and):
+        lhs, rhs0, rhs1 = (int(x) for x in lines[index].split())
+        and_rows.append((lhs, rhs0, rhs1))
+        index += 1
+    for lhs, rhs0, rhs1 in and_rows:
+        a = lit_map[rhs0 & ~1] ^ (rhs0 & 1)
+        b = lit_map[rhs1 & ~1] ^ (rhs1 & 1)
+        new_lit = aig.add_and(a, b)
+        lit_map[lhs] = new_lit
+        lit_map[lhs ^ 1] = new_lit ^ 1
+    for lit in out_lits:
+        aig.add_po(lit_map[lit & ~1] ^ (lit & 1))
+    # Symbol table.
+    while index < len(lines) and lines[index] and lines[index][0] in "ilo":
+        tag = lines[index]
+        kind, rest = tag[0], tag[1:]
+        pos_str, _, name = rest.partition(" ")
+        position = int(pos_str)
+        if kind == "i" and position < len(aig.pi_names):
+            aig.pi_names[position] = name
+        elif kind == "o" and position < len(aig.po_names):
+            aig.po_names[position] = name
+        index += 1
+    return aig
+
+
+# ----------------------------------------------------------------------
+# Binary format
+# ----------------------------------------------------------------------
+def _encode_delta(value: int) -> bytes:
+    """LEB128-style 7-bit group encoding used by binary AIGER."""
+    out = bytearray()
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+    return bytes(out)
+
+
+def _decode_delta(data: bytes, pos: int) -> tuple[int, int]:
+    value = 0
+    shift = 0
+    while True:
+        byte = data[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+
+
+def write_binary(aig: AIG) -> bytes:
+    """Serialize to the binary ``aig`` format."""
+    n_ands = aig.num_ands
+    max_var = aig.num_pis + n_ands
+    remap = _build_remap(aig)
+    out = bytearray()
+    out += f"aig {max_var} {aig.num_pis} 0 {aig.num_pos} {n_ands}\n".encode()
+    for po in aig.pos:
+        out += f"{remap[lit_var(po)] ^ (po & 1)}\n".encode()
+    for node in aig.and_nodes():
+        f0, f1 = aig.fanins(node)
+        lhs = remap[node]
+        rhs0 = remap[lit_var(f0)] ^ (f0 & 1)
+        rhs1 = remap[lit_var(f1)] ^ (f1 & 1)
+        if rhs0 < rhs1:
+            rhs0, rhs1 = rhs1, rhs0
+        if lhs <= rhs0:
+            raise ValueError("binary AIGER requires topologically increasing nodes")
+        out += _encode_delta(lhs - rhs0)
+        out += _encode_delta(rhs0 - rhs1)
+    for i, name in enumerate(aig.pi_names):
+        out += f"i{i} {name}\n".encode()
+    for i, name in enumerate(aig.po_names):
+        out += f"o{i} {name}\n".encode()
+    return bytes(out)
+
+
+def parse_binary(data: bytes) -> AIG:
+    """Parse the binary ``aig`` format."""
+    newline = data.index(b"\n")
+    header = data[:newline].decode().split()
+    if header[0] != "aig":
+        raise ValueError("not a binary AIGER file")
+    max_var, n_in, n_latch, n_out, n_and = (int(x) for x in header[1:6])
+    if n_latch:
+        raise ValueError("latches are not supported (combinational AIGs only)")
+    pos = newline + 1
+    out_lits = []
+    for _ in range(n_out):
+        end = data.index(b"\n", pos)
+        out_lits.append(int(data[pos:end]))
+        pos = end + 1
+    aig = AIG()
+    lit_map: dict[int, int] = {0: 0, 1: 1}
+    for i in range(n_in):
+        new_lit = aig.add_pi()
+        lit_map[2 * (i + 1)] = new_lit
+        lit_map[2 * (i + 1) + 1] = new_lit ^ 1
+    for i in range(n_and):
+        lhs = 2 * (n_in + i + 1)
+        delta0, pos = _decode_delta(data, pos)
+        delta1, pos = _decode_delta(data, pos)
+        rhs0 = lhs - delta0
+        rhs1 = rhs0 - delta1
+        a = lit_map[rhs0 & ~1] ^ (rhs0 & 1)
+        b = lit_map[rhs1 & ~1] ^ (rhs1 & 1)
+        new_lit = aig.add_and(a, b)
+        lit_map[lhs] = new_lit
+        lit_map[lhs ^ 1] = new_lit ^ 1
+    for lit in out_lits:
+        aig.add_po(lit_map[lit & ~1] ^ (lit & 1))
+    # Symbol table (text suffix).
+    rest = data[pos:].decode(errors="replace")
+    for line in rest.splitlines():
+        if not line or line[0] not in "ilo":
+            continue
+        if line.startswith("c"):
+            break
+        kind, body = line[0], line[1:]
+        pos_str, _, name = body.partition(" ")
+        try:
+            position = int(pos_str)
+        except ValueError:
+            continue
+        if kind == "i" and position < len(aig.pi_names):
+            aig.pi_names[position] = name
+        elif kind == "o" and position < len(aig.po_names):
+            aig.po_names[position] = name
+    return aig

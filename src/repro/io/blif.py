@@ -1,0 +1,143 @@
+"""BLIF reader/writer for LUT networks.
+
+The Berkeley Logic Interchange Format is how LUT-level netlists move
+between academic tools.  ``.names`` tables are written as minimized
+cube covers (via ISOP) and read back into truth tables.
+"""
+
+from __future__ import annotations
+
+from ..synth.isop import Cube, cover_to_tt, isop
+from ..synth.lutnet import LUT, LUTNetwork
+from ..synth.truth import tt_mask
+
+
+def write_blif(network: LUTNetwork, model: str | None = None) -> str:
+    """Serialize a LUT network to BLIF."""
+    def pi_name(i: int) -> str:
+        if i < len(network.pi_names):
+            return network.pi_names[i]
+        return f"pi{i}"
+
+    def net_name(node: int) -> str:
+        if node == 0:
+            return "const0"
+        if network.is_pi(node):
+            return pi_name(node - 1)
+        return f"n{node}"
+
+    lines = [f".model {model or network.name}"]
+    lines.append(".inputs " + " ".join(pi_name(i) for i in range(network.num_pis)))
+    po_names = [
+        network.po_names[i] if i < len(network.po_names) else f"po{i}"
+        for i in range(len(network.outputs))
+    ]
+    lines.append(".outputs " + " ".join(po_names))
+
+    uses_const0 = any(node == 0 for node, _ in network.outputs)
+    for index, lut in enumerate(network.luts):
+        node = network.lut_id(index)
+        k = len(lut.leaves)
+        lines.append(
+            ".names " + " ".join(net_name(l) for l in lut.leaves) + f" {net_name(node)}"
+        )
+        cover = isop(lut.table & tt_mask(k), 0, k)
+        for cube in cover:
+            pattern = "".join(
+                "1" if (cube.pos >> v) & 1 else "0" if (cube.neg >> v) & 1 else "-"
+                for v in range(k)
+            )
+            lines.append(f"{pattern} 1")
+        if not cover:
+            # Constant-0 LUT: an empty cover means always 0 in BLIF.
+            pass
+    if uses_const0:
+        lines.append(".names const0")
+    for (node, compl), name in zip(network.outputs, po_names):
+        source = net_name(node)
+        lines.append(f".names {source} {name}")
+        lines.append(("0" if compl else "1") + " 1")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def parse_blif(text: str) -> LUTNetwork:
+    """Parse a (single-model, combinational) BLIF file."""
+    # Join continuation lines and strip comments.
+    raw_lines = []
+    pending = ""
+    for line in text.splitlines():
+        line = line.split("#", 1)[0].rstrip()
+        if not line:
+            continue
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        raw_lines.append(pending + line)
+        pending = ""
+    if pending:
+        raw_lines.append(pending)
+
+    model = "blif"
+    inputs: list[str] = []
+    outputs: list[str] = []
+    tables: list[tuple[list[str], str, list[str]]] = []  # (ins, out, cubes)
+    current: tuple[list[str], str, list[str]] | None = None
+
+    for line in raw_lines:
+        tokens = line.split()
+        if tokens[0] == ".model":
+            model = tokens[1] if len(tokens) > 1 else model
+        elif tokens[0] == ".inputs":
+            inputs.extend(tokens[1:])
+        elif tokens[0] == ".outputs":
+            outputs.extend(tokens[1:])
+        elif tokens[0] == ".names":
+            current = (tokens[1:-1], tokens[-1], [])
+            tables.append(current)
+        elif tokens[0] == ".end":
+            current = None
+        elif tokens[0].startswith("."):
+            raise ValueError(f"unsupported BLIF construct {tokens[0]!r}")
+        else:
+            if current is None:
+                raise ValueError(f"cube line outside .names: {line!r}")
+            current[2].append(line)
+
+    network = LUTNetwork(len(inputs), name=model)
+    network.pi_names = list(inputs)
+    node_of: dict[str, int] = {name: i + 1 for i, name in enumerate(inputs)}
+
+    for ins, out, cube_lines in tables:
+        k = len(ins)
+        table = 0
+        for cube_line in cube_lines:
+            parts = cube_line.split()
+            if len(parts) == 1:
+                pattern, value = "", parts[0]
+            else:
+                pattern, value = parts[0], parts[1]
+            if value != "1":
+                raise ValueError("only on-set (output 1) cubes are supported")
+            pos = neg = 0
+            for v, ch in enumerate(pattern):
+                if ch == "1":
+                    pos |= 1 << v
+                elif ch == "0":
+                    neg |= 1 << v
+                elif ch != "-":
+                    raise ValueError(f"bad cube character {ch!r}")
+            table |= _cube_tt(pos, neg, k)
+        leaf_ids = tuple(node_of[name] for name in ins)
+        node_of[out] = network.add_lut(leaf_ids, table)
+
+    for name in outputs:
+        if name not in node_of:
+            raise ValueError(f"output {name!r} is never defined")
+        network.outputs.append((node_of[name], False))
+        network.po_names.append(name)
+    return network
+
+
+def _cube_tt(pos: int, neg: int, k: int) -> int:
+    return cover_to_tt([Cube(pos, neg)], k)

@@ -1,0 +1,70 @@
+"""Graphviz DOT export for AIGs and mapped netlists.
+
+Debugging and documentation aid: render the networks the synthesis
+passes produce.  Inverted edges are drawn dashed (the AIG convention);
+mapped netlists label nodes with their cell names.
+"""
+
+from __future__ import annotations
+
+from ..mapping.netlist import MappedNetlist
+from ..synth.aig import AIG, lit_is_compl, lit_var
+
+
+def aig_to_dot(aig: AIG, name: str | None = None, max_nodes: int = 2000) -> str:
+    """Render an AIG as a DOT digraph.
+
+    Raises ``ValueError`` for networks larger than ``max_nodes`` —
+    graph layouts beyond that size are unreadable anyway; filter or
+    extract a cone first.
+    """
+    if aig.num_nodes > max_nodes:
+        raise ValueError(
+            f"network has {aig.num_nodes} nodes; raise max_nodes to force rendering"
+        )
+    lines = [f'digraph "{name or aig.name}" {{', "  rankdir=BT;"]
+    lines.append('  node [shape=circle, fontsize=10];')
+    for i, node in enumerate(aig.pis):
+        label = aig.pi_names[i] if i < len(aig.pi_names) else f"pi{i}"
+        lines.append(f'  n{node} [shape=box, style=filled, fillcolor="#cfe8ff", '
+                     f'label="{label}"];')
+    for node in aig.and_nodes():
+        lines.append(f'  n{node} [label="∧"];')
+        for fanin in aig.fanins(node):
+            style = ' [style=dashed, arrowhead="odot"]' if lit_is_compl(fanin) else ""
+            lines.append(f"  n{lit_var(fanin)} -> n{node}{style};")
+    for i, po in enumerate(aig.pos):
+        label = aig.po_names[i] if i < len(aig.po_names) else f"po{i}"
+        lines.append(f'  po{i} [shape=box, style=filled, fillcolor="#ffe6cc", '
+                     f'label="{label}"];')
+        style = ' [style=dashed, arrowhead="odot"]' if lit_is_compl(po) else ""
+        lines.append(f"  n{lit_var(po)} -> po{i}{style};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def netlist_to_dot(netlist: MappedNetlist, max_gates: int = 1000) -> str:
+    """Render a mapped netlist as a DOT digraph (cells as boxes)."""
+    if netlist.num_gates > max_gates:
+        raise ValueError(
+            f"netlist has {netlist.num_gates} gates; raise max_gates to force rendering"
+        )
+    lines = [f'digraph "{netlist.name}" {{', "  rankdir=LR;"]
+    lines.append("  node [shape=box, fontsize=10];")
+    driver_of = {gate.output_net: gate.name for gate in netlist.gates}
+    for net in netlist.pi_nets:
+        lines.append(f'  "pi_{net}" [style=filled, fillcolor="#cfe8ff", label="{net}"];')
+    for gate in netlist.gates:
+        lines.append(f'  "{gate.name}" [label="{gate.cell}\\n{gate.name}"];')
+        for pin, net in gate.pins.items():
+            source = f"pi_{net}" if net in netlist.pi_nets else driver_of.get(net)
+            if source is None:
+                continue
+            lines.append(f'  "{source}" -> "{gate.name}" [label="{pin}", fontsize=8];')
+    for i, net in enumerate(netlist.po_nets):
+        lines.append(f'  "po_{i}" [style=filled, fillcolor="#ffe6cc", label="{net}"];')
+        source = f"pi_{net}" if net in netlist.pi_nets else driver_of.get(net)
+        if source is not None:
+            lines.append(f'  "{source}" -> "po_{i}";')
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,119 @@
+"""Gate-level mapped netlist.
+
+The output of technology mapping and the input to signoff (STA and
+power).  Gates reference standard cells from a characterized
+:class:`repro.charlib.Library`; nets are plain strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..charlib.nldm import Library
+from ..synth.aig import AIG
+
+
+@dataclass(frozen=True)
+class GateInstance:
+    """One placed standard cell."""
+
+    name: str
+    cell: str
+    #: pin name -> driving net.
+    pins: dict[str, str]
+    output_net: str
+    output_pin: str = "Y"
+
+
+@dataclass
+class MappedNetlist:
+    """A combinational gate-level netlist.
+
+    Gates are stored in topological order (every gate's input nets are
+    driven by earlier gates or primary inputs).
+    """
+
+    name: str
+    pi_nets: list[str] = field(default_factory=list)
+    po_nets: list[str] = field(default_factory=list)
+    gates: list[GateInstance] = field(default_factory=list)
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.gates)
+
+    def drivers(self) -> dict[str, GateInstance]:
+        """net -> driving gate (PIs have no driver)."""
+        return {gate.output_net: gate for gate in self.gates}
+
+    def loads(self) -> dict[str, list[tuple[GateInstance, str]]]:
+        """net -> [(gate, pin)] sinks."""
+        result: dict[str, list[tuple[GateInstance, str]]] = {}
+        for gate in self.gates:
+            for pin, net in gate.pins.items():
+                result.setdefault(net, []).append((gate, pin))
+        return result
+
+    def cell_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for gate in self.gates:
+            counts[gate.cell] = counts.get(gate.cell, 0) + 1
+        return counts
+
+    def total_area(self, library: Library) -> float:
+        """Sum of cell areas [um^2]."""
+        return sum(library[gate.cell].area for gate in self.gates)
+
+    # ------------------------------------------------------------------
+    # Simulation / logic extraction
+    # ------------------------------------------------------------------
+    def simulate_nets(
+        self, library: Library, pi_words: list[int], width: int
+    ) -> dict[str, int]:
+        """Bit-parallel simulation of every net."""
+        if len(pi_words) != len(self.pi_nets):
+            raise ValueError(f"expected {len(self.pi_nets)} PI words")
+        mask = (1 << width) - 1
+        values: dict[str, int] = {}
+        for net, word in zip(self.pi_nets, pi_words):
+            values[net] = word & mask
+        for gate in self.gates:
+            cell = library[gate.cell]
+            table = cell.truth_tables[gate.output_pin]
+            pins = cell.input_pins
+            word = 0
+            pin_words = [values[gate.pins[pin]] for pin in pins]
+            for minterm in range(1 << len(pins)):
+                if not (table >> minterm) & 1:
+                    continue
+                term = mask
+                for j, pin_word in enumerate(pin_words):
+                    term &= pin_word if (minterm >> j) & 1 else ~pin_word & mask
+                    if not term:
+                        break
+                word |= term
+            values[gate.output_net] = word
+        return values
+
+    def evaluate(self, library: Library, inputs: list[bool]) -> list[bool]:
+        """Single-vector evaluation of the PO nets."""
+        words = [1 if b else 0 for b in inputs]
+        values = self.simulate_nets(library, words, width=1)
+        return [bool(values[net] & 1) for net in self.po_nets]
+
+    def to_aig(self, library: Library) -> AIG:
+        """Extract the netlist logic into an AIG (for CEC)."""
+        from ..synth.isop import build_function
+
+        aig = AIG(self.name)
+        net_lit: dict[str, int] = {}
+        for net in self.pi_nets:
+            net_lit[net] = aig.add_pi(net)
+        for gate in self.gates:
+            cell = library[gate.cell]
+            table = cell.truth_tables[gate.output_pin]
+            leaf_lits = [net_lit[gate.pins[pin]] for pin in cell.input_pins]
+            net_lit[gate.output_net] = build_function(aig, table, leaf_lits)
+        for net in self.po_nets:
+            aig.add_po(net_lit[net], net)
+        return aig.cleanup()

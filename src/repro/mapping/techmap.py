@@ -1,0 +1,306 @@
+"""Standard-cell technology mapping (ABC's ``map``).
+
+Cut-based Boolean matching with dynamic programming: every AND node
+gets the best (cut, cell, NP-configuration) under the active
+:class:`CostPolicy`.  The three cost metrics are computed locally per
+match and accumulated area-flow style:
+
+* **area** — cell area plus any inserted inverters;
+* **delay** — arrival time through representative NLDM delays;
+* **power** — switching power of the nets the match exposes
+  (leaf-pin capacitance x leaf activity x V_dd^2), internal energy of
+  the cell weighted by the root's activity, plus state-averaged
+  leakage.  At cryogenic corners the leakage term is naturally
+  negligible, which is exactly the paper's argument for re-weighting
+  the objectives.
+
+Inverters required by a configuration (input or output polarity) are
+costed in the DP and shared per net during extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..charlib.nldm import Library, LibertyCell
+from ..synth.activity import node_activities, simulated_activities
+from ..synth.aig import AIG, lit_var
+from ..synth.cuts import Cut, enumerate_cuts
+from .cost import CostPolicy, baseline_power_aware
+from .library import MatchConfig, TechLibraryView
+from .netlist import GateInstance, MappedNetlist
+
+
+@dataclass
+class _Match:
+    cut: Cut
+    config: MatchConfig
+    cell: LibertyCell
+    costs: dict[str, float]
+    arrival: float
+
+
+class TechnologyMapper:
+    """Maps AIGs onto a characterized library under a cost policy."""
+
+    def __init__(
+        self,
+        view: TechLibraryView,
+        policy: CostPolicy | None = None,
+        k: int = 4,
+        max_cuts: int = 8,
+        cells_per_family: int = 2,
+        activity_source: str = "simulation",
+        pi_probability: float = 0.5,
+        wire_cap: float = 1.4e-16,
+        leakage_ref_period: float = 1.0e-9,
+    ):
+        self.view = view
+        self.policy = policy or baseline_power_aware()
+        self.k = k
+        self.max_cuts = max_cuts
+        self.cells_per_family = cells_per_family
+        self.activity_source = activity_source
+        self.pi_probability = pi_probability
+        #: Estimated wire capacitance of a match's output net [F]
+        #: (kept consistent with the signoff parasitics).
+        self.wire_cap = wire_cap
+        #: Reference clock period converting leakage power into a
+        #: per-cycle energy commensurate with the dynamic terms [s].
+        self.leakage_ref_period = leakage_ref_period
+        inv = view.inverter
+        self._inv_area = inv.area
+        self._inv_delay = inv.typical_delay()
+        self._inv_energy = inv.typical_energy()
+        self._inv_cap = next(iter(inv.input_caps.values()))
+        self._inv_leak = inv.leakage_average
+
+    # ------------------------------------------------------------------
+    def map(self, aig: AIG) -> MappedNetlist:
+        """Map a combinational AIG to a gate-level netlist."""
+        if aig.num_pis == 0 and aig.num_ands > 0:
+            raise ValueError("cannot map a network without primary inputs")
+        vdd = self.view.library.vdd
+        if self.activity_source == "simulation":
+            activities = simulated_activities(aig, vectors=256)
+        else:
+            activities = node_activities(aig, self.pi_probability)
+        cuts = enumerate_cuts(aig, k=self.k, max_cuts=self.max_cuts)
+        fanouts = aig.fanout_counts()
+
+        best: dict[int, _Match] = {}
+        zero = {"power": 0.0, "area": 0.0, "delay": 0.0}
+        state_costs: dict[int, dict[str, float]] = {0: dict(zero)}
+        arrivals: dict[int, float] = {0: 0.0}
+        for node in aig.pis:
+            state_costs[node] = dict(zero)
+            arrivals[node] = 0.0
+
+        for node in aig.and_nodes():
+            chosen: _Match | None = None
+            for cut in cuts[node]:
+                if node in cut.leaves or not cut.leaves:
+                    continue
+                if any(l not in state_costs for l in cut.leaves):
+                    continue
+                arity = len(cut.leaves)
+                for config in self.view.matches(cut.table, arity):
+                    for cell in self.view.family_cells(config)[: self.cells_per_family]:
+                        match = self._evaluate(
+                            node, cut, config, cell, activities, fanouts,
+                            state_costs, arrivals, vdd,
+                        )
+                        if chosen is None or self.policy.better(match.costs, chosen.costs) or (
+                            not self.policy.better(chosen.costs, match.costs)
+                            and self.policy.key(match.costs) < self.policy.key(chosen.costs)
+                        ):
+                            chosen = match
+            if chosen is None:
+                raise RuntimeError(
+                    f"node {node}: no match found (cut functions not in library)"
+                )
+            best[node] = chosen
+            state_costs[node] = chosen.costs
+            arrivals[node] = chosen.arrival
+
+        return self._extract(aig, best)
+
+    # ------------------------------------------------------------------
+    def _evaluate(
+        self,
+        node: int,
+        cut: Cut,
+        config: MatchConfig,
+        cell: LibertyCell,
+        activities: list[float],
+        fanouts: list[int],
+        state_costs: dict[int, dict[str, float]],
+        arrivals: dict[int, float],
+        vdd: float,
+    ) -> _Match:
+        view = self.view
+        n_inv_in = config.num_input_inverters
+        n_inv_out = 1 if config.output_neg else 0
+        act_root = activities[node]
+        half_cv2 = 0.5 * vdd * vdd  # signoff charges 0.5 * alpha * C * V^2
+        leak_scale = self.leakage_ref_period  # leakage -> energy/cycle
+
+        area = cell.area + (n_inv_in + n_inv_out) * self._inv_area
+        cell_delay = view.cell_delay(cell)
+        arrival = 0.0
+        # Per-cycle energy this match adds: cell internal energy plus
+        # the wire charge of the output net it creates, leakage scaled
+        # to a reference period, and the pin/wire load it places on its
+        # leaf nets — the exact decomposition the power analyzer uses.
+        power = act_root * (view.cell_energy(cell) + self.wire_cap * half_cv2)
+        power += view.cell_leakage(cell) * leak_scale
+        for pin_index in range(len(cut.leaves)):
+            leaf = cut.leaves[config.leaf_of_pin[pin_index]]
+            inverted = bool((config.pin_neg_mask >> pin_index) & 1)
+            leaf_arrival = arrivals[leaf] + (self._inv_delay if inverted else 0.0)
+            arrival = max(arrival, leaf_arrival)
+            act_leaf = activities[leaf] if leaf < len(activities) else 0.5
+            pin_cap = view.cell_input_cap(cell, pin_index)
+            power += act_leaf * pin_cap * half_cv2
+            if inverted:
+                power += act_leaf * (
+                    self._inv_cap * half_cv2
+                    + self._inv_energy
+                    + self.wire_cap * half_cv2
+                )
+                power += self._inv_leak * leak_scale
+        arrival += cell_delay + (self._inv_delay if n_inv_out else 0.0)
+        if n_inv_out:
+            power += act_root * (
+                self._inv_cap * half_cv2 + self._inv_energy + self.wire_cap * half_cv2
+            )
+            power += self._inv_leak * leak_scale
+
+        costs = {"power": power, "area": area, "delay": arrival}
+        for leaf in cut.leaves:
+            share = max(1.0, float(fanouts[leaf]))
+            leaf_costs = state_costs[leaf]
+            costs["power"] += leaf_costs["power"] / share
+            costs["area"] += leaf_costs["area"] / share
+        return _Match(cut=cut, config=config, cell=cell, costs=costs, arrival=arrival)
+
+    # ------------------------------------------------------------------
+    def _extract(self, aig: AIG, best: dict[int, _Match]) -> MappedNetlist:
+        netlist = MappedNetlist(aig.name)
+        netlist.pi_nets = list(aig.pi_names)
+        pi_net_of = {node: name for node, name in zip(aig.pis, aig.pi_names)}
+        net_of: dict[int, str] = dict(pi_net_of)
+        inverted_net: dict[str, str] = {}
+        emitted: set[int] = set(aig.pis)
+        counter = [0]
+
+        def fresh(prefix: str) -> str:
+            counter[0] += 1
+            return f"{prefix}{counter[0]}"
+
+        def invert(net: str) -> str:
+            cached = inverted_net.get(net)
+            if cached is not None:
+                return cached
+            out = fresh("ninv")
+            netlist.gates.append(
+                GateInstance(
+                    name=fresh("g_inv"),
+                    cell=self.view.inverter.name,
+                    pins={self.view.inverter.input_pins[0]: net},
+                    output_net=out,
+                )
+            )
+            inverted_net[net] = out
+            return out
+
+        def emit(node: int) -> str:
+            if node == 0:
+                return const_net(False)
+            if node in emitted:
+                return net_of[node]
+            match = best[node]
+            leaf_nets = [emit(leaf) for leaf in match.cut.leaves]
+            pins: dict[str, str] = {}
+            for pin_index, pin in enumerate(match.cell.input_pins):
+                source = leaf_nets[match.config.leaf_of_pin[pin_index]]
+                if (match.config.pin_neg_mask >> pin_index) & 1:
+                    source = invert(source)
+                pins[pin] = source
+            out_net = fresh(f"n{node}_")
+            netlist.gates.append(
+                GateInstance(
+                    name=fresh("g"),
+                    cell=match.cell.name,
+                    pins=pins,
+                    output_net=out_net,
+                    output_pin=match.cell.output_pins[0],
+                )
+            )
+            if match.config.output_neg:
+                out_net = invert(out_net)
+            net_of[node] = out_net
+            emitted.add(node)
+            return out_net
+
+        const_cache: dict[bool, str] = {}
+
+        def const_net(value: bool) -> str:
+            if value in const_cache:
+                return const_cache[value]
+            if not netlist.pi_nets:
+                raise ValueError("cannot synthesize constants without PIs")
+            base = netlist.pi_nets[0]
+            zero = fresh("nconst0_")
+            # AND2B(A, A) = !A & A = 0 gives a constant-0 net.
+            and2b = self._find_cell("AND2B")
+            netlist.gates.append(
+                GateInstance(
+                    name=fresh("g_tie"),
+                    cell=and2b.name,
+                    pins={and2b.input_pins[0]: base, and2b.input_pins[1]: base},
+                    output_net=zero,
+                )
+            )
+            const_cache[False] = zero
+            if value:
+                one = invert(zero)
+                const_cache[True] = one
+                return one
+            return zero
+
+        import sys
+
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, 2 * aig.num_nodes + 100))
+        try:
+            for po, name in zip(aig.pos, aig.po_names):
+                node = lit_var(po)
+                if node == 0:
+                    net = const_net(bool(po & 1))
+                else:
+                    net = emit(node)
+                    if po & 1:
+                        net = invert(net)
+                netlist.po_nets.append(net)
+        finally:
+            sys.setrecursionlimit(old_limit)
+        return netlist
+
+    def _find_cell(self, prefix: str) -> LibertyCell:
+        for cell in self.view.library.cells.values():
+            if cell.name.startswith(prefix):
+                return cell
+        raise KeyError(f"no cell with prefix {prefix!r} in library")
+
+
+def map_to_gates(
+    aig: AIG,
+    library: Library,
+    policy: CostPolicy | None = None,
+    **kwargs,
+) -> MappedNetlist:
+    """Convenience wrapper: build the view and map in one call."""
+    view = TechLibraryView(library)
+    mapper = TechnologyMapper(view, policy, **kwargs)
+    return mapper.map(aig)

@@ -1,0 +1,29 @@
+"""ASAP7-class PDK surrogate for the cryogenic 5 nm FinFET technology.
+
+Provides the technology description (devices + cell-architecture
+constants), Boolean-expression cell functions, staged CMOS cell
+templates with transistor netlist generation, and the ~200-cell
+standard-cell catalog the paper characterizes.
+"""
+
+from .boolexpr import And, Expr, Lit, Not, Or, and_all, or_all, truth_table
+from .technology import Technology, cryo5_technology
+from .cells import CellTemplate, Stage
+from .catalog import catalog_by_name, standard_cell_catalog
+
+__all__ = [
+    "And",
+    "Expr",
+    "Lit",
+    "Not",
+    "Or",
+    "and_all",
+    "or_all",
+    "truth_table",
+    "Technology",
+    "cryo5_technology",
+    "CellTemplate",
+    "Stage",
+    "catalog_by_name",
+    "standard_cell_catalog",
+]

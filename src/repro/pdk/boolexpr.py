@@ -1,0 +1,146 @@
+"""Small Boolean-expression trees for standard-cell functions.
+
+Cell logic is described with And/Or/Not/Lit trees.  The same tree
+drives three consumers:
+
+* truth-table evaluation (library function, Boolean matching),
+* transistor network generation (series/parallel pull-down, dual
+  pull-up) in :mod:`repro.pdk.netlist_gen`,
+* Liberty ``function`` strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+
+class Expr:
+    """Base Boolean expression node."""
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        raise NotImplementedError
+
+    def variables(self) -> list[str]:
+        """Variables in first-reference order (deterministic)."""
+        seen: dict[str, None] = {}
+        self._collect(seen)
+        return list(seen)
+
+    def _collect(self, seen: dict[str, None]) -> None:
+        raise NotImplementedError
+
+    def to_liberty(self) -> str:
+        """Render as a Liberty ``function`` expression string."""
+        raise NotImplementedError
+
+    # Operator sugar keeps catalog definitions readable.
+    def __and__(self, other: "Expr") -> "Expr":
+        return And(self, other)
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return Or(self, other)
+
+    def __invert__(self) -> "Expr":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Lit(Expr):
+    """A positive literal referencing a pin or internal node."""
+
+    name: str
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return bool(assignment[self.name])
+
+    def _collect(self, seen: dict[str, None]) -> None:
+        seen.setdefault(self.name)
+
+    def to_liberty(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    operand: Expr
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return not self.operand.evaluate(assignment)
+
+    def _collect(self, seen: dict[str, None]) -> None:
+        self.operand._collect(seen)
+
+    def to_liberty(self) -> str:
+        return f"(!{self.operand.to_liberty()})"
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    left: Expr
+    right: Expr
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return self.left.evaluate(assignment) and self.right.evaluate(assignment)
+
+    def _collect(self, seen: dict[str, None]) -> None:
+        self.left._collect(seen)
+        self.right._collect(seen)
+
+    def to_liberty(self) -> str:
+        return f"({self.left.to_liberty()}&{self.right.to_liberty()})"
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    left: Expr
+    right: Expr
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return self.left.evaluate(assignment) or self.right.evaluate(assignment)
+
+    def _collect(self, seen: dict[str, None]) -> None:
+        self.left._collect(seen)
+        self.right._collect(seen)
+
+    def to_liberty(self) -> str:
+        return f"({self.left.to_liberty()}|{self.right.to_liberty()})"
+
+
+def and_all(exprs: Iterable[Expr]) -> Expr:
+    """Left-associated conjunction of one or more expressions."""
+    items = list(exprs)
+    if not items:
+        raise ValueError("and_all needs at least one expression")
+    result = items[0]
+    for item in items[1:]:
+        result = And(result, item)
+    return result
+
+
+def or_all(exprs: Iterable[Expr]) -> Expr:
+    """Left-associated disjunction of one or more expressions."""
+    items = list(exprs)
+    if not items:
+        raise ValueError("or_all needs at least one expression")
+    result = items[0]
+    for item in items[1:]:
+        result = Or(result, item)
+    return result
+
+
+def truth_table(expr: Expr, inputs: list[str]) -> int:
+    """Truth table of ``expr`` over ``inputs`` packed into an int.
+
+    Bit ``i`` of the result is the value under the assignment where
+    input ``j`` takes bit ``j`` of ``i`` (input 0 is the LSB).  This is
+    the packing used throughout :mod:`repro.synth.truth`.
+    """
+    if len(inputs) > 16:
+        raise ValueError("truth tables limited to 16 inputs")
+    table = 0
+    for i in range(1 << len(inputs)):
+        assignment = {name: bool((i >> j) & 1) for j, name in enumerate(inputs)}
+        if expr.evaluate(assignment):
+            table |= 1 << i
+    return table

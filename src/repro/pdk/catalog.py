@@ -1,0 +1,574 @@
+"""The ASAP7-class standard-cell catalog (~200 cells).
+
+Programmatically generates the combinational and sequential cell set
+the paper characterizes: inverters/buffers, NAND/NOR/AND/OR up to four
+inputs, AOI/OAI complex gates, XOR/XNOR, majority, multiplexers,
+half/full adders, and D-flip-flop/latch variants — each at several
+drive strengths.  Cell naming follows the ASAP7 convention
+``<FUNC>x<drive>``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from .boolexpr import And, Expr, Lit, Or, and_all, or_all
+from .cells import CellTemplate, Stage
+
+A, B, C, D_PIN, E_PIN = Lit("A"), Lit("B"), Lit("C"), Lit("D"), Lit("E")
+
+
+def _single_stage(name: str, inputs: tuple[str, ...], pdn: Expr, drive: int, footprint: str) -> CellTemplate:
+    return CellTemplate(
+        name=name,
+        inputs=inputs,
+        outputs=("Y",),
+        stages=(Stage("Y", pdn, drive_fins=drive),),
+        footprint=footprint,
+    )
+
+
+def _inverting_plus_output_inv(
+    name: str, inputs: tuple[str, ...], pdn: Expr, drive: int, footprint: str
+) -> CellTemplate:
+    """Complex inverting stage followed by an output inverter."""
+    return CellTemplate(
+        name=name,
+        inputs=inputs,
+        outputs=("Y",),
+        stages=(
+            Stage("YN", pdn, drive_fins=max(1, drive // 2)),
+            Stage("Y", Lit("YN"), drive_fins=drive),
+        ),
+        footprint=footprint,
+    )
+
+
+def make_inv(drive: int) -> CellTemplate:
+    return _single_stage(f"INVx{drive}", ("A",), A, drive, "INV")
+
+
+def make_buf(drive: int) -> CellTemplate:
+    return CellTemplate(
+        name=f"BUFx{drive}",
+        inputs=("A",),
+        outputs=("Y",),
+        stages=(
+            Stage("AN", A, drive_fins=max(1, drive // 2)),
+            Stage("Y", Lit("AN"), drive_fins=drive),
+        ),
+        footprint="BUF",
+    )
+
+
+def make_nand(n: int, drive: int) -> CellTemplate:
+    pins = ("A", "B", "C", "D")[:n]
+    return _single_stage(
+        f"NAND{n}x{drive}", pins, and_all(Lit(p) for p in pins), drive, f"NAND{n}"
+    )
+
+
+def make_nor(n: int, drive: int) -> CellTemplate:
+    pins = ("A", "B", "C", "D")[:n]
+    return _single_stage(
+        f"NOR{n}x{drive}", pins, or_all(Lit(p) for p in pins), drive, f"NOR{n}"
+    )
+
+
+def make_and(n: int, drive: int) -> CellTemplate:
+    pins = ("A", "B", "C", "D")[:n]
+    return _inverting_plus_output_inv(
+        f"AND{n}x{drive}", pins, and_all(Lit(p) for p in pins), drive, f"AND{n}"
+    )
+
+
+def make_or(n: int, drive: int) -> CellTemplate:
+    pins = ("A", "B", "C", "D")[:n]
+    return _inverting_plus_output_inv(
+        f"OR{n}x{drive}", pins, or_all(Lit(p) for p in pins), drive, f"OR{n}"
+    )
+
+
+#: AOI/OAI shapes: name suffix -> list of group sizes.
+#: e.g. "21" means (A1&A2) | B ; "221" means (A1&A2)|(B1&B2)|C.
+_AOI_SHAPES = {
+    "21": (2, 1),
+    "22": (2, 2),
+    "31": (3, 1),
+    "32": (3, 2),
+    "33": (3, 3),
+    "211": (2, 1, 1),
+    "221": (2, 2, 1),
+    "222": (2, 2, 2),
+    "311": (3, 1, 1),
+    "321": (3, 2, 1),
+    "331": (3, 3, 1),
+    "322": (3, 2, 2),
+    "332": (3, 3, 2),
+}
+
+
+def _group_pins(shape: tuple[int, ...]) -> tuple[tuple[str, ...], list[tuple[str, ...]]]:
+    """Pin names for an AOI/OAI shape: groups A*, B*, C*, ..."""
+    letters = "ABCDE"
+    all_pins: list[str] = []
+    groups: list[tuple[str, ...]] = []
+    for letter, size in zip(letters, shape):
+        if size == 1:
+            pins = (letter,)
+        else:
+            pins = tuple(f"{letter}{i+1}" for i in range(size))
+        groups.append(pins)
+        all_pins.extend(pins)
+    return tuple(all_pins), groups
+
+
+def make_aoi(suffix: str, drive: int) -> CellTemplate:
+    shape = _AOI_SHAPES[suffix]
+    pins, groups = _group_pins(shape)
+    pdn = or_all(and_all(Lit(p) for p in group) for group in groups)
+    return _single_stage(f"AOI{suffix}x{drive}", pins, pdn, drive, f"AOI{suffix}")
+
+
+def make_oai(suffix: str, drive: int) -> CellTemplate:
+    shape = _AOI_SHAPES[suffix]
+    pins, groups = _group_pins(shape)
+    pdn = and_all(or_all(Lit(p) for p in group) for group in groups)
+    return _single_stage(f"OAI{suffix}x{drive}", pins, pdn, drive, f"OAI{suffix}")
+
+
+def make_ao(suffix: str, drive: int) -> CellTemplate:
+    shape = _AOI_SHAPES[suffix]
+    pins, groups = _group_pins(shape)
+    pdn = or_all(and_all(Lit(p) for p in group) for group in groups)
+    return _inverting_plus_output_inv(f"AO{suffix}x{drive}", pins, pdn, drive, f"AO{suffix}")
+
+
+def make_oa(suffix: str, drive: int) -> CellTemplate:
+    shape = _AOI_SHAPES[suffix]
+    pins, groups = _group_pins(shape)
+    pdn = and_all(or_all(Lit(p) for p in group) for group in groups)
+    return _inverting_plus_output_inv(f"OA{suffix}x{drive}", pins, pdn, drive, f"OA{suffix}")
+
+
+def make_xor2(drive: int) -> CellTemplate:
+    an, bn = Lit("AN"), Lit("BN")
+    return CellTemplate(
+        name=f"XOR2x{drive}",
+        inputs=("A", "B"),
+        outputs=("Y",),
+        stages=(
+            Stage("AN", A, drive_fins=1),
+            Stage("BN", B, drive_fins=1),
+            # Y = A^B = !(A&B | !A&!B)
+            Stage("Y", Or(And(A, B), And(an, bn)), drive_fins=drive),
+        ),
+        footprint="XOR2",
+    )
+
+
+def make_xnor2(drive: int) -> CellTemplate:
+    an, bn = Lit("AN"), Lit("BN")
+    return CellTemplate(
+        name=f"XNOR2x{drive}",
+        inputs=("A", "B"),
+        outputs=("Y",),
+        stages=(
+            Stage("AN", A, drive_fins=1),
+            Stage("BN", B, drive_fins=1),
+            # Y = !(A^B) = !(A&!B | !A&B)
+            Stage("Y", Or(And(A, bn), And(an, B)), drive_fins=drive),
+        ),
+        footprint="XNOR2",
+    )
+
+
+def make_maj(drive: int, inverted: bool) -> CellTemplate:
+    """3-input majority (MAJ) or minority (MAJI)."""
+    pdn = Or(And(A, B), And(C, Or(A, B)))
+    if inverted:
+        return _single_stage(f"MAJIx{drive}", ("A", "B", "C"), pdn, drive, "MAJI")
+    return _inverting_plus_output_inv(f"MAJx{drive}", ("A", "B", "C"), pdn, drive, "MAJ")
+
+
+def make_mux2(drive: int) -> CellTemplate:
+    """2:1 multiplexer: Y = S ? B : A."""
+    s, sn = Lit("S"), Lit("SN")
+    return CellTemplate(
+        name=f"MUX2x{drive}",
+        inputs=("A", "B", "S"),
+        outputs=("Y",),
+        stages=(
+            Stage("SN", s, drive_fins=1),
+            Stage("YN", Or(And(A, sn), And(B, s)), drive_fins=max(1, drive // 2)),
+            Stage("Y", Lit("YN"), drive_fins=drive),
+        ),
+        footprint="MUX2",
+    )
+
+
+def make_mux2i(drive: int) -> CellTemplate:
+    """Inverting 2:1 multiplexer: Y = !(S ? B : A)."""
+    s, sn = Lit("S"), Lit("SN")
+    return CellTemplate(
+        name=f"MUX2Ix{drive}",
+        inputs=("A", "B", "S"),
+        outputs=("Y",),
+        stages=(
+            Stage("SN", s, drive_fins=1),
+            Stage("Y", Or(And(A, sn), And(B, s)), drive_fins=drive),
+        ),
+        footprint="MUX2I",
+    )
+
+
+def make_ha(drive: int) -> CellTemplate:
+    """Half adder: S = A^B, CO = A&B."""
+    an, bn = Lit("AN"), Lit("BN")
+    return CellTemplate(
+        name=f"HAx{drive}",
+        inputs=("A", "B"),
+        outputs=("S", "CO"),
+        stages=(
+            Stage("AN", A, drive_fins=1),
+            Stage("BN", B, drive_fins=1),
+            Stage("S", Or(And(A, B), And(an, bn)), drive_fins=drive),
+            Stage("CON", And(A, B), drive_fins=max(1, drive // 2)),
+            Stage("CO", Lit("CON"), drive_fins=drive),
+        ),
+        footprint="HA",
+    )
+
+
+def make_fa(drive: int) -> CellTemplate:
+    """Mirror-style full adder: S = A^B^CI, CO = MAJ(A, B, CI)."""
+    ci = Lit("CI")
+    con = Lit("CON")
+    return CellTemplate(
+        name=f"FAx{drive}",
+        inputs=("A", "B", "CI"),
+        outputs=("S", "CO"),
+        stages=(
+            # CON = !MAJ(A,B,CI)
+            Stage("CON", Or(And(A, B), And(ci, Or(A, B))), drive_fins=max(1, drive // 2)),
+            # SN = !(A^B^CI) via the mirror identity:
+            # SN = !(A&B&CI | (A|B|CI) & !MAJ(A,B,CI))
+            Stage(
+                "SN",
+                Or(and_all([A, B, ci]), And(or_all([A, B, ci]), con)),
+                drive_fins=max(1, drive // 2),
+            ),
+            Stage("S", Lit("SN"), drive_fins=drive),
+            Stage("CO", con, drive_fins=drive),
+        ),
+        footprint="FA",
+    )
+
+
+def make_dff(drive: int, reset: bool = False, set_pin: bool = False) -> CellTemplate:
+    """Positive-edge D flip-flop (master-slave from gates).
+
+    The gate-level master-slave structure is only used for logic
+    evaluation and area/leakage accounting; timing characterization
+    treats the flop through its clock-to-q / setup / hold arcs.
+    """
+    name = "DFF"
+    inputs = ["D"]
+    if reset:
+        name += "R"
+        inputs.append("RN")
+    if set_pin:
+        name += "S"
+        inputs.append("SN")
+    clk, d = Lit("CLK"), Lit("D")
+    clkn, dn = Lit("CLKN"), Lit("DN")
+    # Master latch (transparent while CLK low), slave (while CLK high),
+    # built from cross-coupled NAND pairs.
+    stages = [
+        Stage("CLKN", clk, drive_fins=1),
+        Stage("DN", d, drive_fins=1),
+        # Master: SR-NAND latch gated by CLKN
+        Stage("MS", And(d, Lit("CLKN")), drive_fins=1),
+        Stage("MR", And(dn, Lit("CLKN")), drive_fins=1),
+        Stage("MQ", And(Lit("MS"), Lit("MQN")), drive_fins=1),
+        Stage("MQN", And(Lit("MR"), Lit("MQ")), drive_fins=1),
+        # Slave: gated by CLK
+        Stage("SS", And(Lit("MQ"), clk), drive_fins=1),
+        Stage("SR", And(Lit("MQN"), clk), drive_fins=1),
+        Stage("QI", And(Lit("SS"), Lit("QN_INT")), drive_fins=max(1, drive // 2)),
+        Stage("QN_INT", And(Lit("SR"), Lit("QI")), drive_fins=max(1, drive // 2)),
+        Stage("QN_BUF", Lit("QI"), drive_fins=max(1, drive // 2)),
+        Stage("Q", Lit("QN_BUF"), drive_fins=drive),
+    ]
+    if reset:
+        # Async reset clamps the slave set path.
+        rn = Lit("RN")
+        stages[8] = Stage("QI", Or(And(Lit("SS"), Lit("QN_INT")), Lit("RNN")), drive_fins=max(1, drive // 2))
+        stages.insert(0, Stage("RNN", rn, drive_fins=1))
+    return CellTemplate(
+        name=f"{name}x{drive}",
+        inputs=tuple(inputs),
+        outputs=("Q",),
+        stages=tuple(stages),
+        is_sequential=True,
+        clock_pin="CLK",
+        footprint=name,
+    )
+
+
+def make_latch(drive: int) -> CellTemplate:
+    """Active-high transparent latch."""
+    clk, d = Lit("CLK"), Lit("D")
+    return CellTemplate(
+        name=f"LATCHx{drive}",
+        inputs=("D",),
+        outputs=("Q",),
+        stages=(
+            Stage("DN", d, drive_fins=1),
+            Stage("S", And(d, clk), drive_fins=1),
+            Stage("R", And(Lit("DN"), clk), drive_fins=1),
+            Stage("QI", And(Lit("S"), Lit("QN_INT")), drive_fins=max(1, drive // 2)),
+            Stage("QN_INT", And(Lit("R"), Lit("QI")), drive_fins=max(1, drive // 2)),
+            Stage("QB", Lit("QI"), drive_fins=max(1, drive // 2)),
+            Stage("Q", Lit("QB"), drive_fins=drive),
+        ),
+        is_sequential=True,
+        clock_pin="CLK",
+        footprint="LATCH",
+    )
+
+
+def make_xor3(drive: int, invert: bool = False) -> CellTemplate:
+    """3-input XOR/XNOR as a cascade of two XOR stages."""
+    an, bn, cn = Lit("AN"), Lit("BN"), Lit("CN")
+    t, tn = Lit("T"), Lit("TN")
+    final = Or(And(t, C), And(tn, cn)) if not invert else Or(And(t, cn), And(tn, C))
+    return CellTemplate(
+        name=f"{'XNOR3' if invert else 'XOR3'}x{drive}",
+        inputs=("A", "B", "C"),
+        outputs=("Y",),
+        stages=(
+            Stage("AN", A, drive_fins=1),
+            Stage("BN", B, drive_fins=1),
+            Stage("CN", C, drive_fins=1),
+            Stage("T", Or(And(A, B), And(an, bn)), drive_fins=1),  # T = A^B
+            Stage("TN", t, drive_fins=1),
+            Stage("Y", final, drive_fins=drive),
+        ),
+        footprint="XNOR3" if invert else "XOR3",
+    )
+
+
+def make_mux4(drive: int) -> CellTemplate:
+    """4:1 multiplexer with two select pins (S1 S0 pick A..D)."""
+    s0, s1 = Lit("S0"), Lit("S1")
+    s0n, s1n = Lit("S0N"), Lit("S1N")
+    yn = or_all(
+        [
+            and_all([A, s0n, s1n]),
+            and_all([B, s0, s1n]),
+            and_all([C, s0n, s1]),
+            and_all([D_PIN, s0, s1]),
+        ]
+    )
+    return CellTemplate(
+        name=f"MUX4x{drive}",
+        inputs=("A", "B", "C", "D", "S0", "S1"),
+        outputs=("Y",),
+        stages=(
+            Stage("S0N", s0, drive_fins=1),
+            Stage("S1N", s1, drive_fins=1),
+            Stage("YN", yn, drive_fins=max(1, drive // 2)),
+            Stage("Y", Lit("YN"), drive_fins=drive),
+        ),
+        footprint="MUX4",
+    )
+
+
+def make_b_variant(kind: str, drive: int) -> CellTemplate:
+    """Two-input gates with an inverted A pin (ASAP7 *B cells)."""
+    an = Lit("AN")
+    inv_stage = Stage("AN", A, drive_fins=1)
+    if kind == "NAND2B":  # Y = !(!A & B)
+        return CellTemplate(
+            name=f"NAND2Bx{drive}",
+            inputs=("A", "B"),
+            outputs=("Y",),
+            stages=(inv_stage, Stage("Y", And(an, B), drive_fins=drive)),
+            footprint="NAND2B",
+        )
+    if kind == "NOR2B":  # Y = !(!A | B)
+        return CellTemplate(
+            name=f"NOR2Bx{drive}",
+            inputs=("A", "B"),
+            outputs=("Y",),
+            stages=(inv_stage, Stage("Y", Or(an, B), drive_fins=drive)),
+            footprint="NOR2B",
+        )
+    if kind == "AND2B":  # Y = !A & B
+        return CellTemplate(
+            name=f"AND2Bx{drive}",
+            inputs=("A", "B"),
+            outputs=("Y",),
+            stages=(
+                inv_stage,
+                Stage("YN", And(an, B), drive_fins=max(1, drive // 2)),
+                Stage("Y", Lit("YN"), drive_fins=drive),
+            ),
+            footprint="AND2B",
+        )
+    if kind == "OR2B":  # Y = !A | B
+        return CellTemplate(
+            name=f"OR2Bx{drive}",
+            inputs=("A", "B"),
+            outputs=("Y",),
+            stages=(
+                inv_stage,
+                Stage("YN", Or(an, B), drive_fins=max(1, drive // 2)),
+                Stage("Y", Lit("YN"), drive_fins=drive),
+            ),
+            footprint="OR2B",
+        )
+    raise ValueError(f"unknown B-variant {kind!r}")
+
+
+def make_clkbuf(drive: int) -> CellTemplate:
+    """Clock buffer (balanced two-stage, dedicated footprint)."""
+    cell = make_buf(drive)
+    return CellTemplate(
+        name=f"CLKBUFx{drive}",
+        inputs=cell.inputs,
+        outputs=cell.outputs,
+        stages=cell.stages,
+        footprint="CLKBUF",
+    )
+
+
+def make_clkinv(drive: int) -> CellTemplate:
+    """Clock inverter."""
+    return _single_stage(f"CLKINVx{drive}", ("A",), A, drive, "CLKINV")
+
+
+def make_dlybuf(drive: int) -> CellTemplate:
+    """Delay buffer: four weak inverter stages."""
+    return CellTemplate(
+        name=f"DLYBUFx{drive}",
+        inputs=("A",),
+        outputs=("Y",),
+        stages=(
+            Stage("N1", A, drive_fins=1),
+            Stage("N2", Lit("N1"), drive_fins=1),
+            Stage("N3", Lit("N2"), drive_fins=1),
+            Stage("Y", Lit("N3"), drive_fins=drive),
+        ),
+        footprint="DLYBUF",
+    )
+
+
+def make_dffs(drive: int) -> CellTemplate:
+    """Positive-edge D flip-flop with active-low asynchronous set."""
+    base = make_dff(drive)
+    stages = list(base.stages)
+    for i, stage in enumerate(stages):
+        if stage.output == "QI":
+            # SN low forces the pull-down off -> QI high -> Q high.
+            stages[i] = Stage("QI", And(stage.pull_down, Lit("SN")), stage.drive_fins)
+            break
+    return CellTemplate(
+        name=f"DFFSx{drive}",
+        inputs=("D", "SN"),
+        outputs=("Q",),
+        stages=tuple(stages),
+        is_sequential=True,
+        clock_pin="CLK",
+        footprint="DFFS",
+    )
+
+
+def make_tiehi() -> CellTemplate:
+    """Constant-1 tie cell (implemented as grounded-input inverter)."""
+    return CellTemplate(
+        name="TIEHIx1",
+        inputs=("A",),
+        outputs=("Y",),
+        stages=(Stage("Y", A, drive_fins=1),),
+        footprint="TIEHI",
+    )
+
+
+def make_tielo() -> CellTemplate:
+    """Constant-0 tie cell (two weak inverters from a high input)."""
+    return CellTemplate(
+        name="TIELOx1",
+        inputs=("A",),
+        outputs=("Y",),
+        stages=(Stage("AN", A, drive_fins=1), Stage("Y", Lit("AN"), drive_fins=1)),
+        footprint="TIELO",
+    )
+
+
+@lru_cache(maxsize=1)
+def standard_cell_catalog() -> tuple[CellTemplate, ...]:
+    """The full ~200-cell catalog the library characterizes."""
+    cells: list[CellTemplate] = []
+    for drive in (1, 2, 3, 4, 6, 8, 12, 16):
+        cells.append(make_inv(drive))
+        cells.append(make_buf(drive))
+    for n in (2, 3, 4):
+        for drive in (1, 2, 3, 4):
+            cells.append(make_nand(n, drive))
+            cells.append(make_nor(n, drive))
+        for drive in (1, 2, 4):
+            cells.append(make_and(n, drive))
+            cells.append(make_or(n, drive))
+    for drive in (6, 8):
+        cells.append(make_nand(2, drive))
+        cells.append(make_nor(2, drive))
+    for suffix in _AOI_SHAPES:
+        for drive in (1, 2):
+            cells.append(make_aoi(suffix, drive))
+            cells.append(make_oai(suffix, drive))
+    for suffix in ("21", "22", "211", "221", "222"):
+        cells.append(make_aoi(suffix, 4))
+        cells.append(make_oai(suffix, 4))
+        for drive in (1, 2):
+            cells.append(make_ao(suffix, drive))
+            cells.append(make_oa(suffix, drive))
+    for kind in ("NAND2B", "NOR2B", "AND2B", "OR2B"):
+        for drive in (1, 2):
+            cells.append(make_b_variant(kind, drive))
+    for drive in (1, 2, 4):
+        cells.append(make_xor2(drive))
+        cells.append(make_xnor2(drive))
+        cells.append(make_mux2(drive))
+    for drive in (1, 2):
+        cells.append(make_xor3(drive))
+        cells.append(make_xor3(drive, invert=True))
+        cells.append(make_mux4(drive))
+        cells.append(make_mux2i(drive))
+        cells.append(make_maj(drive, inverted=False))
+        cells.append(make_maj(drive, inverted=True))
+        cells.append(make_ha(drive))
+        cells.append(make_fa(drive))
+        cells.append(make_dlybuf(drive))
+        cells.append(make_dff(drive))
+        cells.append(make_dff(drive, reset=True))
+        cells.append(make_dffs(drive))
+        cells.append(make_latch(drive))
+    for drive in (2, 4, 8, 12):
+        cells.append(make_clkbuf(drive))
+        cells.append(make_clkinv(drive))
+    cells.append(make_dff(4))
+    cells.append(make_ha(4))
+    cells.append(make_fa(4))
+    cells.append(make_tiehi())
+    cells.append(make_tielo())
+    names = [c.name for c in cells]
+    if len(set(names)) != len(names):
+        raise AssertionError("catalog produced duplicate cell names")
+    return tuple(cells)
+
+
+def catalog_by_name() -> dict[str, CellTemplate]:
+    """Name -> template view of the catalog."""
+    return {cell.name: cell for cell in standard_cell_catalog()}

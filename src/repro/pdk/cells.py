@@ -1,0 +1,346 @@
+"""Standard-cell templates: staged CMOS topologies with sizing.
+
+A cell is a sequence of *stages*.  Each stage is one static CMOS
+complex gate: a pull-down network described by a Boolean expression
+(AND = series, OR = parallel) whose output is the complement of that
+expression, plus the dual pull-up network.  Multi-stage cells (buffers,
+AND/OR, XOR with input inverters, multi-output adders) chain stages
+through internal nodes.
+
+The template knows how to:
+
+* evaluate its logic (per-output truth tables),
+* emit a transistor-level :class:`repro.spice.Circuit` for
+  characterization,
+* report sizing-derived quantities (area, fins per pin).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..spice.netlist import Circuit
+from ..spice.waveforms import DC
+from .boolexpr import Expr, Lit, Not, truth_table
+from .technology import Technology
+
+VDD_NODE = "vdd"
+GND_NODE = "0"
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One static CMOS complex gate inside a cell.
+
+    ``pull_down`` is the PDN expression over *node names* (cell inputs
+    or outputs of earlier stages); the stage computes its complement.
+    ``drive_fins`` is the fin count of a single (non-stacked) n-device;
+    series stacks are automatically upsized by their depth, and
+    p-devices by the technology beta ratio.
+    """
+
+    output: str
+    pull_down: Expr
+    drive_fins: int = 1
+
+    def logic(self, assignment: dict[str, bool]) -> bool:
+        """Stage output value under the given node assignment."""
+        return not self.pull_down.evaluate(assignment)
+
+
+@dataclass(frozen=True)
+class CellTemplate:
+    """A complete standard cell."""
+
+    name: str
+    inputs: tuple[str, ...]
+    outputs: tuple[str, ...]
+    stages: tuple[Stage, ...]
+    #: Sequential cells carry a clock pin and a next-state function
+    #: instead of pure combinational outputs.
+    is_sequential: bool = False
+    clock_pin: str | None = None
+    #: Human-readable footprint group, e.g. "NAND2".
+    footprint: str = ""
+
+    def __post_init__(self) -> None:
+        stage_outputs = [s.output for s in self.stages]
+        if len(set(stage_outputs)) != len(stage_outputs):
+            raise ValueError(f"cell {self.name}: duplicate stage outputs")
+        known = set(self.inputs) | {self.clock_pin} if self.clock_pin else set(self.inputs)
+        for stage in self.stages:
+            for var in stage.pull_down.variables():
+                if var not in known and var not in stage_outputs:
+                    raise ValueError(
+                        f"cell {self.name}: stage {stage.output} references "
+                        f"unknown node {var!r}"
+                    )
+        for out in self.outputs:
+            if out not in stage_outputs:
+                raise ValueError(f"cell {self.name}: output {out} has no driving stage")
+
+    # ------------------------------------------------------------------
+    # Logic
+    # ------------------------------------------------------------------
+    def evaluate(self, input_values: dict[str, bool]) -> dict[str, bool]:
+        """Evaluate all stage outputs for one input assignment.
+
+        Combinational cells resolve in one topological pass.  Cells
+        with feedback (latch/flop cores) are iterated to a fixed point
+        from an all-low initial state, which yields a deterministic
+        resting state for leakage characterization.
+        """
+        assignment = dict(input_values)
+        for stage in self.stages:
+            assignment.setdefault(stage.output, False)
+        for _ in range(4 + len(self.stages)):
+            changed = False
+            for stage in self.stages:
+                value = stage.logic(assignment)
+                if assignment[stage.output] != value:
+                    assignment[stage.output] = value
+                    changed = True
+            if not changed:
+                break
+        return {out: assignment[out] for out in self.outputs}
+
+    def node_states(self, input_values: dict[str, bool]) -> dict[str, bool]:
+        """All node values (inputs + stage outputs) at the fixed point."""
+        assignment = dict(input_values)
+        for stage in self.stages:
+            assignment.setdefault(stage.output, False)
+        for _ in range(4 + len(self.stages)):
+            changed = False
+            for stage in self.stages:
+                value = stage.logic(assignment)
+                if assignment[stage.output] != value:
+                    assignment[stage.output] = value
+                    changed = True
+            if not changed:
+                break
+        return assignment
+
+    def output_truth_table(self, output: str) -> int:
+        """Packed truth table of ``output`` over ``self.inputs``."""
+        if output not in self.outputs:
+            raise KeyError(f"cell {self.name} has no output {output!r}")
+        n = len(self.inputs)
+        if n > 16:
+            raise ValueError("truth tables limited to 16 inputs")
+        table = 0
+        for i in range(1 << n):
+            values = {name: bool((i >> j) & 1) for j, name in enumerate(self.inputs)}
+            if self.evaluate(values)[output]:
+                table |= 1 << i
+        return table
+
+    def output_function(self, output: str) -> Expr:
+        """Expression for ``output`` with internal nodes substituted."""
+        cache: dict[str, Expr] = {name: Lit(name) for name in self.inputs}
+        if self.clock_pin:
+            cache[self.clock_pin] = Lit(self.clock_pin)
+
+        def substitute(expr: Expr) -> Expr:
+            from .boolexpr import And, Or
+
+            if isinstance(expr, Lit):
+                return cache[expr.name]
+            if isinstance(expr, Not):
+                return Not(substitute(expr.operand))
+            if isinstance(expr, And):
+                return And(substitute(expr.left), substitute(expr.right))
+            if isinstance(expr, Or):
+                return Or(substitute(expr.left), substitute(expr.right))
+            raise TypeError(f"unknown expression node {expr!r}")
+
+        for stage in self.stages:
+            cache[stage.output] = Not(substitute(stage.pull_down))
+        return cache[output]
+
+    # ------------------------------------------------------------------
+    # Sizing-derived quantities
+    # ------------------------------------------------------------------
+    def _stage_devices(self, stage: Stage, tech: Technology):
+        """Yield (kind, gate_node, nfin) for every transistor in a stage.
+
+        ``kind`` is "n" or "p".  Series devices are upsized by stack
+        depth so stage drive stays comparable across topologies.
+        """
+        devices: list[tuple[str, str, int]] = []
+
+        def series_depth_n(expr: Expr) -> int:
+            from .boolexpr import And, Or
+
+            if isinstance(expr, Lit):
+                return 1
+            if isinstance(expr, And):
+                return series_depth_n(expr.left) + series_depth_n(expr.right)
+            if isinstance(expr, Or):
+                return max(series_depth_n(expr.left), series_depth_n(expr.right))
+            raise TypeError(f"unexpected node {expr!r}")
+
+        def series_depth_p(expr: Expr) -> int:
+            # The dual network swaps series and parallel.
+            from .boolexpr import And, Or
+
+            if isinstance(expr, Lit):
+                return 1
+            if isinstance(expr, And):
+                return max(series_depth_p(expr.left), series_depth_p(expr.right))
+            if isinstance(expr, Or):
+                return series_depth_p(expr.left) + series_depth_p(expr.right)
+            raise TypeError(f"unexpected node {expr!r}")
+
+        n_depth = series_depth_n(stage.pull_down)
+        p_depth = series_depth_p(stage.pull_down)
+        nfin_n = stage.drive_fins * n_depth
+        nfin_p = tech.pfin_for(stage.drive_fins) * p_depth
+
+        def collect(expr: Expr) -> None:
+            from .boolexpr import And, Or
+
+            if isinstance(expr, Lit):
+                devices.append(("n", expr.name, nfin_n))
+                devices.append(("p", expr.name, nfin_p))
+                return
+            if isinstance(expr, (And, Or)):
+                collect(expr.left)
+                collect(expr.right)
+                return
+            raise TypeError(f"unexpected node {expr!r}")
+
+        collect(stage.pull_down)
+        return devices
+
+    def transistor_count(self, tech: Technology) -> int:
+        """Total transistor count of the cell."""
+        return sum(len(self._stage_devices(s, tech)) for s in self.stages)
+
+    def total_fins(self, tech: Technology) -> int:
+        """Total fin count (the area/leakage proxy)."""
+        return sum(
+            nfin for stage in self.stages for _, _, nfin in self._stage_devices(stage, tech)
+        )
+
+    def area_um2(self, tech: Technology) -> float:
+        """Layout area estimate [um^2]."""
+        return self.total_fins(tech) * tech.area_per_fin_um2
+
+    def input_fins(self, pin: str, tech: Technology) -> tuple[int, int]:
+        """(n_fins, p_fins) of the devices driven by an input pin."""
+        n_total = p_total = 0
+        for stage in self.stages:
+            for kind, gate, nfin in self._stage_devices(stage, tech):
+                if gate != pin:
+                    continue
+                if kind == "n":
+                    n_total += nfin
+                else:
+                    p_total += nfin
+        return n_total, p_total
+
+    # ------------------------------------------------------------------
+    # SPICE netlist
+    # ------------------------------------------------------------------
+    def to_circuit(self, tech: Technology, load_caps: dict[str, float] | None = None) -> Circuit:
+        """Emit a transistor-level circuit (supply included, no inputs).
+
+        Input stimuli are added by the characterization deck; this
+        method contributes the supply, all stages' transistor networks,
+        and optional explicit load capacitors on outputs.
+        """
+        circuit = Circuit(self.name)
+        circuit.add_vsource("vdd_supply", VDD_NODE, GND_NODE, DC(tech.vdd))
+        counter = [0]
+
+        def fresh_node(prefix: str) -> str:
+            counter[0] += 1
+            return f"{prefix}_int{counter[0]}"
+
+        for stage in self.stages:
+            devices = self._stage_devices(stage, tech)
+            nfin_n = max(nfin for kind, _, nfin in devices if kind == "n")
+            nfin_p = max(nfin for kind, _, nfin in devices if kind == "p")
+            self._emit_network(
+                circuit,
+                stage.pull_down,
+                top=stage.output,
+                bottom=GND_NODE,
+                is_pdn=True,
+                nfin=nfin_n,
+                tech=tech,
+                fresh=fresh_node,
+                stage_name=stage.output,
+            )
+            self._emit_network(
+                circuit,
+                stage.pull_down,
+                top=VDD_NODE,
+                bottom=stage.output,
+                is_pdn=False,
+                nfin=nfin_p,
+                tech=tech,
+                fresh=fresh_node,
+                stage_name=stage.output,
+            )
+            # Local interconnect parasitic on the stage output.
+            circuit.add_capacitor(
+                f"cw_{stage.output}",
+                stage.output,
+                GND_NODE,
+                tech.output_wire_cap_per_fin * stage.drive_fins * 4.0,
+            )
+        for out, cap in (load_caps or {}).items():
+            circuit.add_capacitor(f"cl_{out}", out, GND_NODE, cap)
+        return circuit
+
+    def _emit_network(
+        self,
+        circuit: Circuit,
+        expr: Expr,
+        top: str,
+        bottom: str,
+        is_pdn: bool,
+        nfin: int,
+        tech: Technology,
+        fresh,
+        stage_name: str,
+    ) -> None:
+        """Recursively emit the series/parallel transistor network.
+
+        For the PDN, And = series and Or = parallel; the PUN is the
+        dual.  ``top``/``bottom`` are the two terminals of the current
+        sub-network (drain side first).
+        """
+        from .boolexpr import And, Or
+
+        series_type = And if is_pdn else Or
+        parallel_type = Or if is_pdn else And
+
+        if isinstance(expr, Lit):
+            device = tech.nfet_device(nfin) if is_pdn else tech.pfet_device(nfin)
+            name = f"m{'n' if is_pdn else 'p'}_{stage_name}_{len(circuit.finfets)}"
+            if is_pdn:
+                circuit.add_finfet(name, top, expr.name, bottom, device)
+            else:
+                # PMOS: source at the supply side (top), drain below.
+                circuit.add_finfet(name, bottom, expr.name, top, device)
+            return
+        if isinstance(expr, series_type):
+            mid = fresh(stage_name)
+            self._emit_network(
+                circuit, expr.left, top, mid, is_pdn, nfin, tech, fresh, stage_name
+            )
+            self._emit_network(
+                circuit, expr.right, mid, bottom, is_pdn, nfin, tech, fresh, stage_name
+            )
+            return
+        if isinstance(expr, parallel_type):
+            self._emit_network(
+                circuit, expr.left, top, bottom, is_pdn, nfin, tech, fresh, stage_name
+            )
+            self._emit_network(
+                circuit, expr.right, top, bottom, is_pdn, nfin, tech, fresh, stage_name
+            )
+            return
+        raise TypeError(f"pull networks must be And/Or/Lit trees, got {expr!r}")

@@ -1,0 +1,72 @@
+"""Technology description of the cryogenic 5 nm FinFET process surrogate.
+
+Bundles the calibrated n-/p-device compact models with the layout-level
+constants a standard-cell library needs (supply, track geometry, wire
+parasitics per pin).  The geometry numbers are ASAP7-like, scaled to
+the 5 nm-class device the paper measures — the ASAP7 layouts the paper
+reuses are "geometrically very close" to its 5 nm target, and so are
+these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..device.bsimcmg import (
+    CryoFinFET,
+    FinFETParams,
+    default_nfet_5nm,
+    default_pfet_5nm,
+)
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Process + cell-architecture constants."""
+
+    name: str = "cryo5"
+    #: Nominal supply [V].
+    vdd: float = 0.7
+    #: n-FinFET model parameters (single fin; sizing scales fin count).
+    nfet: FinFETParams = field(default_factory=lambda: default_nfet_5nm(nfin=1))
+    #: p-FinFET model parameters.
+    pfet: FinFETParams = field(default_factory=lambda: default_pfet_5nm(nfin=1))
+    #: P/N drive-balance fin ratio (holes are slower).
+    beta_ratio: float = 1.5
+    #: Layout area per fin [um^2] (contacted-poly-pitch x fin-pitch).
+    area_per_fin_um2: float = 0.0147
+    #: Local-interconnect parasitic at a cell output, per fin of drive [F].
+    output_wire_cap_per_fin: float = 4.0e-17
+    #: Default input slew grid [s] for characterization (7 points).
+    slew_grid: tuple[float, ...] = (2e-12, 4e-12, 8e-12, 16e-12, 32e-12, 64e-12, 128e-12)
+    #: Default output load grid [F] for characterization (7 points).
+    load_grid: tuple[float, ...] = (4e-16, 8e-16, 1.6e-15, 3.2e-15, 6.4e-15, 1.28e-14, 2.56e-14)
+
+    def nfet_device(self, nfin: int) -> CryoFinFET:
+        """n-device with the given fin count."""
+        return CryoFinFET(self.nfet.with_fins(nfin))
+
+    def pfet_device(self, nfin: int) -> CryoFinFET:
+        """p-device with the given fin count."""
+        return CryoFinFET(self.pfet.with_fins(nfin))
+
+    def pfin_for(self, nfin: int) -> int:
+        """Fin count of a p-device drive-matched to ``nfin`` n-fins."""
+        return max(1, round(self.beta_ratio * nfin))
+
+
+def cryo5_technology(
+    nfet: FinFETParams | None = None, pfet: FinFETParams | None = None
+) -> Technology:
+    """The default 5 nm-class cryogenic technology.
+
+    Pass calibrated parameter sets (from
+    :func:`repro.device.calibration.calibrate`) to build the
+    measurement-backed variant the paper's flow uses.
+    """
+    kwargs = {}
+    if nfet is not None:
+        kwargs["nfet"] = nfet.with_fins(1)
+    if pfet is not None:
+        kwargs["pfet"] = pfet.with_fins(1)
+    return Technology(**kwargs)

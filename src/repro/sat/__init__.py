@@ -1,0 +1,15 @@
+"""SAT reasoning engine: CDCL solver, Tseitin encoding, equivalence checking."""
+
+from .solver import Solver, SolverStats, solve_cnf
+from .tseitin import AIGEncoder
+from .cec import CECResult, assert_equivalent, check_equivalence
+
+__all__ = [
+    "Solver",
+    "SolverStats",
+    "solve_cnf",
+    "AIGEncoder",
+    "CECResult",
+    "assert_equivalent",
+    "check_equivalence",
+]

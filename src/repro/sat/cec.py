@@ -1,0 +1,105 @@
+"""Combinational equivalence checking (CEC).
+
+Builds a miter between two AIGs over shared primary inputs and asks
+the CDCL solver whether any output pair can differ.  Every synthesis
+transformation in this repository is guarded by this check (plus
+random simulation as a fast pre-filter), mirroring how ABC's ``cec``
+is used to validate optimization scripts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from typing import TYPE_CHECKING
+
+from .solver import Solver
+from .tseitin import AIGEncoder
+
+if TYPE_CHECKING:
+    from ..synth.aig import AIG
+
+
+@dataclass(frozen=True)
+class CECResult:
+    """Outcome of an equivalence check."""
+
+    equivalent: bool
+    #: PO index that differs (first one found), if any.
+    failing_output: int | None = None
+    #: PI assignment demonstrating the difference, if any.
+    counterexample: tuple[bool, ...] | None = None
+
+
+def _simulation_filter(a: "AIG", b: "AIG", patterns: int, seed: int) -> CECResult | None:
+    """Random simulation: returns a refutation or None (no difference found)."""
+    rng = random.Random(seed)
+    words = [rng.getrandbits(patterns) for _ in a.pis]
+    outs_a = a.simulate(words, width=patterns)
+    outs_b = b.simulate(words, width=patterns)
+    for index, (wa, wb) in enumerate(zip(outs_a, outs_b)):
+        diff = wa ^ wb
+        if diff:
+            bit = (diff & -diff).bit_length() - 1
+            cex = tuple(bool((w >> bit) & 1) for w in words)
+            return CECResult(False, failing_output=index, counterexample=cex)
+    return None
+
+
+def check_equivalence(
+    a: "AIG",
+    b: "AIG",
+    simulation_patterns: int = 256,
+    seed: int = 0,
+) -> CECResult:
+    """Prove or refute equivalence of two combinational networks.
+
+    The networks must agree on PI and PO counts (names are not
+    compared; positional correspondence is used, which matches how the
+    optimization passes preserve interface ordering).
+    """
+    if a.num_pis != b.num_pis:
+        raise ValueError(f"PI count mismatch: {a.num_pis} vs {b.num_pis}")
+    if a.num_pos != b.num_pos:
+        raise ValueError(f"PO count mismatch: {a.num_pos} vs {b.num_pos}")
+
+    if simulation_patterns > 0 and a.num_pis > 0:
+        refutation = _simulation_filter(a, b, simulation_patterns, seed)
+        if refutation is not None:
+            return refutation
+
+    solver = Solver()
+    encoder = AIGEncoder(solver)
+    pi_vars = [solver.new_var() for _ in a.pis]
+    map_a = encoder.encode(a, pi_vars)
+    map_b = encoder.encode(b, pi_vars)
+
+    for index, (po_a, po_b) in enumerate(zip(a.pos, b.pos)):
+        lit_a = encoder.literal(map_a, po_a)
+        lit_b = encoder.literal(map_b, po_b)
+        # XOR output: x <-> (a != b)
+        x = solver.new_var()
+        solver.add_clause([-x, lit_a, lit_b])
+        solver.add_clause([-x, -lit_a, -lit_b])
+        solver.add_clause([x, -lit_a, lit_b])
+        solver.add_clause([x, lit_a, -lit_b])
+        result = solver.solve(assumptions=[x])
+        if result is True:
+            model = solver.model()
+            cex = tuple(model.get(v, False) for v in pi_vars)
+            return CECResult(False, failing_output=index, counterexample=cex)
+        # UNSAT for this output: force x false and continue.
+        solver.add_clause([-x])
+    return CECResult(True)
+
+
+def assert_equivalent(a: "AIG", b: "AIG", context: str = "") -> None:
+    """Raise ``AssertionError`` with diagnostics when networks differ."""
+    result = check_equivalence(a, b)
+    if not result.equivalent:
+        prefix = f"{context}: " if context else ""
+        raise AssertionError(
+            f"{prefix}networks differ on output {result.failing_output} "
+            f"under inputs {result.counterexample}"
+        )

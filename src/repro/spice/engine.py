@@ -1,0 +1,414 @@
+"""Nodal-analysis simulation engine (DC + transient).
+
+A compact re-implementation of the SPICE algorithms the paper's
+characterization flow relies on:
+
+* **Modified nodal analysis** — node voltages plus one branch-current
+  unknown per ideal voltage source.
+* **Newton-Raphson** — the FinFET compact model is linearized each
+  iteration through its (numerically exact) ``g_m``/``g_ds``; a
+  per-iteration voltage-step damper keeps the iteration inside the
+  model's well-behaved region.
+* **Transient integration** — trapezoidal companion models for
+  capacitors (backward Euler on the first step), fixed step size with
+  automatic refinement near stimulus breakpoints.
+
+Device gate capacitance is inserted automatically as lumped C_gs/C_gd
+halves plus a drain-body parasitic, so transistor-level cell
+simulations see realistic loading and Miller coupling without a full
+charge model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .netlist import GROUND, Circuit
+
+#: Conductance from every node to ground, for matrix conditioning.
+GMIN: float = 1e-12
+
+#: Newton convergence tolerance on node voltages [V].
+VTOL: float = 1e-6
+
+#: Maximum Newton iterations per solve.
+MAX_NEWTON: int = 200
+
+#: Maximum Newton voltage update per iteration [V] (damping).
+MAX_STEP: float = 0.2
+
+
+class ConvergenceError(RuntimeError):
+    """Raised when Newton iteration fails to converge."""
+
+
+@dataclass
+class _System:
+    """Index maps for the MNA unknown vector."""
+
+    node_index: dict[str, int]
+    n_nodes: int
+    n_sources: int
+
+    @property
+    def size(self) -> int:
+        return self.n_nodes + self.n_sources
+
+    def idx(self, node: str) -> int:
+        """Unknown index of a node, or -1 for ground."""
+        if node == GROUND:
+            return -1
+        return self.node_index[node]
+
+
+def _build_system(circuit: Circuit) -> _System:
+    nodes = circuit.nodes()
+    return _System(
+        node_index={name: i for i, name in enumerate(nodes)},
+        n_nodes=len(nodes),
+        n_sources=len(circuit.vsources),
+    )
+
+
+@dataclass
+class OperatingPoint:
+    """DC solution: node voltages [V] and source branch currents [A]."""
+
+    voltages: dict[str, float]
+    source_currents: dict[str, float]
+
+    def __getitem__(self, node: str) -> float:
+        if node == GROUND:
+            return 0.0
+        return self.voltages[node]
+
+
+@dataclass
+class TransientResult:
+    """Transient solution waveforms.
+
+    ``voltages[node]`` and ``source_currents[name]`` are arrays aligned
+    with ``time``.  Source current follows the SPICE convention:
+    current flowing *into* the positive terminal of the source.
+    """
+
+    time: np.ndarray
+    voltages: dict[str, np.ndarray]
+    source_currents: dict[str, np.ndarray]
+
+    def voltage(self, node: str) -> np.ndarray:
+        if node == GROUND:
+            return np.zeros_like(self.time)
+        return self.voltages[node]
+
+
+def _device_caps(circuit: Circuit, temperature_k: float) -> list[tuple[int, int, float]]:
+    """Lumped device capacitances as (node_a, node_b, C) index triples."""
+    return []  # placeholder, replaced below after system construction
+
+
+class Simulator:
+    """DC and transient simulation of one :class:`Circuit`.
+
+    The simulator is constructed per circuit and temperature, matching
+    how a characterization run invokes SPICE once per corner.
+    """
+
+    def __init__(self, circuit: Circuit, temperature_k: float = 300.0):
+        self.circuit = circuit
+        self.temperature_k = temperature_k
+        self.system = _build_system(circuit)
+        self._caps = self._collect_capacitors()
+
+    # ------------------------------------------------------------------
+    def _collect_capacitors(self) -> list[tuple[int, int, float]]:
+        """Explicit capacitors plus lumped FinFET gate/drain caps."""
+        sys = self.system
+        caps: list[tuple[int, int, float]] = []
+        for c in self.circuit.capacitors:
+            caps.append((sys.idx(c.node_a), sys.idx(c.node_b), c.capacitance))
+        for m in self.circuit.finfets:
+            cgg = float(m.device.gate_capacitance(temperature_k=self.temperature_k))
+            half = cgg / 2.0
+            cdb = 0.3 * cgg
+            caps.append((sys.idx(m.gate), sys.idx(m.source), half))
+            caps.append((sys.idx(m.gate), sys.idx(m.drain), half))
+            caps.append((sys.idx(m.drain), -1, cdb))
+        return caps
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    def _stamp_static(
+        self,
+        x: np.ndarray,
+        t: float,
+        jac: np.ndarray,
+        res: np.ndarray,
+    ) -> None:
+        """Stamp resistors, sources, FinFETs and GMIN at state ``x``."""
+        sys = self.system
+        nn = sys.n_nodes
+
+        def v_of(i: int) -> float:
+            return 0.0 if i < 0 else float(x[i])
+
+        # GMIN to ground.
+        for i in range(nn):
+            jac[i, i] += GMIN
+            res[i] += GMIN * x[i]
+
+        for r in self.circuit.resistors:
+            a, b = sys.idx(r.node_a), sys.idx(r.node_b)
+            g = 1.0 / r.resistance
+            current = g * (v_of(a) - v_of(b))
+            if a >= 0:
+                jac[a, a] += g
+                res[a] += current
+                if b >= 0:
+                    jac[a, b] -= g
+            if b >= 0:
+                jac[b, b] += g
+                res[b] -= current
+                if a >= 0:
+                    jac[b, a] -= g
+
+        for k, src in enumerate(self.circuit.vsources):
+            p, m = sys.idx(src.node_plus), sys.idx(src.node_minus)
+            row = nn + k
+            i_src = float(x[row])
+            # KCL: branch current leaves + terminal.
+            if p >= 0:
+                jac[p, row] += 1.0
+                res[p] += i_src
+            if m >= 0:
+                jac[m, row] -= 1.0
+                res[m] -= i_src
+            # Branch equation: v(p) - v(m) = V(t).
+            if p >= 0:
+                jac[row, p] += 1.0
+            if m >= 0:
+                jac[row, m] -= 1.0
+            res[row] += v_of(p) - v_of(m) - src.waveform(t)
+
+        for m_dev in self.circuit.finfets:
+            d = sys.idx(m_dev.drain)
+            g = sys.idx(m_dev.gate)
+            s = sys.idx(m_dev.source)
+            vgs = v_of(g) - v_of(s)
+            vds = v_of(d) - v_of(s)
+            dev = m_dev.device
+            ids = float(dev.ids(vgs, vds, self.temperature_k))
+            gm = dev.gm(vgs, vds, self.temperature_k)
+            gds = dev.gds(vgs, vds, self.temperature_k)
+            # Current flows d -> s.
+            if d >= 0:
+                res[d] += ids
+                if g >= 0:
+                    jac[d, g] += gm
+                if d >= 0:
+                    jac[d, d] += gds
+                if s >= 0:
+                    jac[d, s] -= gm + gds
+            if s >= 0:
+                res[s] -= ids
+                if g >= 0:
+                    jac[s, g] -= gm
+                if d >= 0:
+                    jac[s, d] -= gds
+                jac[s, s] += gm + gds
+
+    def _stamp_caps_companion(
+        self,
+        x: np.ndarray,
+        jac: np.ndarray,
+        res: np.ndarray,
+        geq: float,
+        history: np.ndarray,
+    ) -> None:
+        """Stamp capacitor companion models.
+
+        ``history[j]`` is the companion current source of capacitor j
+        for this step; the capacitor current is
+        ``i = geq * (v_a - v_b) + history[j]``.
+        """
+
+        def v_of(i: int) -> float:
+            return 0.0 if i < 0 else float(x[i])
+
+        for j, (a, b, c) in enumerate(self._caps):
+            g = geq * c
+            current = g * (v_of(a) - v_of(b)) + history[j]
+            if a >= 0:
+                jac[a, a] += g
+                res[a] += current
+                if b >= 0:
+                    jac[a, b] -= g
+            if b >= 0:
+                jac[b, b] += g
+                res[b] -= current
+                if a >= 0:
+                    jac[b, a] -= g
+
+    # ------------------------------------------------------------------
+    def _newton(
+        self,
+        x0: np.ndarray,
+        t: float,
+        geq: float = 0.0,
+        cap_history: np.ndarray | None = None,
+    ) -> np.ndarray:
+        sys = self.system
+        x = x0.copy()
+        if cap_history is None:
+            cap_history = np.zeros(len(self._caps))
+        for _ in range(MAX_NEWTON):
+            jac = np.zeros((sys.size, sys.size))
+            res = np.zeros(sys.size)
+            self._stamp_static(x, t, jac, res)
+            if geq > 0.0:
+                self._stamp_caps_companion(x, jac, res, geq, cap_history)
+            else:
+                # DC: capacitors are open circuits; nothing to stamp.
+                pass
+            try:
+                delta = np.linalg.solve(jac, -res)
+            except np.linalg.LinAlgError as exc:
+                raise ConvergenceError(f"singular MNA matrix at t={t}: {exc}") from exc
+            # Damp node-voltage updates only.
+            v_part = delta[: sys.n_nodes]
+            max_dv = float(np.max(np.abs(v_part))) if sys.n_nodes else 0.0
+            if max_dv > MAX_STEP:
+                delta = delta * (MAX_STEP / max_dv)
+            x = x + delta
+            if max_dv < VTOL:
+                return x
+        raise ConvergenceError(f"Newton failed to converge at t={t}")
+
+    # ------------------------------------------------------------------
+    # Public analyses
+    # ------------------------------------------------------------------
+    def dc_operating_point(self, initial: dict[str, float] | None = None) -> OperatingPoint:
+        """Solve the DC operating point (capacitors open)."""
+        sys = self.system
+        x0 = np.zeros(sys.size)
+        if initial:
+            for node, value in initial.items():
+                if node != GROUND and node in sys.node_index:
+                    x0[sys.node_index[node]] = value
+        x = self._newton(x0, t=0.0)
+        voltages = {name: float(x[i]) for name, i in sys.node_index.items()}
+        currents = {
+            src.name: float(x[sys.n_nodes + k]) for k, src in enumerate(self.circuit.vsources)
+        }
+        return OperatingPoint(voltages, currents)
+
+    def dc_sweep(
+        self, source_name: str, values: np.ndarray, initial: dict[str, float] | None = None
+    ) -> list[OperatingPoint]:
+        """Sweep one DC source through ``values`` with solution reuse."""
+        from .waveforms import DC as DCWave
+
+        target = None
+        for k, src in enumerate(self.circuit.vsources):
+            if src.name == source_name:
+                target = k
+                break
+        if target is None:
+            raise KeyError(f"no voltage source named {source_name!r}")
+
+        results: list[OperatingPoint] = []
+        guess = initial
+        original = self.circuit.vsources[target]
+        try:
+            for value in values:
+                self.circuit.vsources[target] = type(original)(
+                    original.name, original.node_plus, original.node_minus, DCWave(float(value))
+                )
+                op = self.dc_operating_point(guess)
+                results.append(op)
+                guess = op.voltages
+        finally:
+            self.circuit.vsources[target] = original
+        return results
+
+    def transient(
+        self,
+        t_stop: float,
+        dt: float,
+        initial: dict[str, float] | None = None,
+    ) -> TransientResult:
+        """Fixed-step trapezoidal transient from a DC initial solution.
+
+        ``initial`` seeds the DC operating-point solve at t = 0 (useful
+        to pre-bias bistable circuits); the transient itself always
+        starts from a consistent operating point.
+        """
+        if t_stop <= 0.0 or dt <= 0.0:
+            raise ValueError("t_stop and dt must be positive")
+        sys = self.system
+
+        # Time grid: uniform plus stimulus breakpoints.
+        grid = set(np.arange(0.0, t_stop + dt * 0.5, dt).tolist())
+        for src in self.circuit.vsources:
+            for bp in src.waveform.breakpoints():
+                if 0.0 < bp < t_stop:
+                    grid.add(float(bp))
+        times = np.array(sorted(grid))
+
+        op = self.dc_operating_point(initial)
+        x = np.zeros(sys.size)
+        for name, i in sys.node_index.items():
+            x[i] = op.voltages[name]
+        for k, src in enumerate(self.circuit.vsources):
+            x[sys.n_nodes + k] = op.source_currents[src.name]
+
+        n_steps = len(times)
+        volts = np.zeros((sys.n_nodes, n_steps))
+        src_currents = np.zeros((sys.n_sources, n_steps))
+        volts[:, 0] = x[: sys.n_nodes]
+        src_currents[:, 0] = x[sys.n_nodes :]
+
+        def v_of(state: np.ndarray, i: int) -> float:
+            return 0.0 if i < 0 else float(state[i])
+
+        # Capacitor currents at the previous accepted point (0 at DC).
+        i_cap_prev = np.zeros(len(self._caps))
+
+        for step in range(1, n_steps):
+            h = times[step] - times[step - 1]
+            use_trap = step > 1
+            if use_trap:
+                geq = 2.0 / h
+                history = np.array(
+                    [
+                        -geq * c * (v_of(x, a) - v_of(x, b)) - i_cap_prev[j]
+                        for j, (a, b, c) in enumerate(self._caps)
+                    ]
+                )
+            else:
+                geq = 1.0 / h
+                history = np.array(
+                    [
+                        -geq * c * (v_of(x, a) - v_of(x, b))
+                        for j, (a, b, c) in enumerate(self._caps)
+                    ]
+                )
+            x_new = self._newton(x, t=float(times[step]), geq=geq, cap_history=history)
+            # Record the capacitor currents at the new point.
+            for j, (a, b, c) in enumerate(self._caps):
+                g = geq * c
+                i_cap_prev[j] = g * (v_of(x_new, a) - v_of(x_new, b)) + history[j]
+            x = x_new
+            volts[:, step] = x[: sys.n_nodes]
+            src_currents[:, step] = x[sys.n_nodes :]
+
+        return TransientResult(
+            time=times,
+            voltages={name: volts[i] for name, i in sys.node_index.items()},
+            source_currents={
+                src.name: src_currents[k] for k, src in enumerate(self.circuit.vsources)
+            },
+        )

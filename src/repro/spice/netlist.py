@@ -1,0 +1,149 @@
+"""Circuit netlist representation for the nodal-analysis simulator.
+
+A :class:`Circuit` is the in-memory equivalent of a SPICE deck: named
+nodes (with ``"0"`` as ground), two-terminal linear elements, ideal
+voltage sources, and four-terminal FinFET devices evaluated through the
+cryogenic compact model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..device.bsimcmg import CryoFinFET
+from .waveforms import DC, Waveform
+
+GROUND = "0"
+
+
+@dataclass(frozen=True)
+class Resistor:
+    name: str
+    node_a: str
+    node_b: str
+    resistance: float
+
+
+@dataclass(frozen=True)
+class Capacitor:
+    name: str
+    node_a: str
+    node_b: str
+    capacitance: float
+
+
+@dataclass(frozen=True)
+class VoltageSource:
+    name: str
+    node_plus: str
+    node_minus: str
+    waveform: Waveform
+
+
+@dataclass(frozen=True)
+class FinFET:
+    """Four-terminal FinFET instance (bulk is tied to source).
+
+    The device's intrinsic gate capacitance is included automatically
+    by the simulator as lumped gate-source / gate-drain capacitors so
+    that transient simulations see realistic input loading and Miller
+    coupling.
+    """
+
+    name: str
+    drain: str
+    gate: str
+    source: str
+    device: CryoFinFET
+
+
+class Circuit:
+    """A flat transistor-level circuit.
+
+    Nodes are created implicitly by referencing them from elements.
+    Element names must be unique within the circuit.
+    """
+
+    def __init__(self, name: str = "circuit"):
+        self.name = name
+        self.resistors: list[Resistor] = []
+        self.capacitors: list[Capacitor] = []
+        self.vsources: list[VoltageSource] = []
+        self.finfets: list[FinFET] = []
+        self._names: set[str] = set()
+
+    # ------------------------------------------------------------------
+    def _register(self, name: str) -> None:
+        if name in self._names:
+            raise ValueError(f"duplicate element name {name!r}")
+        self._names.add(name)
+
+    def add_resistor(self, name: str, node_a: str, node_b: str, resistance: float) -> Resistor:
+        """Add a linear resistor [ohm]."""
+        if resistance <= 0.0:
+            raise ValueError(f"resistance must be positive, got {resistance}")
+        self._register(name)
+        element = Resistor(name, node_a, node_b, resistance)
+        self.resistors.append(element)
+        return element
+
+    def add_capacitor(self, name: str, node_a: str, node_b: str, capacitance: float) -> Capacitor:
+        """Add a linear capacitor [F]."""
+        if capacitance <= 0.0:
+            raise ValueError(f"capacitance must be positive, got {capacitance}")
+        self._register(name)
+        element = Capacitor(name, node_a, node_b, capacitance)
+        self.capacitors.append(element)
+        return element
+
+    def add_vsource(
+        self, name: str, node_plus: str, node_minus: str, waveform: Waveform | float
+    ) -> VoltageSource:
+        """Add an ideal voltage source (DC value or waveform)."""
+        self._register(name)
+        if not isinstance(waveform, Waveform):
+            waveform = DC(float(waveform))
+        element = VoltageSource(name, node_plus, node_minus, waveform)
+        self.vsources.append(element)
+        return element
+
+    def add_finfet(
+        self, name: str, drain: str, gate: str, source: str, device: CryoFinFET
+    ) -> FinFET:
+        """Add a FinFET evaluated through the cryogenic compact model."""
+        self._register(name)
+        element = FinFET(name, drain, gate, source, device)
+        self.finfets.append(element)
+        return element
+
+    # ------------------------------------------------------------------
+    def nodes(self) -> list[str]:
+        """All non-ground node names, in deterministic order."""
+        seen: dict[str, None] = {}
+        for r in self.resistors:
+            seen.setdefault(r.node_a)
+            seen.setdefault(r.node_b)
+        for c in self.capacitors:
+            seen.setdefault(c.node_a)
+            seen.setdefault(c.node_b)
+        for v in self.vsources:
+            seen.setdefault(v.node_plus)
+            seen.setdefault(v.node_minus)
+        for m in self.finfets:
+            seen.setdefault(m.drain)
+            seen.setdefault(m.gate)
+            seen.setdefault(m.source)
+        seen.pop(GROUND, None)
+        return list(seen)
+
+    def elements(self) -> Iterator[object]:
+        yield from self.resistors
+        yield from self.capacitors
+        yield from self.vsources
+        yield from self.finfets
+
+    def __len__(self) -> int:
+        return (
+            len(self.resistors) + len(self.capacitors) + len(self.vsources) + len(self.finfets)
+        )

@@ -1,0 +1,98 @@
+"""Stimulus waveforms for the circuit simulator.
+
+Mirrors the waveform primitives a characterization deck uses: DC
+levels, piecewise-linear sources (the B1500A/SiliconSmart staple), and
+convenience ramps/pulses built on top of PWL.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Sequence
+
+
+class Waveform:
+    """Base class: a scalar voltage as a function of time."""
+
+    def __call__(self, t: float) -> float:
+        raise NotImplementedError
+
+    def breakpoints(self) -> tuple[float, ...]:
+        """Times where the derivative changes (time-stepper hints)."""
+        return ()
+
+
+@dataclass(frozen=True)
+class DC(Waveform):
+    """Constant voltage."""
+
+    value: float
+
+    def __call__(self, t: float) -> float:
+        return self.value
+
+
+class PWL(Waveform):
+    """Piecewise-linear waveform defined by (time, value) points.
+
+    Holds the first value before the first point and the last value
+    after the last point, exactly like the SPICE ``PWL`` source.
+    """
+
+    def __init__(self, points: Sequence[tuple[float, float]]):
+        if len(points) < 1:
+            raise ValueError("PWL needs at least one point")
+        times = [p[0] for p in points]
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ValueError("PWL times must be strictly increasing")
+        self._times = tuple(times)
+        self._values = tuple(float(p[1]) for p in points)
+
+    def __call__(self, t: float) -> float:
+        times, values = self._times, self._values
+        if t <= times[0]:
+            return values[0]
+        if t >= times[-1]:
+            return values[-1]
+        i = bisect_right(times, t)
+        t0, t1 = times[i - 1], times[i]
+        v0, v1 = values[i - 1], values[i]
+        return v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+
+    def breakpoints(self) -> tuple[float, ...]:
+        return self._times
+
+
+def ramp(t_start: float, duration: float, v_from: float, v_to: float) -> PWL:
+    """A single linear transition from ``v_from`` to ``v_to``.
+
+    ``duration`` is the full 0-100 % transition time.  Characterization
+    converts a Liberty slew (measured between the slew thresholds) into
+    this full transition time before building the stimulus.
+    """
+    if duration <= 0.0:
+        raise ValueError("ramp duration must be positive")
+    return PWL([(t_start, v_from), (t_start + duration, v_to)])
+
+
+def pulse(
+    v_low: float,
+    v_high: float,
+    t_delay: float,
+    t_rise: float,
+    t_width: float,
+    t_fall: float,
+) -> PWL:
+    """A single low-high-low pulse (SPICE ``PULSE``-like, one period)."""
+    if min(t_rise, t_width, t_fall) <= 0.0:
+        raise ValueError("pulse edge/width times must be positive")
+    t0 = t_delay
+    return PWL(
+        [
+            (t0, v_low),
+            (t0 + t_rise, v_high),
+            (t0 + t_rise + t_width, v_high),
+            (t0 + t_rise + t_width + t_fall, v_low),
+        ]
+    )

@@ -1,0 +1,18 @@
+"""Signoff timing and power analysis (the PrimeTime substrate)."""
+
+from .timing import SignoffConfig, StaticTimingAnalyzer, TimingReport, critical_delay
+from .power import PowerAnalyzer, PowerReport, analyze_power
+from .report import full_signoff, render_power_report, render_timing_report
+
+__all__ = [
+    "SignoffConfig",
+    "StaticTimingAnalyzer",
+    "TimingReport",
+    "critical_delay",
+    "PowerAnalyzer",
+    "PowerReport",
+    "analyze_power",
+    "full_signoff",
+    "render_power_report",
+    "render_timing_report",
+]

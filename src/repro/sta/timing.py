@@ -1,0 +1,156 @@
+"""Static timing analysis over mapped netlists.
+
+The signoff-grade delay engine (the PrimeTime substrate): NLDM table
+lookups with slew propagation over the gate-level netlist in
+topological order, worst-arrival maximization, and critical-path
+extraction.  All values SI (seconds, farads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..charlib.nldm import Library
+from ..mapping.netlist import GateInstance, MappedNetlist
+
+
+@dataclass(frozen=True)
+class SignoffConfig:
+    """Parasitic and boundary conditions for signoff analysis."""
+
+    #: Slew assumed at primary inputs [s].
+    input_slew: float = 1.0e-11
+    #: Load assumed at primary outputs [F].
+    output_load: float = 1.0e-15
+    #: Fixed wire capacitance per net [F].
+    wire_cap_base: float = 1.0e-16
+    #: Additional wire capacitance per fanout [F].
+    wire_cap_per_fanout: float = 2.0e-17
+
+
+@dataclass
+class TimingReport:
+    """Result of one STA run."""
+
+    arrival: dict[str, float]
+    slew: dict[str, float]
+    net_load: dict[str, float]
+    critical_path: list[str] = field(default_factory=list)
+
+    @property
+    def max_delay(self) -> float:
+        """Critical (worst PO arrival) delay [s]."""
+        return self._max_delay
+
+    _max_delay: float = 0.0
+
+
+class StaticTimingAnalyzer:
+    """NLDM-based STA for combinational mapped netlists."""
+
+    def __init__(
+        self,
+        netlist: MappedNetlist,
+        library: Library,
+        config: SignoffConfig | None = None,
+    ):
+        self.netlist = netlist
+        self.library = library
+        self.config = config or SignoffConfig()
+
+    # ------------------------------------------------------------------
+    def net_loads(self) -> dict[str, float]:
+        """Capacitive load per net [F]: sink pins + wire + PO loads."""
+        config = self.config
+        loads: dict[str, float] = {}
+        sink_map = self.netlist.loads()
+        all_nets = set(self.netlist.pi_nets)
+        for gate in self.netlist.gates:
+            all_nets.add(gate.output_net)
+            all_nets.update(gate.pins.values())
+        po_nets = set(self.netlist.po_nets)
+        for net in all_nets:
+            sinks = sink_map.get(net, [])
+            total = config.wire_cap_base + config.wire_cap_per_fanout * len(sinks)
+            for gate, pin in sinks:
+                total += self.library[gate.cell].input_caps.get(pin, 0.0)
+            if net in po_nets:
+                total += config.output_load
+            loads[net] = total
+        return loads
+
+    # ------------------------------------------------------------------
+    def analyze(self) -> TimingReport:
+        """Propagate arrivals/slews; returns the timing report."""
+        config = self.config
+        loads = self.net_loads()
+        arrival: dict[str, float] = {}
+        slew: dict[str, float] = {}
+        from_pin: dict[str, tuple[str, str] | None] = {}
+
+        for net in self.netlist.pi_nets:
+            arrival[net] = 0.0
+            slew[net] = config.input_slew
+            from_pin[net] = None
+
+        for gate in self.netlist.gates:
+            cell = self.library[gate.cell]
+            load = loads[gate.output_net]
+            best_arrival = 0.0
+            best_slew = config.input_slew
+            best_source: tuple[str, str] | None = None
+            for pin, net in gate.pins.items():
+                in_arrival = arrival[net]
+                in_slew = slew[net]
+                try:
+                    arc = cell.arc(pin, gate.output_pin)
+                except KeyError:
+                    continue  # non-controlling pin (no arc)
+                delay = max(
+                    arc.cell_rise.lookup(in_slew, load),
+                    arc.cell_fall.lookup(in_slew, load),
+                )
+                out_slew = max(
+                    arc.rise_transition.lookup(in_slew, load),
+                    arc.fall_transition.lookup(in_slew, load),
+                )
+                candidate = in_arrival + delay
+                if candidate > best_arrival:
+                    best_arrival = candidate
+                    best_slew = out_slew
+                    best_source = (gate.name, pin)
+            arrival[gate.output_net] = best_arrival
+            slew[gate.output_net] = best_slew
+            from_pin[gate.output_net] = best_source
+
+        report = TimingReport(arrival=arrival, slew=slew, net_load=loads)
+        if self.netlist.po_nets:
+            worst_net = max(self.netlist.po_nets, key=lambda n: arrival.get(n, 0.0))
+            report._max_delay = arrival.get(worst_net, 0.0)
+            report.critical_path = self._trace_path(worst_net, from_pin)
+        return report
+
+    def _trace_path(
+        self, net: str, from_pin: dict[str, tuple[str, str] | None]
+    ) -> list[str]:
+        """Walk the worst-arrival chain back to a PI."""
+        gate_by_name = {gate.name: gate for gate in self.netlist.gates}
+        path: list[str] = []
+        current = net
+        guard = 0
+        while current in from_pin and from_pin[current] is not None:
+            guard += 1
+            if guard > len(self.netlist.gates) + 1:
+                break  # defensive: malformed netlist
+            gate_name, pin = from_pin[current]
+            path.append(gate_name)
+            current = gate_by_name[gate_name].pins[pin]
+        path.reverse()
+        return path
+
+
+def critical_delay(
+    netlist: MappedNetlist, library: Library, config: SignoffConfig | None = None
+) -> float:
+    """Convenience: worst PO arrival [s]."""
+    return StaticTimingAnalyzer(netlist, library, config).analyze().max_delay

@@ -1,0 +1,327 @@
+"""And-Inverter Graph (AIG).
+
+The workhorse data structure of modern logic synthesis (Section IV-A of
+the paper): every node is a two-input AND, every edge carries an
+optional inverter.  Literals encode (node, complement) as
+``2 * node + complement`` — the AIGER convention — with node 0 the
+constant FALSE, so literal 0 is FALSE and literal 1 is TRUE.
+
+Design choices:
+
+* nodes are append-only and topologically ordered by construction
+  (both fanins of an AND have smaller ids), which keeps simulation,
+  level computation, and traversals simple and fast;
+* structural hashing plus the standard trivial-AND simplifications run
+  on every ``add_and``;
+* optimization passes *reconstruct* the network (old -> new literal
+  maps) instead of mutating in place — the approach used by modern
+  frameworks; it keeps every pass O(n) and makes equivalence checking
+  between before/after networks trivial.
+
+Simulation uses Python's arbitrary-precision integers as bit-parallel
+pattern words, so a single pass simulates any number of patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def lit_not(lit: int) -> int:
+    """Complement a literal."""
+    return lit ^ 1
+
+
+def lit_var(lit: int) -> int:
+    """Node index of a literal."""
+    return lit >> 1
+
+
+def lit_is_compl(lit: int) -> bool:
+    """True if the literal is complemented."""
+    return bool(lit & 1)
+
+
+def make_lit(var: int, compl: bool = False) -> int:
+    """Build a literal from node index and complement flag."""
+    return (var << 1) | int(compl)
+
+
+CONST0 = 0  #: literal: constant false
+CONST1 = 1  #: literal: constant true
+
+
+class AIG:
+    """An and-inverter graph with structural hashing."""
+
+    def __init__(self, name: str = "aig"):
+        self.name = name
+        # Node 0 is the constant-FALSE node.
+        self._fanin0: list[int] = [-1]
+        self._fanin1: list[int] = [-1]
+        self._is_pi: list[bool] = [False]
+        self.pis: list[int] = []  # node ids
+        self.pos: list[int] = []  # literals
+        self.pi_names: list[str] = []
+        self.po_names: list[str] = []
+        self._strash: dict[tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_pi(self, name: str | None = None) -> int:
+        """Add a primary input; returns its (positive) literal."""
+        node = len(self._fanin0)
+        self._fanin0.append(-1)
+        self._fanin1.append(-1)
+        self._is_pi.append(True)
+        self.pis.append(node)
+        self.pi_names.append(name or f"pi{len(self.pis) - 1}")
+        return make_lit(node)
+
+    def add_and(self, a: int, b: int) -> int:
+        """Add an AND node (with hashing + trivial simplification)."""
+        if a > b:
+            a, b = b, a
+        # Trivial cases.
+        if a == CONST0:
+            return CONST0
+        if a == CONST1:
+            return b
+        if a == b:
+            return a
+        if a == lit_not(b):
+            return CONST0
+        key = (a, b)
+        existing = self._strash.get(key)
+        if existing is not None:
+            return make_lit(existing)
+        node = len(self._fanin0)
+        self._fanin0.append(a)
+        self._fanin1.append(b)
+        self._is_pi.append(False)
+        self._strash[key] = node
+        return make_lit(node)
+
+    def add_or(self, a: int, b: int) -> int:
+        """OR via De Morgan."""
+        return lit_not(self.add_and(lit_not(a), lit_not(b)))
+
+    def add_xor(self, a: int, b: int) -> int:
+        """XOR as two ANDs plus an OR (3 AIG nodes)."""
+        return self.add_or(self.add_and(a, lit_not(b)), self.add_and(lit_not(a), b))
+
+    def add_mux(self, sel: int, then_lit: int, else_lit: int) -> int:
+        """MUX(sel, t, e) = sel & t | !sel & e."""
+        return self.add_or(self.add_and(sel, then_lit), self.add_and(lit_not(sel), else_lit))
+
+    def add_maj(self, a: int, b: int, c: int) -> int:
+        """Three-input majority."""
+        return self.add_or(
+            self.add_and(a, b), self.add_and(c, self.add_or(a, b))
+        )
+
+    def add_po(self, lit: int, name: str | None = None) -> int:
+        """Register a primary output; returns its index."""
+        self.pos.append(lit)
+        self.po_names.append(name or f"po{len(self.pos) - 1}")
+        return len(self.pos) - 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Total nodes including constant and PIs."""
+        return len(self._fanin0)
+
+    @property
+    def num_ands(self) -> int:
+        """Number of AND nodes (the paper's 'size' cost)."""
+        return len(self._fanin0) - 1 - len(self.pis)
+
+    @property
+    def num_pis(self) -> int:
+        return len(self.pis)
+
+    @property
+    def num_pos(self) -> int:
+        return len(self.pos)
+
+    def is_pi(self, node: int) -> bool:
+        return self._is_pi[node]
+
+    def is_and(self, node: int) -> bool:
+        return node > 0 and not self._is_pi[node]
+
+    def fanins(self, node: int) -> tuple[int, int]:
+        """Fanin literals of an AND node."""
+        if not self.is_and(node):
+            raise ValueError(f"node {node} is not an AND")
+        return self._fanin0[node], self._fanin1[node]
+
+    def and_nodes(self) -> list[int]:
+        """All AND node ids in topological (construction) order."""
+        return [n for n in range(1, self.num_nodes) if not self._is_pi[n]]
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def levels(self) -> list[int]:
+        """Level of every node (PIs at 0)."""
+        level = [0] * self.num_nodes
+        for node in range(1, self.num_nodes):
+            if self._is_pi[node]:
+                continue
+            level[node] = 1 + max(
+                level[lit_var(self._fanin0[node])], level[lit_var(self._fanin1[node])]
+            )
+        return level
+
+    def depth(self) -> int:
+        """Maximum logic depth over the POs."""
+        if not self.pos:
+            return 0
+        level = self.levels()
+        return max((level[lit_var(po)] for po in self.pos), default=0)
+
+    def fanout_counts(self) -> list[int]:
+        """Fanout count per node (PO references included)."""
+        counts = [0] * self.num_nodes
+        for node in range(1, self.num_nodes):
+            if self._is_pi[node]:
+                continue
+            counts[lit_var(self._fanin0[node])] += 1
+            counts[lit_var(self._fanin1[node])] += 1
+        for po in self.pos:
+            counts[lit_var(po)] += 1
+        return counts
+
+    def simulate(self, pi_words: list[int], width: int | None = None) -> list[int]:
+        """Bit-parallel simulation.
+
+        ``pi_words[i]`` is an arbitrary-precision integer holding the
+        pattern bits of PI ``i``.  Returns one word per PO.  ``width``
+        (number of pattern bits) is needed to complement correctly;
+        defaults to the bit length of the widest input word rounded up
+        to 64.
+        """
+        if len(pi_words) != len(self.pis):
+            raise ValueError(f"expected {len(self.pis)} PI words, got {len(pi_words)}")
+        if width is None:
+            width = max((w.bit_length() for w in pi_words), default=1)
+            width = max(64, (width + 63) // 64 * 64)
+        mask = (1 << width) - 1
+        values = self.simulate_nodes(pi_words, width)
+        out = []
+        for po in self.pos:
+            word = values[lit_var(po)]
+            if lit_is_compl(po):
+                word ^= mask
+            out.append(word)
+        return out
+
+    def simulate_nodes(self, pi_words: list[int], width: int) -> list[int]:
+        """Node-level simulation values (uncomplemented) per node id."""
+        mask = (1 << width) - 1
+        values = [0] * self.num_nodes
+        for i, node in enumerate(self.pis):
+            values[node] = pi_words[i] & mask
+        for node in range(1, self.num_nodes):
+            if self._is_pi[node]:
+                continue
+            f0, f1 = self._fanin0[node], self._fanin1[node]
+            a = values[lit_var(f0)] ^ (mask if lit_is_compl(f0) else 0)
+            b = values[lit_var(f1)] ^ (mask if lit_is_compl(f1) else 0)
+            values[node] = a & b
+        return values
+
+    def evaluate(self, inputs: list[bool]) -> list[bool]:
+        """Single-pattern evaluation (convenience for tests)."""
+        words = [1 if v else 0 for v in inputs]
+        outs = self.simulate(words, width=1)
+        return [bool(w & 1) for w in outs]
+
+    # ------------------------------------------------------------------
+    # Reconstruction
+    # ------------------------------------------------------------------
+    def copy_dag(
+        self, substitutions: dict[int, int] | None = None, name: str | None = None
+    ) -> "AIG":
+        """Rebuild the network, dropping dangling nodes.
+
+        ``substitutions`` maps *node id* -> replacement literal **in
+        the old network**; references to those nodes are redirected
+        during the rebuild (the core primitive behind resubstitution).
+        Substitution literals must refer to nodes that are not
+        (transitively) substituted through themselves.
+        """
+        subs = substitutions or {}
+        new = AIG(name or self.name)
+        # resolved[node] = literal in the new network implementing the
+        # positive polarity of the old node (after substitution).
+        resolved: dict[int, int] = {0: CONST0}
+        for i, node in enumerate(self.pis):
+            pi_lit = new.add_pi(self.pi_names[i])
+            if node not in subs:
+                resolved[node] = pi_lit
+
+        def resolve(root_lit: int) -> int:
+            """Iteratively map an old literal into the new network."""
+            root = lit_var(root_lit)
+            stack = [root]
+            # Nodes currently expanded through their substitution; a
+            # second visit means the substitution chain loops back, so
+            # the node falls back to its own structure.
+            sub_active: set[int] = set()
+            while stack:
+                node = stack[-1]
+                if node in resolved:
+                    stack.pop()
+                    continue
+                replacement = subs.get(node)
+                if replacement is not None:
+                    target = lit_var(replacement)
+                    if target in resolved:
+                        resolved[node] = resolved[target] ^ (replacement & 1)
+                        sub_active.discard(node)
+                        stack.pop()
+                        continue
+                    if node not in sub_active:
+                        sub_active.add(node)
+                        stack.append(target)
+                        continue
+                    # The substitution chain loops back through this
+                    # node: fall through to its own structure.
+                if self._is_pi[node]:
+                    # A substituted PI resolving through itself.
+                    index = self.pis.index(node)
+                    resolved[node] = make_lit(new.pis[index])
+                    stack.pop()
+                    continue
+                f0, f1 = self._fanin0[node], self._fanin1[node]
+                v0, v1 = lit_var(f0), lit_var(f1)
+                missing = [v for v in (v0, v1) if v not in resolved]
+                if missing:
+                    stack.extend(missing)
+                    continue
+                a = resolved[v0] ^ (f0 & 1)
+                b = resolved[v1] ^ (f1 & 1)
+                resolved[node] = new.add_and(a, b)
+                stack.pop()
+            return resolved[root] ^ (root_lit & 1)
+
+        for po, po_name in zip(self.pos, self.po_names):
+            new.add_po(resolve(po), po_name)
+        return new
+
+    def cleanup(self) -> "AIG":
+        """Remove dangling nodes (rebuild without substitutions)."""
+        return self.copy_dag()
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (
+            f"AIG(name={self.name!r}, pis={self.num_pis}, pos={self.num_pos}, "
+            f"ands={self.num_ands}, depth={self.depth()})"
+        )

@@ -1,0 +1,94 @@
+"""AND-tree balancing (the AIG counterpart of ABC's ``balance``).
+
+Maximal multi-input conjunctions are collected by walking through
+non-complemented, single-fanout AND edges, then rebuilt as
+minimum-depth trees: operands are combined two-at-a-time starting from
+the shallowest, the Huffman-style construction that minimizes the tree
+depth for given operand arrival levels.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from .aig import AIG, CONST0, lit_is_compl, lit_var
+
+
+def _collect_conjunction(
+    aig: AIG, node: int, fanouts: list[int], roots: set[int]
+) -> list[int]:
+    """Leaves (literals) of the maximal AND-tree rooted at ``node``."""
+    leaves: list[int] = []
+    stack = [aig.fanins(node)[0], aig.fanins(node)[1]]
+    while stack:
+        lit = stack.pop()
+        child = lit_var(lit)
+        if (
+            not lit_is_compl(lit)
+            and aig.is_and(child)
+            and fanouts[child] == 1
+            and child not in roots
+        ):
+            f0, f1 = aig.fanins(child)
+            stack.append(f0)
+            stack.append(f1)
+        else:
+            leaves.append(lit)
+    return leaves
+
+
+def balance(aig: AIG) -> AIG:
+    """One balancing pass; returns the depth-optimized network."""
+    if aig.num_ands == 0:
+        return aig.cleanup()
+    fanouts = aig.fanout_counts()
+
+    # Tree roots: AND nodes referenced by a PO, by a complemented edge,
+    # or by more than one fanout — everything except pure internal
+    # tree nodes.
+    roots: set[int] = set()
+    for node in aig.and_nodes():
+        if fanouts[node] != 1:
+            roots.add(node)
+    for po in aig.pos:
+        if aig.is_and(lit_var(po)):
+            roots.add(lit_var(po))
+    for node in aig.and_nodes():
+        for lit in aig.fanins(node):
+            child = lit_var(lit)
+            if lit_is_compl(lit) and aig.is_and(child):
+                roots.add(child)
+
+    new = AIG(aig.name)
+    mapping: dict[int, int] = {0: CONST0}
+    level: dict[int, int] = {CONST0: 0}
+    for i, node in enumerate(aig.pis):
+        mapping[node] = new.add_pi(aig.pi_names[i])
+
+    def new_level(lit: int) -> int:
+        node = lit_var(lit)
+        if node == 0 or new.is_pi(node):
+            return 0
+        return level.get(node, 0)
+
+    for node in aig.and_nodes():
+        if node not in roots and fanouts[node] == 1:
+            continue  # internal tree node; handled by its root
+        leaves = _collect_conjunction(aig, node, fanouts, roots)
+        # Map leaves into the new network.
+        heap: list[tuple[int, int, int]] = []
+        for order, lit in enumerate(leaves):
+            mapped = mapping[lit_var(lit)] ^ (lit & 1)
+            heapq.heappush(heap, (new_level(mapped), order, mapped))
+        while len(heap) > 1:
+            la, _, a = heapq.heappop(heap)
+            lb, order, b = heapq.heappop(heap)
+            combined = new.add_and(a, b)
+            lvl = max(la, lb) + 1
+            level[lit_var(combined)] = max(level.get(lit_var(combined), 0), lvl)
+            heapq.heappush(heap, (new_level(combined), order, combined))
+        mapping[node] = heap[0][2]
+
+    for po, name in zip(aig.pos, aig.po_names):
+        new.add_po(mapping[lit_var(po)] ^ (po & 1), name)
+    return new.cleanup()

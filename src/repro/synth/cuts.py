@@ -1,0 +1,190 @@
+"""K-feasible cut enumeration with priority cuts.
+
+Cuts are the unit of work for rewriting, LUT mapping, and standard-
+cell matching (Section IV-A2 of the paper): a cut of node ``n`` is a
+set of nodes (leaves) whose removal separates ``n`` from the primary
+inputs and whose truth table is small enough to compute.  The
+priority-cut scheme keeps only the best ``C`` cuts per node, which
+bounds the quadratic blow-up of exhaustive enumeration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .aig import AIG, lit_is_compl, lit_var
+from .truth import tt_expand, tt_mask, tt_not, tt_var
+
+
+@dataclass(frozen=True)
+class Cut:
+    """A cut: sorted leaf node ids plus the truth table of the root
+    over those leaves (positive polarity of the root node)."""
+
+    leaves: tuple[int, ...]
+    table: int
+
+    def size(self) -> int:
+        return len(self.leaves)
+
+    def dominates(self, other: "Cut") -> bool:
+        """True if this cut's leaves are a subset of the other's."""
+        return set(self.leaves) <= set(other.leaves)
+
+
+#: Sentinel table value for cuts enumerated without truth tables.
+NO_TABLE = -1
+
+
+def _merge_cuts(
+    cut_a: Cut, cut_b: Cut, compl_a: bool, compl_b: bool, k: int, with_tables: bool
+) -> Cut | None:
+    """Merge fanin cuts into a candidate cut of the AND node."""
+    leaves = tuple(sorted(set(cut_a.leaves) | set(cut_b.leaves)))
+    if len(leaves) > k:
+        return None
+    if not with_tables:
+        return Cut(leaves, NO_TABLE)
+    n = len(leaves)
+    position = {leaf: i for i, leaf in enumerate(leaves)}
+    table_a = tt_expand(
+        cut_a.table, [position[l] for l in cut_a.leaves], len(cut_a.leaves), n
+    )
+    table_b = tt_expand(
+        cut_b.table, [position[l] for l in cut_b.leaves], len(cut_b.leaves), n
+    )
+    if compl_a:
+        table_a = tt_not(table_a, n)
+    if compl_b:
+        table_b = tt_not(table_b, n)
+    return Cut(leaves, table_a & table_b)
+
+
+def _filter_dominated(cuts: list[Cut]) -> list[Cut]:
+    result: list[Cut] = []
+    for cut in cuts:
+        if any(other.dominates(cut) for other in result):
+            continue
+        result = [other for other in result if not cut.dominates(other)]
+        result.append(cut)
+    return result
+
+
+def enumerate_cuts(
+    aig: AIG,
+    k: int = 4,
+    max_cuts: int = 8,
+    include_trivial: bool = True,
+    compute_tables: bool = True,
+) -> dict[int, list[Cut]]:
+    """Priority-cut enumeration.
+
+    Returns node-id -> cut list.  Every node carries its trivial cut
+    ``({n}, x0)`` (needed so larger cuts can stop at internal nodes).
+    Cut lists are pruned to ``max_cuts`` by (size, leaf-id) preference
+    after dominance filtering.
+
+    With ``compute_tables=False`` the per-merge truth-table expansion
+    (the dominant cost at k = 6) is skipped; tables carry the
+    :data:`NO_TABLE` sentinel and consumers compute them on demand
+    (see :func:`cut_function`).
+    """
+    if k < 2:
+        raise ValueError("cut size must be at least 2")
+    cuts: dict[int, list[Cut]] = {}
+    trivial_table = tt_var(0, 1) if compute_tables else NO_TABLE
+
+    for node in aig.pis:
+        cuts[node] = [Cut((node,), trivial_table)]
+    cuts[0] = [Cut((), 0 if compute_tables else NO_TABLE)]
+
+    for node in aig.and_nodes():
+        f0, f1 = aig.fanins(node)
+        v0, v1 = lit_var(f0), lit_var(f1)
+        c0, c1 = lit_is_compl(f0), lit_is_compl(f1)
+        merged: list[Cut] = []
+        seen: set[tuple[int, ...]] = set()
+        for cut_a in cuts[v0]:
+            for cut_b in cuts[v1]:
+                candidate = _merge_cuts(cut_a, cut_b, c0, c1, k, compute_tables)
+                if candidate is None:
+                    continue
+                if not compute_tables:
+                    if candidate.leaves in seen:
+                        continue
+                    seen.add(candidate.leaves)
+                merged.append(candidate)
+        merged = _filter_dominated(merged)
+        merged.sort(key=lambda c: (len(c.leaves), c.leaves))
+        merged = merged[:max_cuts]
+        if include_trivial:
+            merged.append(Cut((node,), trivial_table))
+        cuts[node] = merged
+    return cuts
+
+
+def cut_function(aig: AIG, root: int, leaves: tuple[int, ...]) -> int:
+    """Truth table of ``root`` over ``leaves`` by cone simulation.
+
+    Used by consumers of table-free cut enumeration to compute tables
+    only for the (few) cuts actually selected.
+    """
+    n = len(leaves)
+    if n > 16:
+        raise ValueError("cut too wide for truth-table computation")
+    mask = tt_mask(n)
+    values: dict[int, int] = {0: 0}
+    for i, leaf in enumerate(leaves):
+        values[leaf] = tt_var(i, n)
+    cone = sorted(cut_cone_nodes(aig, root, leaves))
+    for node in cone:
+        f0, f1 = aig.fanins(node)
+        a = values[lit_var(f0)] ^ (mask if lit_is_compl(f0) else 0)
+        b = values[lit_var(f1)] ^ (mask if lit_is_compl(f1) else 0)
+        values[node] = a & b
+    if root not in values:
+        raise ValueError(f"leaves {leaves} do not form a cut of node {root}")
+    return values[root]
+
+
+def cut_cone_nodes(aig: AIG, root: int, leaves: tuple[int, ...]) -> set[int]:
+    """AND nodes strictly inside the cut (between leaves and root)."""
+    leaf_set = set(leaves)
+    cone: set[int] = set()
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node in cone or node in leaf_set or not aig.is_and(node):
+            continue
+        cone.add(node)
+        f0, f1 = aig.fanins(node)
+        stack.append(lit_var(f0))
+        stack.append(lit_var(f1))
+    return cone
+
+
+def mffc_size(aig: AIG, root: int, leaves: tuple[int, ...], fanouts: list[int]) -> int:
+    """Size of the cut's maximum fanout-free cone.
+
+    Counts the AND nodes inside the cut cone whose every fanout path
+    stays inside the cone — the nodes that die if the root is replaced.
+    Uses the supplied global fanout counts: a node belongs to the MFFC
+    if all of its fanouts are MFFC members (starting from the root).
+    """
+    cone = cut_cone_nodes(aig, root, leaves)
+    if not cone:
+        return 0
+    # Count references into each cone node from inside the MFFC.
+    mffc = {root}
+    # Process in reverse topological (descending id) order.
+    internal_refs: dict[int, int] = {node: 0 for node in cone}
+    for node in sorted(cone, reverse=True):
+        if node not in mffc:
+            continue
+        f0, f1 = aig.fanins(node)
+        for fanin in (lit_var(f0), lit_var(f1)):
+            if fanin in internal_refs:
+                internal_refs[fanin] += 1
+                if internal_refs[fanin] == fanouts[fanin]:
+                    mffc.add(fanin)
+    return len(mffc)

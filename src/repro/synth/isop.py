@@ -1,0 +1,186 @@
+"""Irredundant sum-of-products (Minato-Morreale ISOP) and factoring.
+
+ISOP computes a prime, irredundant cover of an incompletely specified
+function (on-set + don't-care set).  Algebraic factoring turns that
+cover into a multi-level expression, which is how ``refactor`` and the
+rewriting fallback build replacement structures — the classic
+SOP-based resynthesis loop the paper's Section IV-A references.
+
+Cubes are (positive_literal_mask, negative_literal_mask) pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .aig import AIG, CONST0, CONST1, lit_not
+from .truth import tt_cofactor, tt_mask, tt_var
+
+
+@dataclass(frozen=True)
+class Cube:
+    """A product term: variables in ``pos`` appear positive, ``neg``
+    negative; a variable in neither mask is absent."""
+
+    pos: int
+    neg: int
+
+    def literal_count(self) -> int:
+        return bin(self.pos).count("1") + bin(self.neg).count("1")
+
+    def has(self, var: int) -> bool:
+        return bool(((self.pos | self.neg) >> var) & 1)
+
+
+def isop(on_set: int, dc_set: int, n: int) -> list[Cube]:
+    """Minato-Morreale irredundant SOP.
+
+    ``on_set`` must be covered, ``on_set | dc_set`` must not be
+    exceeded.  Returns a list of cubes.
+    """
+    mask = tt_mask(n)
+    on_set &= mask
+    dc_set &= mask
+    if on_set & ~(on_set | dc_set) & mask:
+        raise ValueError("on-set and don't-care set overlap inconsistently")
+
+    def recurse(f_on: int, f_upper: int, variables: list[int]) -> tuple[list[Cube], int]:
+        """Returns (cover, function of the cover)."""
+        if f_on == 0:
+            return [], 0
+        if f_upper == mask:
+            return [Cube(0, 0)], mask
+        if not variables:
+            raise AssertionError("ran out of variables with nonconstant function")
+        var = variables[-1]
+        rest = variables[:-1]
+        var_tt = tt_var(var, n)
+
+        on0 = tt_cofactor(f_on, var, False, n)
+        on1 = tt_cofactor(f_on, var, True, n)
+        up0 = tt_cofactor(f_upper, var, False, n)
+        up1 = tt_cofactor(f_upper, var, True, n)
+
+        # Cubes that must contain !var / var.
+        cover0, func0 = recurse(on0 & ~up1 & mask, up0, rest)
+        cover1, func1 = recurse(on1 & ~up0 & mask, up1, rest)
+
+        # Shared remainder: on-set minterms not yet covered on either
+        # side can be covered without the splitting variable.
+        rem_on = ((on0 & ~func0) | (on1 & ~func1)) & mask
+        cover2, func2 = recurse(rem_on, up0 & up1, rest)
+
+        cover = (
+            [Cube(cube.pos, cube.neg | (1 << var)) for cube in cover0]
+            + [Cube(cube.pos | (1 << var), cube.neg) for cube in cover1]
+            + cover2
+        )
+        func = (func0 & ~var_tt & mask) | (func1 & var_tt) | func2
+        return cover, func
+
+    cover, func = recurse(on_set, (on_set | dc_set) & mask, list(range(n)))
+    if func & ~(on_set | dc_set) & mask or (on_set & ~func & mask):
+        raise AssertionError("ISOP produced an invalid cover")
+    return cover
+
+
+def cover_to_tt(cover: list[Cube], n: int) -> int:
+    """Evaluate a cube cover back into a truth table."""
+    mask = tt_mask(n)
+    result = 0
+    for cube in cover:
+        term = mask
+        for var in range(n):
+            if (cube.pos >> var) & 1:
+                term &= tt_var(var, n)
+            elif (cube.neg >> var) & 1:
+                term &= ~tt_var(var, n) & mask
+        result |= term
+    return result
+
+
+# ----------------------------------------------------------------------
+# Algebraic factoring
+# ----------------------------------------------------------------------
+def _most_frequent_literal(cover: list[Cube], n: int) -> tuple[int, bool] | None:
+    """(variable, positive?) of the literal appearing in most cubes."""
+    best = None
+    best_count = 1
+    for var in range(n):
+        pos_count = sum(1 for cube in cover if (cube.pos >> var) & 1)
+        neg_count = sum(1 for cube in cover if (cube.neg >> var) & 1)
+        if pos_count > best_count:
+            best, best_count = (var, True), pos_count
+        if neg_count > best_count:
+            best, best_count = (var, False), neg_count
+    return best
+
+
+def factor_cover(aig: AIG, cover: list[Cube], leaf_lits: list[int]) -> int:
+    """Build an AIG literal implementing a cube cover (factored form).
+
+    ``leaf_lits[i]`` is the AIG literal of variable ``i``.  Uses
+    recursive most-frequent-literal division (quick factoring).
+    """
+    n = len(leaf_lits)
+    if not cover:
+        return CONST0
+    if any(cube.pos == 0 and cube.neg == 0 for cube in cover):
+        return CONST1
+
+    divisor = _most_frequent_literal(cover, n)
+    if divisor is None:
+        # No sharing opportunity: straight AND-OR construction.
+        terms = []
+        for cube in cover:
+            term = CONST1
+            for var in range(n):
+                if (cube.pos >> var) & 1:
+                    term = aig.add_and(term, leaf_lits[var])
+                elif (cube.neg >> var) & 1:
+                    term = aig.add_and(term, lit_not(leaf_lits[var]))
+            terms.append(term)
+        result = CONST0
+        for term in terms:
+            result = aig.add_or(result, term)
+        return result
+
+    var, positive = divisor
+    bit = 1 << var
+    quotient: list[Cube] = []
+    remainder: list[Cube] = []
+    for cube in cover:
+        if positive and (cube.pos & bit):
+            quotient.append(Cube(cube.pos & ~bit, cube.neg))
+        elif not positive and (cube.neg & bit):
+            quotient.append(Cube(cube.pos, cube.neg & ~bit))
+        else:
+            remainder.append(cube)
+
+    lit = leaf_lits[var] if positive else lit_not(leaf_lits[var])
+    q_lit = factor_cover(aig, quotient, leaf_lits)
+    product = aig.add_and(lit, q_lit)
+    if not remainder:
+        return product
+    r_lit = factor_cover(aig, remainder, leaf_lits)
+    return aig.add_or(product, r_lit)
+
+
+def build_function(aig: AIG, tt: int, leaf_lits: list[int], dc: int = 0) -> int:
+    """Implement a truth table over given leaves (ISOP + factoring).
+
+    Picks the cheaper of covering the on-set or the off-set (with an
+    output inverter), the standard trick for functions with dense
+    on-sets.
+    """
+    n = len(leaf_lits)
+    mask = tt_mask(n)
+    tt &= mask
+    dc &= mask
+    cover_on = isop(tt & ~dc & mask, dc, n)
+    cover_off = isop(~tt & ~dc & mask, dc, n)
+    cost_on = sum(c.literal_count() for c in cover_on) + len(cover_on)
+    cost_off = sum(c.literal_count() for c in cover_off) + len(cover_off)
+    if cost_off < cost_on:
+        return lit_not(factor_cover(aig, cover_off, leaf_lits))
+    return factor_cover(aig, cover_on, leaf_lits)

@@ -1,0 +1,95 @@
+"""Cut-based refactoring (the AIG counterpart of ABC's ``refactor``).
+
+Refactoring attacks larger cones than rewriting: for each node a
+wide cut (up to ``k`` leaves, default 8) is collapsed into its truth
+table, re-synthesized with ISOP + algebraic factoring, and accepted
+when the factored form is smaller than the cone it replaces.  This is
+the classic SOP-resynthesis loop of Brayton/Mishchenko's scalable
+logic synthesis.
+"""
+
+from __future__ import annotations
+
+from .aig import AIG, CONST0, lit_not, lit_var
+from .cuts import Cut, cut_cone_nodes, enumerate_cuts, mffc_size
+from .isop import build_function
+
+
+def _structure_cost(tt: int, n_leaves: int) -> tuple[int, "AIG", int]:
+    """Dry-build the factored implementation; returns (cost, aig, lit)."""
+    mini = AIG()
+    leaves = [mini.add_pi() for _ in range(n_leaves)]
+    lit = build_function(mini, tt, leaves)
+    mini.add_po(lit)
+    return mini.num_ands, mini, lit
+
+
+def refactor(
+    aig: AIG,
+    k: int = 8,
+    max_cuts: int = 4,
+    use_zero_gain: bool = False,
+) -> AIG:
+    """One refactoring pass; returns the refactored network."""
+    if aig.num_ands == 0:
+        return aig.cleanup()
+    cuts = enumerate_cuts(aig, k=k, max_cuts=max_cuts)
+    fanouts = aig.fanout_counts()
+    structure_cache: dict[tuple[int, int], tuple[int, AIG, int]] = {}
+
+    candidates = []
+    for node in aig.and_nodes():
+        best = None
+        for cut in cuts[node]:
+            if not 3 <= len(cut.leaves) <= k or node in cut.leaves:
+                continue
+            key = (cut.table, len(cut.leaves))
+            if key not in structure_cache:
+                structure_cache[key] = _structure_cost(cut.table, len(cut.leaves))
+            cost, mini, lit = structure_cache[key]
+            saved = mffc_size(aig, node, cut.leaves, fanouts)
+            gain = saved - cost
+            if gain > 0 or (use_zero_gain and gain == 0):
+                if best is None or gain > best[0]:
+                    best = (gain, node, cut, mini, lit)
+        if best is not None:
+            candidates.append(best)
+
+    candidates.sort(key=lambda c: -c[0])
+    claimed: set[int] = set()
+    selected: dict[int, tuple[Cut, AIG, int]] = {}
+    for gain, node, cut, mini, lit in candidates:
+        cone = cut_cone_nodes(aig, node, cut.leaves)
+        if cone & claimed:
+            continue
+        claimed |= cone
+        selected[node] = (cut, mini, lit)
+
+    if not selected:
+        return aig.cleanup()
+
+    new = AIG(aig.name)
+    mapping: dict[int, int] = {0: CONST0}
+    for i, node in enumerate(aig.pis):
+        mapping[node] = new.add_pi(aig.pi_names[i])
+    for node in aig.and_nodes():
+        chosen = selected.get(node)
+        if chosen is not None:
+            cut, mini, out_lit = chosen
+            inner: dict[int, int] = {0: CONST0}
+            for i, pi_node in enumerate(mini.pis):
+                inner[pi_node] = mapping[cut.leaves[i]]
+            for mini_node in mini.and_nodes():
+                f0, f1 = mini.fanins(mini_node)
+                a = inner[lit_var(f0)] ^ (f0 & 1)
+                b = inner[lit_var(f1)] ^ (f1 & 1)
+                inner[mini_node] = new.add_and(a, b)
+            mapping[node] = inner[lit_var(out_lit)] ^ (out_lit & 1)
+        else:
+            f0, f1 = aig.fanins(node)
+            a = mapping[lit_var(f0)] ^ (f0 & 1)
+            b = mapping[lit_var(f1)] ^ (f1 & 1)
+            mapping[node] = new.add_and(a, b)
+    for po, name in zip(aig.pos, aig.po_names):
+        new.add_po(mapping[lit_var(po)] ^ (po & 1), name)
+    return new.cleanup()

@@ -1,0 +1,148 @@
+"""Synthesis scripts: named sequences of optimization passes.
+
+Mirrors ABC's scripting layer.  The paper's pipeline uses:
+
+* ``c2rs`` — the predefined compress2rs shortcut: interleaved Boolean
+  resubstitution, rewriting, and refactoring with balancing, used as
+  stage 1 (technology-independent compression);
+* ``dch -p; if -p; mfs -pegd; strash`` — stage 2 (power-aware
+  restructuring through structural choices, k-LUT collapse, don't-care
+  optimization, and re-hashing), implemented by
+  :func:`power_aware_restructure`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .aig import AIG
+from .activity import simulated_activities
+from .balance import balance
+from .choices import compute_choices
+from .lutmap import map_luts
+from .mfs import mfs
+from .refactor import refactor
+from .resub import resub
+from .rewrite import rewrite
+
+
+@dataclass
+class ScriptReport:
+    """Size/depth trace of a script execution."""
+
+    steps: list[tuple[str, int, int]] = field(default_factory=list)
+
+    def record(self, label: str, aig: AIG) -> None:
+        self.steps.append((label, aig.num_ands, aig.depth()))
+
+    def initial_size(self) -> int:
+        return self.steps[0][1] if self.steps else 0
+
+    def final_size(self) -> int:
+        return self.steps[-1][1] if self.steps else 0
+
+
+def compress2rs(aig: AIG, report: ScriptReport | None = None) -> AIG:
+    """The ``c2rs`` stage-1 script.
+
+    ABC's compress2rs interleaves balance, resub, rewrite, and
+    refactor; this is the same recipe with our pass implementations.
+    """
+    report = report if report is not None else ScriptReport()
+    report.record("start", aig)
+    sequence = (
+        ("balance", balance),
+        ("resub", resub),
+        ("rewrite", rewrite),
+        ("resub", resub),
+        ("refactor", refactor),
+        ("resub", resub),
+        ("balance", balance),
+        ("rewrite", rewrite),
+        ("refactor", lambda g: refactor(g, use_zero_gain=True)),
+        ("rewrite", lambda g: rewrite(g, use_zero_gain=True)),
+        ("balance", balance),
+    )
+    current = aig
+    for label, step in sequence:
+        candidate = step(current)
+        # Monotone guard: never keep a step that grew the network.
+        if candidate.num_ands <= current.num_ands:
+            current = candidate
+        report.record(label, current)
+    return current
+
+
+def dc2(aig: AIG, report: ScriptReport | None = None) -> AIG:
+    """ABC's ``dc2`` compress script (lighter than ``c2rs``).
+
+    Interleaves balancing and rewriting/refactoring without the
+    SAT-backed resubstitution — the fast default many flows run before
+    mapping when runtime matters more than the last percent of size.
+    """
+    report = report if report is not None else ScriptReport()
+    report.record("start", aig)
+    sequence = (
+        ("balance", balance),
+        ("rewrite", rewrite),
+        ("refactor", refactor),
+        ("balance", balance),
+        ("rewrite", rewrite),
+        ("rewrite-z", lambda g: rewrite(g, use_zero_gain=True)),
+        ("balance", balance),
+        ("refactor-z", lambda g: refactor(g, use_zero_gain=True)),
+        ("rewrite-z", lambda g: rewrite(g, use_zero_gain=True)),
+        ("balance", balance),
+    )
+    current = aig
+    for label, step in sequence:
+        candidate = step(current)
+        if candidate.num_ands <= current.num_ands:
+            current = candidate
+        report.record(label, current)
+    return current
+
+
+def power_aware_restructure(
+    aig: AIG,
+    k: int = 6,
+    power_mode: str = "primary",
+    use_choices: bool = True,
+    report: ScriptReport | None = None,
+) -> AIG:
+    """Stage 2: ``dch [-p]; if [-p]; mfs [-p...]; strash``.
+
+    Collapses the network into k-LUTs through structural choices,
+    optimizes the LUT functions with window-exact don't-cares, and
+    re-hashes into an AIG.  ``power_mode`` follows
+    :func:`repro.synth.lutmap.map_luts`: ``"tiebreak"`` models ABC's
+    out-of-the-box ``-p`` options, ``"primary"`` the paper's proposed
+    cryogenic-aware cost hierarchy.
+    """
+    report = report if report is not None else ScriptReport()
+    report.record("start", aig)
+    power_aware = power_mode != "off"
+    choices = compute_choices(aig) if use_choices else None
+    network = map_luts(aig, k=k, power_mode=power_mode, choices=choices)
+    activities = None
+    if power_aware:
+        base = choices.aig if choices is not None else aig
+        aig_act = simulated_activities(base, vectors=256)
+        # Approximate LUT-leaf activities via a fresh simulation of the
+        # LUT network itself.
+        import random
+
+        rng = random.Random(0)
+        words = [rng.getrandbits(256) for _ in range(network.num_pis)]
+        values = network.simulate_nodes(words, 256)
+        pair_mask = (1 << 255) - 1
+        activities = [
+            bin((w ^ (w >> 1)) & pair_mask).count("1") / 255.0 for w in values
+        ]
+    network, _ = mfs(network, power_aware=power_aware, activities=activities)
+    result = network.to_aig()
+    report.record("strash", result)
+    if result.num_ands > aig.num_ands * 1.3:
+        # LUT round-trip can inflate weak structures; keep the input.
+        return aig.cleanup()
+    return result

@@ -1,0 +1,164 @@
+"""Truth-table utilities over packed integers.
+
+A function of ``n`` inputs is stored as a ``2**n``-bit integer; bit
+``i`` holds the output under the assignment where input ``j`` equals
+bit ``j`` of ``i``.  Everything the cut-based algorithms need —
+projections, cofactors, permutation/negation transforms, support
+computation, NPN canonicalization — lives here.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from itertools import permutations
+
+
+def tt_mask(n: int) -> int:
+    """All-ones mask for an n-input table."""
+    return (1 << (1 << n)) - 1
+
+
+@lru_cache(maxsize=None)
+def tt_var(index: int, n: int) -> int:
+    """Truth table of input variable ``index`` among ``n`` inputs."""
+    if not 0 <= index < n:
+        raise ValueError(f"variable {index} out of range for {n} inputs")
+    block = 1 << index
+    pattern = 0
+    for i in range(1 << n):
+        if (i >> index) & 1:
+            pattern |= 1 << i
+    return pattern
+
+
+def tt_not(tt: int, n: int) -> int:
+    """Complement."""
+    return tt ^ tt_mask(n)
+
+
+def tt_cofactor(tt: int, var: int, value: bool, n: int) -> int:
+    """Shannon cofactor with respect to one variable.
+
+    The result is still expressed over ``n`` variables (the chosen
+    variable becomes redundant).
+    """
+    var_tt = tt_var(var, n)
+    if value:
+        positive = tt & var_tt
+        return positive | (positive >> (1 << var))
+    negative = tt & ~var_tt & tt_mask(n)
+    return negative | (negative << (1 << var)) & tt_mask(n)
+
+
+def tt_depends_on(tt: int, var: int, n: int) -> bool:
+    """True if the function depends on the given variable."""
+    return tt_cofactor(tt, var, False, n) != tt_cofactor(tt, var, True, n)
+
+
+def tt_support(tt: int, n: int) -> list[int]:
+    """Indices of variables in the functional support."""
+    return [v for v in range(n) if tt_depends_on(tt, v, n)]
+
+
+def tt_permute(tt: int, perm: tuple[int, ...], n: int) -> int:
+    """Permute inputs: new input ``i`` is old input ``perm[i]``."""
+    result = 0
+    for i in range(1 << n):
+        j = 0
+        for new_pos in range(n):
+            if (i >> new_pos) & 1:
+                j |= 1 << perm[new_pos]
+        if (tt >> j) & 1:
+            result |= 1 << i
+    return result
+
+
+def tt_flip_input(tt: int, var: int, n: int) -> int:
+    """Complement one input variable."""
+    result = 0
+    bit = 1 << var
+    for i in range(1 << n):
+        if (tt >> (i ^ bit)) & 1:
+            result |= 1 << i
+    return result
+
+
+def tt_expand(tt: int, positions: list[int], n_from: int, n_to: int) -> int:
+    """Re-express a table over a larger variable set.
+
+    ``positions[i]`` is the index (among ``n_to`` variables) where old
+    variable ``i`` lands.
+    """
+    result = 0
+    for i in range(1 << n_to):
+        j = 0
+        for old_var, pos in enumerate(positions):
+            if (i >> pos) & 1:
+                j |= 1 << old_var
+        if (tt >> j) & 1:
+            result |= 1 << i
+    return result
+
+
+def tt_from_bits(bits: list[bool]) -> int:
+    """Pack an explicit output column."""
+    table = 0
+    for i, bit in enumerate(bits):
+        if bit:
+            table |= 1 << i
+    return table
+
+
+def tt_count_ones(tt: int) -> int:
+    """Number of minterms."""
+    return bin(tt).count("1")
+
+
+# ----------------------------------------------------------------------
+# NPN canonicalization
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=100_000)
+def npn_canon(tt: int, n: int) -> tuple[int, tuple[int, ...], int, bool]:
+    """NPN-canonical form by exhaustive search (practical for n <= 4).
+
+    Returns ``(canonical_tt, perm, input_neg_mask, output_neg)`` such
+    that applying the transform to ``tt`` yields ``canonical_tt``:
+
+        canon = maybe_not( permute( flip_inputs(tt, mask), perm ) )
+
+    The canonical representative is the numerically smallest table
+    over all input permutations, input complementations, and output
+    complementation.
+    """
+    if n > 4:
+        raise ValueError("exhaustive NPN canonicalization limited to 4 inputs")
+    mask = tt_mask(n)
+    tt &= mask
+    best = None
+    best_transform = None
+    for neg_mask in range(1 << n):
+        flipped = tt
+        for var in range(n):
+            if (neg_mask >> var) & 1:
+                flipped = tt_flip_input(flipped, var, n)
+        for perm in permutations(range(n)):
+            permuted = tt_permute(flipped, perm, n)
+            for out_neg in (False, True):
+                candidate = permuted ^ (mask if out_neg else 0)
+                if best is None or candidate < best:
+                    best = candidate
+                    best_transform = (perm, neg_mask, out_neg)
+    perm, neg_mask, out_neg = best_transform
+    return best, perm, neg_mask, out_neg
+
+
+def npn_apply(tt: int, perm: tuple[int, ...], neg_mask: int, out_neg: bool, n: int) -> int:
+    """Apply an NPN transform (as returned by :func:`npn_canon`)."""
+    result = tt
+    for var in range(n):
+        if (neg_mask >> var) & 1:
+            result = tt_flip_input(result, var, n)
+    result = tt_permute(result, perm, n)
+    if out_neg:
+        result = tt_not(result, n)
+    return result

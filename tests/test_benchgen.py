@@ -1,0 +1,296 @@
+"""Tests for the EPFL-class benchmark generators.
+
+Arithmetic circuits are verified against Python integer arithmetic;
+control circuits against behavioural reference models.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.benchgen import EPFL_SUITE, WordBuilder, build_circuit, build_suite
+from repro.benchgen import arithmetic, control
+
+
+def word(outs, lo, hi):
+    return sum(1 << i for i, b in enumerate(outs[lo:hi]) if b)
+
+
+def bits_of(value, width):
+    return [bool((value >> i) & 1) for i in range(width)]
+
+
+class TestWordBuilder:
+    def test_width_mismatch_rejected(self):
+        wb = WordBuilder("t")
+        a = wb.input_word("a", 4)
+        b = wb.input_word("b", 3)
+        with pytest.raises(ValueError):
+            wb.add(a, b)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            WordBuilder("t").input_word("a", 0)
+
+    def test_constant(self):
+        wb = WordBuilder("t")
+        wb.input_word("a", 1)
+        wb.output_word("k", wb.constant(0b1010, 4))
+        assert wb.aig.evaluate([False]) == [False, True, False, True]
+
+    def test_reductions(self):
+        wb = WordBuilder("t")
+        a = wb.input_word("a", 3)
+        wb.aig.add_po(wb.reduce_and(a))
+        wb.aig.add_po(wb.reduce_or(a))
+        wb.aig.add_po(wb.reduce_xor(a))
+        for v in range(8):
+            outs = wb.aig.evaluate(bits_of(v, 3))
+            assert outs[0] == (v == 7)
+            assert outs[1] == (v != 0)
+            assert outs[2] == (bin(v).count("1") % 2 == 1)
+
+
+class TestArithmeticSemantics:
+    W = 8
+
+    def _check(self, aig, fn, n_inputs, widths, trials=30, seed=0):
+        rng = random.Random(seed)
+        for _ in range(trials):
+            values = [rng.getrandbits(w) for w in widths]
+            bits = []
+            for value, w in zip(values, widths):
+                bits.extend(bits_of(value, w))
+            outs = aig.evaluate(bits)
+            fn(values, outs)
+
+    def test_adder(self):
+        aig = arithmetic.adder(self.W)
+
+        def check(vals, outs):
+            assert word(outs, 0, self.W + 1) == vals[0] + vals[1]
+
+        self._check(aig, check, 2, [self.W, self.W])
+
+    def test_multiplier(self):
+        aig = arithmetic.multiplier(6)
+
+        def check(vals, outs):
+            assert word(outs, 0, 12) == vals[0] * vals[1]
+
+        self._check(aig, check, 2, [6, 6])
+
+    def test_square(self):
+        aig = arithmetic.square(6)
+
+        def check(vals, outs):
+            assert word(outs, 0, 12) == vals[0] ** 2
+
+        self._check(aig, check, 1, [6])
+
+    def test_div(self):
+        aig = arithmetic.div(self.W)
+
+        def check(vals, outs):
+            divisor = vals[1] or 1
+            if vals[1] == 0:
+                return  # divide-by-zero: unchecked (hardware-defined)
+            assert word(outs, 0, self.W) == vals[0] // divisor
+            assert word(outs, self.W, 2 * self.W) == vals[0] % divisor
+
+        self._check(aig, check, 2, [self.W, self.W])
+
+    def test_sqrt_exhaustive(self):
+        aig = arithmetic.sqrt(8)
+        for v in range(256):
+            outs = aig.evaluate(bits_of(v, 8))
+            assert word(outs, 0, 4) == math.isqrt(v), v
+
+    def test_hyp(self):
+        aig = arithmetic.hyp(5)
+        rng = random.Random(1)
+        for _ in range(25):
+            a, b = rng.getrandbits(5), rng.getrandbits(5)
+            outs = aig.evaluate(bits_of(a, 5) + bits_of(b, 5))
+            expected = math.isqrt(a * a + b * b)
+            assert word(outs, 0, len(outs)) == expected, (a, b)
+
+    def test_bar_rotate(self):
+        aig = arithmetic.bar(16)
+        rng = random.Random(2)
+        for _ in range(25):
+            data, amount = rng.getrandbits(16), rng.getrandbits(4)
+            outs = aig.evaluate(bits_of(data, 16) + bits_of(amount, 4))
+            expected = ((data << amount) | (data >> (16 - amount))) & 0xFFFF
+            assert word(outs, 0, 16) == expected
+
+    def test_bar_power_of_two_enforced(self):
+        with pytest.raises(ValueError):
+            arithmetic.bar(12)
+
+    def test_max(self):
+        aig = arithmetic.max_circuit(8, operands=4)
+        rng = random.Random(3)
+        for _ in range(25):
+            values = [rng.getrandbits(8) for _ in range(4)]
+            bits = []
+            for v in values:
+                bits.extend(bits_of(v, 8))
+            outs = aig.evaluate(bits)
+            assert word(outs, 0, 8) == max(values)
+
+    def test_log2_integer_part(self):
+        aig = arithmetic.log2(8)
+        for v in range(1, 256):
+            outs = aig.evaluate(bits_of(v, 8))
+            assert word(outs, 0, 3) == v.bit_length() - 1, v
+            assert outs[-1] is True  # valid flag
+
+    def test_sin_monotone_on_first_quadrant(self):
+        # The polynomial approximation must be monotone and bounded
+        # over [0, 1) (sin is, and the approximation is smooth).
+        aig = arithmetic.sin(8)
+        previous = -1
+        for v in range(0, 256, 8):
+            outs = aig.evaluate(bits_of(v, 8))
+            value = word(outs, 0, 8)
+            assert value >= previous - 8  # small ripple tolerance near the peak
+            previous = max(previous, value)
+
+    def test_sin_endpoints(self):
+        aig = arithmetic.sin(8)
+        zero = word(aig.evaluate(bits_of(0, 8)), 0, 8)
+        almost_one = word(aig.evaluate(bits_of(255, 8)), 0, 8)
+        assert zero == 0
+        assert almost_one > 200  # ~ sin(pi/2) ~ 1.0 in Q0.8
+
+
+class TestControlSemantics:
+    def test_dec_one_hot(self):
+        aig = control.dec(4)
+        for v in range(16):
+            outs = aig.evaluate(bits_of(v, 4))
+            assert sum(outs) == 1
+            assert outs[v] is True
+
+    def test_priority_lowest_index_wins(self):
+        aig = control.priority(8)
+        rng = random.Random(4)
+        for _ in range(30):
+            req = rng.getrandbits(8)
+            outs = aig.evaluate(bits_of(req, 8))
+            grants = outs[:8]
+            if req == 0:
+                assert not any(grants)
+                assert outs[8] is False
+            else:
+                expected = (req & -req).bit_length() - 1
+                assert grants[expected] is True
+                assert sum(grants) == 1
+                assert outs[8] is True
+
+    def test_voter_majority_exhaustive_small(self):
+        aig = control.voter(7)
+        for v in range(128):
+            outs = aig.evaluate(bits_of(v, 7))
+            assert outs[0] == (bin(v).count("1") >= 4), v
+
+    def test_voter_rejects_even(self):
+        with pytest.raises(ValueError):
+            control.voter(10)
+
+    def test_int2float_normalization(self):
+        aig = control.int2float(8, mantissa_bits=3, exponent_bits=3)
+        for v in range(1, 256):
+            outs = aig.evaluate(bits_of(v, 8))
+            exponent = word(outs, 0, 3)
+            assert exponent == v.bit_length() - 1, v
+
+    def test_int2float_zero(self):
+        aig = control.int2float(8, mantissa_bits=3, exponent_bits=3)
+        outs = aig.evaluate(bits_of(0, 8))
+        assert not any(outs)
+
+    def test_arbiter_single_grant(self):
+        aig = control.arbiter(8)
+        rng = random.Random(5)
+        for _ in range(40):
+            req = rng.getrandbits(8)
+            mask = rng.getrandbits(8)
+            outs = aig.evaluate(bits_of(req, 8) + bits_of(mask, 8))
+            grants = outs[:8]
+            assert sum(grants) == (1 if req else 0)
+            if req:
+                index = grants.index(True)
+                assert (req >> index) & 1  # grant only to a requester
+                masked = req & mask
+                if masked:
+                    assert (masked >> index) & 1  # masked take priority
+
+    def test_router_exactly_one_port_when_ok(self):
+        aig = control.router(flit_bits=8, addr_bits=4)
+        rng = random.Random(6)
+        for _ in range(40):
+            dx, dy, lx, ly = (rng.getrandbits(2) for _ in range(4))
+            payload = rng.getrandbits(8)
+            parity = bin(payload).count("1") % 2
+            bits = (
+                bits_of(dx, 2) + bits_of(dy, 2) + bits_of(lx, 2) + bits_of(ly, 2)
+                + bits_of(payload, 8) + [True]
+            )
+            outs = aig.evaluate(bits)
+            ports, drop = outs[:5], outs[5]
+            if parity:
+                assert drop is True
+                assert not any(ports)
+            else:
+                assert drop is False
+                assert sum(ports) == 1
+
+    def test_i2c_idle_start_transition(self):
+        aig = control.i2c(addr_bits=4)
+        # state=0 (idle), start=1 -> next_state must be 1.
+        inputs = {name: False for name in aig.pi_names}
+        inputs["start"] = True
+        outs = aig.evaluate([inputs[name] for name in aig.pi_names])
+        next_state = word(outs, 0, 4)
+        assert next_state == 1
+
+    def test_cavlc_nonempty_flag(self):
+        aig = control.cavlc(4)
+        zero_inputs = [False] * aig.num_pis
+        outs = aig.evaluate(zero_inputs)
+        assert outs[-1] is False  # no nonzero coefficients
+
+
+class TestSuiteRegistry:
+    def test_twenty_circuits(self):
+        assert len(EPFL_SUITE) == 20
+        categories = {spec.category for spec in EPFL_SUITE.values()}
+        assert categories == {"arithmetic", "control"}
+        assert sum(1 for s in EPFL_SUITE.values() if s.category == "arithmetic") == 10
+
+    def test_build_by_name(self):
+        aig = build_circuit("adder", "small")
+        assert aig.name == "adder"
+        assert aig.num_pis == 32
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            build_circuit("nonexistent")
+
+    def test_build_subset(self):
+        suite = build_suite("small", names=["ctrl", "dec"])
+        assert set(suite) == {"ctrl", "dec"}
+
+    def test_small_preset_all_build(self):
+        suite = build_suite("small")
+        for name, aig in suite.items():
+            assert aig.num_ands > 0, name
+            assert aig.num_pos > 0, name
+
+    def test_presets_scale(self):
+        small = build_circuit("multiplier", "small")
+        default = build_circuit("multiplier", "default")
+        assert default.num_ands > small.num_ands

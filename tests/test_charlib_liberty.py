@@ -1,0 +1,152 @@
+"""Tests for the liberty writer/parser and function-string parser."""
+
+import numpy as np
+import pytest
+
+from repro.charlib import (
+    characterize_library,
+    parse_function,
+    parse_liberty,
+    write_liberty,
+)
+from repro.pdk import cryo5_technology, truth_table
+from repro.pdk.catalog import make_dff, make_inv, make_mux2, make_nand, make_xor2
+
+TECH = cryo5_technology()
+
+
+@pytest.fixture(scope="module")
+def library():
+    return characterize_library(
+        TECH, 10.0, cells=[make_inv(1), make_nand(2, 1), make_xor2(1), make_mux2(1), make_dff(1)]
+    )
+
+
+@pytest.fixture(scope="module")
+def round_tripped(library):
+    return parse_liberty(write_liberty(library))
+
+
+class TestWriter:
+    def test_header_units(self, library):
+        text = write_liberty(library)
+        assert 'time_unit : "1ns";' in text
+        assert "capacitive_load_unit (1, pf);" in text
+        assert 'leakage_power_unit : "1nW";' in text
+
+    def test_temperature_recorded(self, library):
+        assert "nom_temperature : 10;" in write_liberty(library)
+
+    def test_every_cell_present(self, library):
+        text = write_liberty(library)
+        for name in library.cells:
+            assert f"cell ({name})" in text
+
+    def test_function_strings_emitted(self, library):
+        text = write_liberty(library)
+        assert 'function : "(!A)"' in text
+
+    def test_sequential_ff_group(self, library):
+        text = write_liberty(library)
+        assert "ff (IQ, IQN)" in text
+        assert 'clocked_on : "CLK"' in text
+
+
+class TestRoundTrip:
+    def test_cells_survive(self, library, round_tripped):
+        assert set(round_tripped.cells) == set(library.cells)
+
+    def test_corner_survives(self, library, round_tripped):
+        assert round_tripped.temperature == pytest.approx(library.temperature)
+        assert round_tripped.vdd == pytest.approx(library.vdd)
+
+    def test_areas_survive(self, library, round_tripped):
+        for name, cell in library.cells.items():
+            assert round_tripped[name].area == pytest.approx(cell.area, rel=1e-4)
+
+    def test_input_caps_survive(self, library, round_tripped):
+        for name, cell in library.cells.items():
+            for pin, cap in cell.input_caps.items():
+                assert round_tripped[name].input_caps[pin] == pytest.approx(cap, rel=1e-3)
+
+    def test_delay_tables_survive(self, library, round_tripped):
+        for name, cell in library.cells.items():
+            for arc, arc2 in zip(cell.arcs, round_tripped[name].arcs):
+                assert arc2.related_pin == arc.related_pin
+                assert arc2.timing_sense == arc.timing_sense
+                assert np.allclose(arc2.cell_rise.values, arc.cell_rise.values, rtol=1e-4)
+                assert np.allclose(
+                    arc2.fall_transition.values, arc.fall_transition.values, rtol=1e-4
+                )
+
+    def test_power_tables_survive(self, library, round_tripped):
+        for name, cell in library.cells.items():
+            for arc, arc2 in zip(cell.arcs, round_tripped[name].arcs):
+                assert np.allclose(arc2.rise_power.values, arc.rise_power.values, rtol=1e-4)
+
+    def test_leakage_states_survive(self, library, round_tripped):
+        cell = library["NAND2x1"]
+        cell2 = round_tripped["NAND2x1"]
+        for state, value in cell.leakage_by_state.items():
+            assert cell2.leakage_by_state[state] == pytest.approx(value, rel=1e-3)
+
+    def test_truth_tables_rebuilt_from_functions(self, round_tripped):
+        assert round_tripped["NAND2x1"].truth_tables["Y"] == 0b0111
+        assert round_tripped["XOR2x1"].truth_tables["Y"] == 0b0110
+
+    def test_sequential_flags_survive(self, round_tripped):
+        dff = round_tripped["DFFx1"]
+        assert dff.is_sequential
+        assert dff.clock_pin == "CLK"
+        assert dff.arcs[0].timing_type == "rising_edge"
+
+    def test_double_round_trip_stable(self, round_tripped):
+        text1 = write_liberty(round_tripped)
+        again = parse_liberty(text1)
+        assert write_liberty(again) == text1
+
+
+class TestParserRobustness:
+    def test_rejects_non_liberty(self):
+        with pytest.raises(ValueError):
+            parse_liberty("module foo; endmodule")
+
+    def test_tolerates_comments(self, library):
+        text = write_liberty(library)
+        text = "/* tool: repro */\n" + text
+        parsed = parse_liberty(text)
+        assert len(parsed) == len(library)
+
+
+class TestFunctionParser:
+    @pytest.mark.parametrize(
+        "text,inputs,expected",
+        [
+            ("A&B", ["A", "B"], 0b1000),
+            ("A|B", ["A", "B"], 0b1110),
+            ("!A", ["A"], 0b01),
+            ("(!((A&B)|C))", ["A", "B", "C"], 0b00000111 ^ 0b0),
+            ("A'", ["A"], 0b01),
+            ("A*B+C", ["A", "B", "C"], None),
+        ],
+    )
+    def test_parse_matches_truth_table(self, text, inputs, expected):
+        expr = parse_function(text)
+        table = truth_table(expr, inputs)
+        if expected is not None:
+            assert table == expected
+        else:
+            # A*B+C == (A&B)|C
+            assert table == truth_table(parse_function("(A&B)|C"), inputs)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parse_function("")
+
+    def test_unbalanced_rejected(self):
+        with pytest.raises(ValueError):
+            parse_function("(A&B")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_function("A B")

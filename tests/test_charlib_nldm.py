@@ -1,0 +1,73 @@
+"""Tests for NLDM tables and library structures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.charlib import NLDMTable
+
+
+def simple_table():
+    return NLDMTable(
+        slews=(1e-12, 2e-12, 4e-12),
+        loads=(1e-15, 2e-15),
+        values=((1.0, 2.0), (2.0, 4.0), (4.0, 8.0)),
+    )
+
+
+class TestNLDMTable:
+    def test_exact_grid_points(self):
+        t = simple_table()
+        assert t.lookup(1e-12, 1e-15) == pytest.approx(1.0)
+        assert t.lookup(4e-12, 2e-15) == pytest.approx(8.0)
+
+    def test_bilinear_midpoint(self):
+        t = simple_table()
+        assert t.lookup(1.5e-12, 1.5e-15) == pytest.approx((1 + 2 + 2 + 4) / 4)
+
+    def test_clamped_extrapolation(self):
+        t = simple_table()
+        assert t.lookup(1e-15, 1e-18) == pytest.approx(1.0)
+        assert t.lookup(1.0, 1.0) == pytest.approx(8.0)
+
+    def test_from_function(self):
+        t = NLDMTable.from_function(
+            (1.0, 2.0), (10.0, 20.0), lambda s, l: s + l
+        )
+        assert t.values == ((11.0, 21.0), (12.0, 22.0))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            NLDMTable((1.0, 2.0), (1.0,), ((1.0,),))
+        with pytest.raises(ValueError):
+            NLDMTable((1.0, 2.0), (1.0,), ((1.0,), (2.0, 3.0)))
+
+    def test_axis_monotonicity_enforced(self):
+        with pytest.raises(ValueError):
+            NLDMTable((2.0, 1.0), (1.0,), ((1.0,), (2.0,)))
+        with pytest.raises(ValueError):
+            NLDMTable((1.0, 2.0), (2.0, 2.0), ((1.0, 1.0), (2.0, 2.0)))
+
+    def test_min_max_mid(self):
+        t = simple_table()
+        assert t.min_value() == 1.0
+        assert t.max_value() == 8.0
+        assert t.mid_value() == pytest.approx(t.lookup(2e-12, 2e-15))
+
+    @given(
+        s=st.floats(min_value=0.5e-12, max_value=8e-12),
+        l=st.floats(min_value=0.5e-15, max_value=4e-15),
+    )
+    def test_lookup_within_table_range(self, s, l):
+        t = simple_table()
+        value = t.lookup(s, l)
+        assert t.min_value() - 1e-12 <= value <= t.max_value() + 1e-12
+
+    @given(
+        s1=st.floats(min_value=1e-12, max_value=4e-12),
+        s2=st.floats(min_value=1e-12, max_value=4e-12),
+    )
+    def test_monotone_when_values_monotone(self, s1, s2):
+        t = simple_table()
+        lo, hi = sorted((s1, s2))
+        assert t.lookup(lo, 1.5e-15) <= t.lookup(hi, 1.5e-15) + 1e-12

@@ -1,0 +1,107 @@
+"""Tests for sequential-cell characterization (clk->q, setup, hold)."""
+
+import numpy as np
+import pytest
+
+from repro.charlib import characterize_library, parse_liberty, write_liberty
+from repro.pdk import cryo5_technology
+from repro.pdk.catalog import make_dff, make_dffs, make_latch
+
+TECH = cryo5_technology()
+
+
+@pytest.fixture(scope="module")
+def library():
+    return characterize_library(
+        TECH, 10.0, cells=[make_dff(1), make_dff(2), make_dff(1, reset=True), make_latch(1)]
+    )
+
+
+class TestClockToQ:
+    def test_arc_exists_with_rising_edge_type(self, library):
+        dff = library["DFFx1"]
+        arcs = [a for a in dff.arcs if a.timing_type == "rising_edge"]
+        assert len(arcs) == 1
+        assert arcs[0].related_pin == "CLK"
+
+    def test_stronger_flop_faster(self, library):
+        d1 = library["DFFx1"].typical_delay()
+        d2 = library["DFFx2"].typical_delay()
+        assert d2 < d1
+
+    def test_clk_to_q_load_dependent(self, library):
+        arc = library["DFFx1"].arcs[0]
+        assert arc.cell_rise.lookup(8e-12, 2e-14) > arc.cell_rise.lookup(8e-12, 1e-15)
+
+
+class TestConstraints:
+    def test_setup_and_hold_present(self, library):
+        dff = library["DFFx1"]
+        types = {(c.constrained_pin, c.timing_type) for c in dff.constraints}
+        assert ("D", "setup_rising") in types
+        assert ("D", "hold_rising") in types
+
+    def test_dffr_constrains_reset_pin_too(self):
+        lib = characterize_library(TECH, 10.0, cells=[make_dff(1, reset=True)])
+        dffr = lib["DFFRx1"]
+        pins = {c.constrained_pin for c in dffr.constraints}
+        assert pins == {"D", "RN"}
+
+    def test_setup_positive_and_slew_dependent(self, library):
+        setup = library["DFFx1"].constraint("D", "setup_rising")
+        fast = setup.worst(2e-12, 8e-12)
+        slow = setup.worst(1.2e-10, 8e-12)
+        assert fast > 0.0
+        assert slow > fast  # slower data needs more setup
+
+    def test_hold_nonnegative(self, library):
+        hold = library["DFFx1"].constraint("D", "hold_rising")
+        assert hold.rise_constraint.min_value() >= 0.0
+
+    def test_setup_larger_than_hold(self, library):
+        dff = library["DFFx1"]
+        setup = dff.constraint("D", "setup_rising").worst(8e-12, 8e-12)
+        hold = dff.constraint("D", "hold_rising").worst(8e-12, 8e-12)
+        assert setup > hold
+
+    def test_unknown_constraint_rejected(self, library):
+        with pytest.raises(KeyError):
+            library["DFFx1"].constraint("D", "recovery_rising")
+
+
+class TestLibertyRoundTrip:
+    def test_constraints_survive(self, library):
+        parsed = parse_liberty(write_liberty(library))
+        for name, cell in library.cells.items():
+            other = parsed[name]
+            assert len(other.constraints) == len(cell.constraints)
+            for mine, theirs in zip(cell.constraints, other.constraints):
+                assert theirs.timing_type == mine.timing_type
+                assert theirs.constrained_pin == mine.constrained_pin
+                assert np.allclose(
+                    theirs.rise_constraint.values,
+                    mine.rise_constraint.values,
+                    rtol=1e-4,
+                )
+
+    def test_written_file_declares_constraint_groups(self, library):
+        text = write_liberty(library)
+        assert "timing_type : setup_rising;" in text
+        assert "timing_type : hold_rising;" in text
+        assert "rise_constraint" in text
+
+
+class TestCryoSequentialTrends:
+    def test_setup_time_stable_across_temperature(self):
+        cells = [make_dff(1)]
+        warm = characterize_library(TECH, 300.0, cells=cells)["DFFx1"]
+        cold = characterize_library(TECH, 10.0, cells=cells)["DFFx1"]
+        s_warm = warm.constraint("D", "setup_rising").worst(8e-12, 8e-12)
+        s_cold = cold.constraint("D", "setup_rising").worst(8e-12, 8e-12)
+        assert s_cold == pytest.approx(s_warm, rel=0.25)
+
+    def test_flop_leakage_collapses_at_cryo(self):
+        cells = [make_dff(1)]
+        warm = characterize_library(TECH, 300.0, cells=cells)["DFFx1"]
+        cold = characterize_library(TECH, 10.0, cells=cells)["DFFx1"]
+        assert cold.leakage_average < 1e-4 * warm.leakage_average

@@ -1,0 +1,101 @@
+"""Cross-validation: analytic characterization vs transistor-level SPICE.
+
+The analytic backend stands in for the paper's 10^6-simulation
+SiliconSmart run; these tests pin it to the reference transient
+backend on representative cells — absolute agreement within a bounded
+factor, and identical temperature *trends* (the property Fig. 2
+depends on).
+"""
+
+import pytest
+
+from repro.charlib import AnalyticCharacterizer, SpiceCharacterizer
+from repro.pdk import cryo5_technology
+from repro.pdk.catalog import make_inv, make_nand
+
+TECH = cryo5_technology()
+SLEW = 8e-12
+LOAD = 3.2e-15
+
+
+@pytest.fixture(scope="module")
+def spice300():
+    return SpiceCharacterizer(TECH, 300.0)
+
+
+@pytest.fixture(scope="module")
+def analytic300():
+    return AnalyticCharacterizer(TECH, 300.0)
+
+
+class TestInverterAgreement:
+    @pytest.fixture(scope="class")
+    def measured(self, spice300):
+        return spice300.measure_arc(make_inv(2), "A", "Y", input_rising=True, slew=SLEW, load=LOAD)
+
+    @pytest.fixture(scope="class")
+    def modeled(self, analytic300):
+        cell = analytic300.characterize_cell(make_inv(2))
+        return cell.arcs[0]
+
+    def test_delay_within_bounded_factor(self, measured, modeled):
+        predicted = modeled.cell_fall.lookup(SLEW, LOAD)
+        ratio = predicted / measured.delay
+        assert 0.3 < ratio < 3.0, f"analytic/spice delay ratio {ratio:.2f}"
+
+    def test_slew_within_bounded_factor(self, measured, modeled):
+        predicted = modeled.fall_transition.lookup(SLEW, LOAD)
+        ratio = predicted / measured.output_slew
+        assert 0.3 < ratio < 3.5, f"analytic/spice slew ratio {ratio:.2f}"
+
+
+class TestLoadScalingAgreement:
+    def test_both_backends_scale_linearly_with_load(self, spice300, analytic300):
+        cell = make_inv(2)
+        arc = analytic300.characterize_cell(cell).arcs[0]
+        loads = (1.6e-15, 6.4e-15)
+        spice_ratio = (
+            spice300.measure_arc(cell, "A", "Y", True, SLEW, loads[1]).delay
+            / spice300.measure_arc(cell, "A", "Y", True, SLEW, loads[0]).delay
+        )
+        model_ratio = arc.cell_fall.lookup(SLEW, loads[1]) / arc.cell_fall.lookup(
+            SLEW, loads[0]
+        )
+        # Both should be dominated by the load term (~4x ratio);
+        # require agreement of the scaling factor within 40 %.
+        assert spice_ratio == pytest.approx(model_ratio, rel=0.4)
+
+
+class TestTemperatureTrendAgreement:
+    """The decisive check: both backends agree that cooling to 10 K
+    leaves delay nearly unchanged (the Fig. 2a claim)."""
+
+    def test_spice_delay_ratio_matches_analytic(self, analytic300):
+        cell = make_nand(2, 1)
+        spice_cold = SpiceCharacterizer(TECH, 10.0)
+        spice_warm = SpiceCharacterizer(TECH, 300.0)
+        d_cold = spice_cold.measure_arc(cell, "A", "Y", True, SLEW, LOAD).delay
+        d_warm = spice_warm.measure_arc(cell, "A", "Y", True, SLEW, LOAD).delay
+        spice_ratio = d_cold / d_warm
+
+        analytic_cold = AnalyticCharacterizer(TECH, 10.0)
+        a_cold = analytic_cold.characterize_cell(cell).arcs[0].cell_fall.lookup(SLEW, LOAD)
+        a_warm = analytic300.characterize_cell(cell).arcs[0].cell_fall.lookup(SLEW, LOAD)
+        analytic_ratio = a_cold / a_warm
+
+        assert spice_ratio == pytest.approx(1.0, abs=0.3)
+        assert analytic_ratio == pytest.approx(spice_ratio, abs=0.3)
+
+
+class TestSpiceBackendCellCharacterization:
+    def test_full_cell_characterization_small_grid(self, spice300):
+        cell = spice300.characterize_cell(
+            make_inv(1), slews=(4e-12, 16e-12), loads=(8e-16, 3.2e-15)
+        )
+        arc = cell.arcs[0]
+        assert arc.cell_rise.min_value() > 0.0
+        assert arc.cell_rise.lookup(16e-12, 3.2e-15) > arc.cell_rise.lookup(4e-12, 8e-16)
+
+    def test_energy_positive_for_rising_output(self, spice300):
+        m = spice300.measure_arc(make_inv(1), "A", "Y", input_rising=False, slew=SLEW, load=LOAD)
+        assert m.energy > 0.0

@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scenario_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["synthesize", "ctrl", "-s", "fastest"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["synthesize", "ctrl"])
+        args2 = build_parser().parse_args(["characterize"])
+        assert args.scenario == "p_d_a"
+        assert args.temperature == 10.0
+        assert args2.vdd == 0.7
+
+
+class TestCommands:
+    def test_benchmarks_lists_twenty(self, capsys):
+        assert main(["benchmarks", "--preset", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "adder" in out and "voter" in out
+        # Header + 20 circuits.
+        assert len(out.strip().splitlines()) == 21
+
+    def test_characterize_writes_liberty(self, tmp_path, capsys):
+        out = tmp_path / "lib.lib"
+        assert main(["characterize", "-t", "10", "-o", str(out)]) == 0
+        text = out.read_text()
+        assert text.startswith("library")
+        assert "cell (INVx1)" in text
+
+    def test_synthesize_epfl_circuit(self, tmp_path, capsys):
+        verilog = tmp_path / "ctrl.v"
+        report = tmp_path / "ctrl.rpt"
+        code = main([
+            "synthesize", "ctrl", "--preset", "small",
+            "-o", str(verilog), "-r", str(report),
+        ])
+        assert code == 0
+        assert verilog.read_text().startswith("module ctrl")
+        assert "Power report" in report.read_text()
+
+    def test_synthesize_aiger_file(self, tmp_path, capsys):
+        from repro.benchgen import build_circuit
+        from repro.io import write_ascii
+
+        path = tmp_path / "circ.aag"
+        path.write_text(write_ascii(build_circuit("dec", "small")))
+        assert main(["synthesize", str(path), "--preset", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "mapped:" in out
+
+    def test_synthesize_unknown_source(self):
+        with pytest.raises(SystemExit):
+            main(["synthesize", "not_a_circuit_or_file"])
+
+    def test_compare_subset(self, capsys):
+        assert main(["compare", "ctrl", "dec", "--preset", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "p_a_d" in out and "ctrl" in out and "dec" in out
+
+    def test_calibrate(self, capsys):
+        assert main(["calibrate", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "worst residual" in out
+
+    def test_export_formats(self, tmp_path):
+        for fmt, check in (("aag", b"aag "), ("aig", b"aig "), ("blif", b".model")):
+            out = tmp_path / f"c.{fmt}"
+            assert main([
+                "export", "ctrl", "--preset", "small", "-f", fmt, "-o", str(out)
+            ]) == 0
+            assert out.read_bytes().startswith(check)
+
+    def test_export_round_trips_through_synthesize(self, tmp_path, capsys):
+        out = tmp_path / "dec.aag"
+        assert main(["export", "dec", "--preset", "small", "-o", str(out)]) == 0
+        assert main(["synthesize", str(out), "--preset", "small"]) == 0
+        assert "mapped:" in capsys.readouterr().out

@@ -1,0 +1,96 @@
+"""Unit tests for the experiment harness (repro.core.experiments)."""
+
+import pytest
+
+from repro.charlib import default_library
+from repro.core import (
+    average_shares,
+    figure2ab_cell_distributions,
+    figure2c_power_breakdown,
+    figure3_summary,
+)
+from repro.core.experiments import Figure3Row, PowerShareRow
+
+
+class TestDefaultLibraryCache:
+    def test_same_object_returned(self):
+        a = default_library(10.0)
+        b = default_library(10.0)
+        assert a is b
+
+    def test_distinct_corners_distinct_objects(self):
+        assert default_library(10.0) is not default_library(300.0)
+
+
+class TestFigure3Row:
+    def test_saving_and_overhead_math(self):
+        row = Figure3Row(
+            circuit="x",
+            baseline_power=100e-6,
+            baseline_delay=1e-9,
+            power={"p_a_d": 90e-6, "p_d_a": 110e-6},
+            delay={"p_a_d": 1.2e-9, "p_d_a": 0.9e-9},
+        )
+        assert row.power_saving("p_a_d") == pytest.approx(10.0)
+        assert row.power_saving("p_d_a") == pytest.approx(-10.0)
+        assert row.delay_overhead("p_a_d") == pytest.approx(20.0)
+        assert row.delay_overhead("p_d_a") == pytest.approx(-10.0)
+
+    def test_summary_aggregation(self):
+        rows = [
+            Figure3Row("a", 1.0, 1.0, {"p_a_d": 0.9, "p_d_a": 0.95},
+                       {"p_a_d": 1.0, "p_d_a": 1.0}),
+            Figure3Row("b", 1.0, 1.0, {"p_a_d": 1.1, "p_d_a": 0.8},
+                       {"p_a_d": 1.5, "p_d_a": 0.7}),
+        ]
+        summary = figure3_summary(rows)
+        assert summary["p_a_d"]["avg_power_saving"] == pytest.approx(0.0)
+        assert summary["p_a_d"]["circuits_improved"] == 1
+        assert summary["p_d_a"]["circuits_improved"] == 2
+        assert summary["p_a_d"]["max_delay_overhead"] == pytest.approx(50.0)
+
+
+class TestAverageShares:
+    def test_averaging(self):
+        rows = [
+            PowerShareRow("a", 300.0, 0.1, 0.3, 0.6),
+            PowerShareRow("b", 300.0, 0.2, 0.3, 0.5),
+            PowerShareRow("a", 10.0, 0.0, 0.4, 0.6),
+        ]
+        leak, internal, switching = average_shares(rows, 300.0)
+        assert leak == pytest.approx(0.15)
+        assert internal == pytest.approx(0.3)
+        assert switching == pytest.approx(0.55)
+
+    def test_missing_temperature_rejected(self):
+        with pytest.raises(ValueError):
+            average_shares([PowerShareRow("a", 300.0, 0.1, 0.3, 0.6)], 77.0)
+
+
+class TestFigure2Harnesses:
+    def test_figure2ab_returns_both_metrics(self):
+        data = figure2ab_cell_distributions(temperatures=(300.0,))
+        assert set(data) == {"delay", "energy"}
+        assert 300.0 in data["delay"]
+        summary = data["delay"][300.0]
+        assert summary.p10 < summary.median < summary.p90
+
+    def test_figure2c_clock_scales_dynamic_share(self):
+        # A slower clock lowers dynamic power, raising the leakage
+        # share at 300 K — the knob must behave monotonically.
+        fast = figure2c_power_breakdown(
+            circuits=["ctrl"], temperatures=(300.0,), clock_period=2e-10, vectors=64
+        )
+        slow = figure2c_power_breakdown(
+            circuits=["ctrl"], temperatures=(300.0,), clock_period=2e-9, vectors=64
+        )
+        assert slow[0].leakage_share > fast[0].leakage_share
+
+    def test_figure2c_activity_knob(self):
+        quiet = figure2c_power_breakdown(
+            circuits=["ctrl"], temperatures=(300.0,), pi_activity=0.05, vectors=64
+        )
+        busy = figure2c_power_breakdown(
+            circuits=["ctrl"], temperatures=(300.0,), pi_activity=0.5, vectors=64
+        )
+        assert quiet[0].leakage_share > busy[0].leakage_share

@@ -1,0 +1,127 @@
+"""Tests for sequential design synthesis and signoff."""
+
+import pytest
+
+from repro.charlib import default_library
+from repro.core.sequential import (
+    SequentialDesign,
+    make_accumulator,
+    make_counter,
+    pick_flop,
+    run_sequential,
+)
+from repro.synth import AIG
+
+
+@pytest.fixture(scope="module")
+def library():
+    return default_library(10.0)
+
+
+class TestDesignValidation:
+    def test_counter_shape(self):
+        design = make_counter(4)
+        assert design.num_registers == 4
+        assert design.num_primary_inputs == 1  # enable
+        assert design.num_primary_outputs == 1  # carry
+
+    def test_register_bounds_checked(self):
+        g = AIG()
+        g.add_pi()
+        g.add_po(2)
+        with pytest.raises(ValueError):
+            SequentialDesign("bad", g, num_registers=2)
+        with pytest.raises(ValueError):
+            SequentialDesign("bad", g, num_registers=-1)
+
+    def test_counter_semantics(self):
+        # Evaluate the next-state logic combinationally.
+        design = make_counter(3)
+        core = design.core
+        for state in range(8):
+            for enable in (False, True):
+                inputs = [enable] + [bool((state >> i) & 1) for i in range(3)]
+                outs = core.evaluate(inputs)
+                carry = outs[0]
+                next_state = sum(1 << i for i in range(3) if outs[1 + i])
+                expected = (state + 1) % 8 if enable else state
+                assert next_state == expected, (state, enable)
+                assert carry == (state == 7)
+
+    def test_accumulator_semantics(self):
+        design = make_accumulator(4)
+        core = design.core
+        for acc in (0, 5, 15):
+            for data in (0, 3, 12):
+                inputs = (
+                    [False]
+                    + [bool((data >> i) & 1) for i in range(4)]
+                    + [bool((acc >> i) & 1) for i in range(4)]
+                )
+                outs = core.evaluate(inputs)
+                next_acc = sum(1 << i for i in range(4) if outs[1 + i])
+                assert next_acc == (acc + data) % 16
+        # Clear forces zero.
+        inputs = [True] + [True] * 4 + [True] * 4
+        outs = core.evaluate(inputs)
+        assert not any(outs[1:])
+
+
+class TestPickFlop:
+    def test_default_flop(self, library):
+        flop = pick_flop(library)
+        assert flop.name == "DFFx1"
+        assert flop.is_sequential
+
+    def test_drive_selection(self, library):
+        assert pick_flop(library, drive=2).name == "DFFx2"
+
+    def test_no_flop_library_rejected(self):
+        from repro.charlib import characterize_library
+        from repro.pdk import cryo5_technology
+        from repro.pdk.catalog import make_inv
+
+        lib = characterize_library(cryo5_technology(), 10.0, cells=[make_inv(1)])
+        with pytest.raises(ValueError):
+            pick_flop(lib)
+
+
+class TestSequentialSignoff:
+    @pytest.fixture(scope="class")
+    def result(self, library):
+        return run_sequential(make_counter(6), library, vectors=128)
+
+    def test_components_positive(self, result):
+        assert result.clk_to_q > 0.0
+        assert result.setup_time > 0.0
+        assert result.comb_delay > 0.0
+
+    def test_min_period_is_sum(self, result):
+        assert result.min_clock_period == pytest.approx(
+            result.clk_to_q + result.comb_delay + result.setup_time
+        )
+        assert result.fmax == pytest.approx(1.0 / result.min_clock_period)
+
+    def test_fmax_in_plausible_band(self, result):
+        # A 6-bit counter in a ps-class library clocks in the GHz range.
+        assert 1e8 < result.fmax < 1e12
+
+    def test_register_power_included(self, result):
+        assert result.register_power > 0.0
+        assert result.total_power == pytest.approx(
+            result.register_power + result.core_power
+        )
+
+    def test_wider_counter_slower_and_hungrier(self, library):
+        small = run_sequential(make_counter(4), library, vectors=128)
+        large = run_sequential(make_counter(12), library, vectors=128)
+        assert large.min_clock_period > small.min_clock_period
+        assert large.register_power > small.register_power
+
+    def test_scenarios_all_run(self, library):
+        for scenario in ("baseline", "p_a_d", "p_d_a"):
+            result = run_sequential(
+                make_accumulator(4), library, scenario=scenario, vectors=128
+            )
+            assert result.scenario == scenario
+            assert result.fmax > 0.0

@@ -1,0 +1,101 @@
+"""Tests for PVT corner modeling."""
+
+import pytest
+
+from repro.charlib import characterize_library
+from repro.device import CryoFinFET, default_nfet_5nm, default_pfet_5nm
+from repro.device.corners import (
+    Corner,
+    corner_technology,
+    make_corner,
+    skew_device,
+    standard_corner_set,
+)
+from repro.pdk.catalog import make_inv
+
+
+NFET = default_nfet_5nm()
+PFET = default_pfet_5nm()
+
+
+class TestSkews:
+    def test_tt_identity(self):
+        assert skew_device(NFET, "tt") == NFET
+
+    def test_ss_slower(self):
+        ss = skew_device(NFET, "ss")
+        assert ss.vth0 > NFET.vth0
+        assert ss.mu_phonon_300 < NFET.mu_phonon_300
+
+    def test_ff_faster_and_leakier(self):
+        ff = CryoFinFET(skew_device(NFET, "ff"))
+        tt = CryoFinFET(NFET)
+        assert ff.on_current(0.7, 300.0) > tt.on_current(0.7, 300.0)
+        assert ff.off_current(0.7, 300.0) > tt.off_current(0.7, 300.0)
+
+    def test_unknown_corner_rejected(self):
+        with pytest.raises(ValueError):
+            skew_device(NFET, "sf")
+
+
+class TestCornerConstruction:
+    def test_make_corner_validates(self):
+        with pytest.raises(ValueError):
+            make_corner("x", NFET, PFET, vdd=0.0)
+        with pytest.raises(ValueError):
+            make_corner("x", NFET, PFET, temperature=-1.0)
+
+    def test_standard_set_names(self):
+        corners = standard_corner_set(NFET, PFET)
+        assert set(corners) == {
+            "wc_delay", "typical", "wc_leakage",
+            "cryo_typical", "cryo_wc_delay", "cryo_bc_delay",
+        }
+        assert corners["cryo_typical"].temperature == 10.0
+        assert corners["wc_delay"].vdd < corners["typical"].vdd
+
+    def test_corner_technology_carries_conditions(self):
+        corner = make_corner("t", NFET, PFET, "ss", vdd=0.65, temperature=10.0)
+        tech = corner_technology(corner)
+        assert tech.vdd == pytest.approx(0.65)
+        assert tech.nfet.vth0 == pytest.approx(NFET.vth0 + 0.03)
+
+
+class TestCornerCharacterization:
+    def test_wc_delay_slower_than_typical(self):
+        corners = standard_corner_set(NFET, PFET)
+        cells = [make_inv(1)]
+        slow = characterize_library(
+            corner_technology(corners["wc_delay"]),
+            corners["wc_delay"].temperature,
+            cells=cells,
+        )
+        typical = characterize_library(
+            corner_technology(corners["typical"]),
+            corners["typical"].temperature,
+            cells=cells,
+        )
+        assert slow["INVx1"].typical_delay() > typical["INVx1"].typical_delay()
+
+    def test_cryo_corners_all_low_leakage(self):
+        corners = standard_corner_set(NFET, PFET)
+        cells = [make_inv(1)]
+        for name in ("cryo_typical", "cryo_wc_delay", "cryo_bc_delay"):
+            corner = corners[name]
+            library = characterize_library(
+                corner_technology(corner), corner.temperature, cells=cells
+            )
+            assert library["INVx1"].leakage_average < 1e-10, name
+
+    def test_classical_wc_leakage_is_leaky(self):
+        corners = standard_corner_set(NFET, PFET)
+        cells = [make_inv(1)]
+        leaky = characterize_library(
+            corner_technology(corners["wc_leakage"]),
+            corners["wc_leakage"].temperature,
+            cells=cells,
+        )
+        typical = characterize_library(
+            corner_technology(corners["typical"]), 300.0, cells=cells
+        )
+        assert leaky["INVx1"].leakage_average > 3.0 * typical["INVx1"].leakage_average

@@ -1,0 +1,138 @@
+"""Tests for the synthetic probe station and the calibration loop."""
+
+import numpy as np
+import pytest
+
+from repro.device import (
+    CryoFinFET,
+    CryoProbeStation,
+    calibrate,
+    default_nfet_5nm,
+    default_pfet_5nm,
+    paper_measurement_campaign,
+    parameter_recovery_error,
+    perturbed_silicon,
+    validate,
+)
+
+
+@pytest.fixture(scope="module")
+def silicon():
+    return perturbed_silicon(default_nfet_5nm(), seed=42)
+
+
+@pytest.fixture(scope="module")
+def station(silicon):
+    return CryoProbeStation(silicon, seed=7)
+
+
+class TestPerturbedSilicon:
+    def test_differs_from_base(self, silicon):
+        base = default_nfet_5nm()
+        assert silicon.vth0 != base.vth0
+        assert silicon.mu_phonon_300 != base.mu_phonon_300
+
+    def test_deterministic_per_seed(self):
+        a = perturbed_silicon(default_nfet_5nm(), seed=5)
+        b = perturbed_silicon(default_nfet_5nm(), seed=5)
+        c = perturbed_silicon(default_nfet_5nm(), seed=6)
+        assert a == b
+        assert a != c
+
+    def test_stays_physical(self):
+        for seed in range(20):
+            p = perturbed_silicon(default_nfet_5nm(), seed=seed)
+            assert p.ideality >= 1.0
+            assert p.band_tail_temperature >= 5.0
+            assert p.vth0 > 0.0
+
+
+class TestProbeStation:
+    def test_rejects_setpoints_below_stable_limit(self, station):
+        # Paper: probe heat flux makes 10 K the lowest stable setpoint.
+        with pytest.raises(ValueError):
+            station.measure_point(0.5, 0.7, 4.0)
+
+    def test_measurement_noise_present(self, station):
+        readings = {station.measure_point(0.6, 0.7, 300.0).ids for _ in range(5)}
+        assert len(readings) > 1
+
+    def test_noise_floor_visible_in_deep_subthreshold(self, silicon):
+        station = CryoProbeStation(silicon, seed=3)
+        point = station.measure_point(0.0, 0.05, 10.0)
+        # True current is ~1e-16 A; the reading is dominated by the
+        # instrument floor (pA class) instead.
+        assert abs(point.ids) < 1e-10
+
+    def test_sweep_shapes(self, station):
+        sweep = station.sweep_ids_vgs(0.05, 300.0, points=31)
+        assert sweep.vgs.shape == (31,)
+        assert sweep.ids.shape == (31,)
+        assert sweep.vds == pytest.approx(0.05)
+
+    def test_pfet_sweep_reflected_to_negative_bias(self):
+        silicon = perturbed_silicon(default_pfet_5nm(), seed=9)
+        station = CryoProbeStation(silicon, seed=9)
+        sweep = station.sweep_ids_vgs(0.05, 300.0, points=11)
+        assert sweep.vds < 0.0
+        assert sweep.vgs.min() < 0.0
+        assert sweep.vgs.max() == pytest.approx(0.0)
+
+
+class TestCalibration:
+    @pytest.fixture(scope="class")
+    def campaign(self, station):
+        sweeps = []
+        for temperature in (300.0, 200.0, 77.0, 10.0):
+            for vds in (0.05, 0.75):
+                sweeps.append(station.sweep_ids_vgs(vds, temperature, points=36))
+        return sweeps
+
+    @pytest.fixture(scope="class")
+    def result(self, campaign):
+        return calibrate(campaign, default_nfet_5nm())
+
+    def test_fit_quality(self, result):
+        # The paper reports "excellent agreement"; with our synthetic
+        # instrument noise the RMS log error should be well under a
+        # fifth of a decade.
+        assert result.rms_log_error < 0.15
+
+    def test_fit_beats_initial_guess(self, campaign, result):
+        initial_report = validate(CryoFinFET(default_nfet_5nm()), campaign)
+        fitted_report = validate(result.device(), campaign)
+        assert np.mean(list(fitted_report.values())) < np.mean(list(initial_report.values()))
+
+    def test_recovers_hidden_parameters(self, silicon, result):
+        errors = parameter_recovery_error(result.params, silicon)
+        # Key first-order parameters come back tightly.
+        assert errors["vth0"] < 0.05
+        assert errors["ideality"] < 0.10
+
+    def test_per_sweep_report_covers_all_conditions(self, campaign, result):
+        assert len(result.per_sweep_rms) == len(campaign)
+        assert all(v >= 0.0 for v in result.per_sweep_rms.values())
+
+    def test_validation_on_heldout_bias(self, station, result):
+        held_out = [station.sweep_ids_vgs(0.40, 150.0, points=25)]
+        report = validate(result.device(), held_out)
+        assert list(report.values())[0] < 0.30
+
+    def test_empty_sweep_list_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate([], default_nfet_5nm())
+
+
+class TestPaperCampaign:
+    def test_covers_both_polarities_all_conditions(self):
+        campaign = paper_measurement_campaign(temperatures=(300.0, 10.0))
+        # 2 temperatures x 2 vds per polarity.
+        assert len(campaign["n"]) == 4
+        assert len(campaign["p"]) == 4
+        n_temps = {s.temperature_setpoint for s in campaign["n"]}
+        assert n_temps == {300.0, 10.0}
+
+    def test_reproducible(self):
+        a = paper_measurement_campaign(seed=1, temperatures=(300.0,))
+        b = paper_measurement_campaign(seed=1, temperatures=(300.0,))
+        assert np.allclose(a["n"][0].ids, b["n"][0].ids)

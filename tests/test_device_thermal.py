@@ -1,0 +1,163 @@
+"""Unit tests for the cryogenic thermal-physics primitives."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.device import constants, thermal
+
+
+class TestThermalVoltage:
+    def test_room_temperature_value(self):
+        assert constants.thermal_voltage(300.0) == pytest.approx(0.02585, rel=1e-3)
+
+    def test_rejects_nonpositive_temperature(self):
+        with pytest.raises(ValueError):
+            constants.thermal_voltage(0.0)
+        with pytest.raises(ValueError):
+            constants.thermal_voltage(-10.0)
+
+    def test_linear_in_temperature(self):
+        assert constants.thermal_voltage(150.0) == pytest.approx(
+            constants.thermal_voltage(300.0) / 2.0
+        )
+
+
+class TestEffectiveThermalVoltage:
+    def test_matches_physical_value_at_room_temperature(self):
+        # With a 35 K band tail the 300 K value deviates by < 1 %.
+        eff = thermal.effective_thermal_voltage(300.0, 35.0)
+        phys = constants.thermal_voltage(300.0)
+        assert eff == pytest.approx(phys, rel=0.01)
+
+    def test_saturates_at_band_tail_temperature(self):
+        eff_10 = thermal.effective_thermal_voltage(10.0, 35.0)
+        eff_2 = thermal.effective_thermal_voltage(2.0, 35.0)
+        floor = constants.BOLTZMANN_EV * 35.0
+        assert eff_10 == pytest.approx(floor, rel=0.05)
+        assert eff_2 == pytest.approx(floor, rel=0.01)
+
+    def test_zero_band_tail_recovers_boltzmann(self):
+        assert thermal.effective_thermal_voltage(77.0, 0.0) == pytest.approx(
+            constants.thermal_voltage(77.0)
+        )
+
+    def test_rejects_negative_band_tail(self):
+        with pytest.raises(ValueError):
+            thermal.effective_thermal_voltage(77.0, -1.0)
+
+    @given(
+        t=st.floats(min_value=1.0, max_value=400.0),
+        tbt=st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_always_at_least_physical_thermal_voltage(self, t, tbt):
+        assert thermal.effective_thermal_voltage(t, tbt) >= constants.thermal_voltage(t) - 1e-15
+
+    @given(
+        t1=st.floats(min_value=1.0, max_value=400.0),
+        t2=st.floats(min_value=1.0, max_value=400.0),
+    )
+    def test_monotone_in_temperature(self, t1, t2):
+        lo, hi = sorted((t1, t2))
+        assert thermal.effective_thermal_voltage(lo, 35.0) <= thermal.effective_thermal_voltage(
+            hi, 35.0
+        ) + 1e-15
+
+
+class TestSubthresholdSwing:
+    def test_room_temperature_near_60mv_per_decade(self):
+        ss = thermal.subthreshold_swing(300.0, 0.0, ideality=1.0)
+        assert ss == pytest.approx(0.0595, rel=0.01)
+
+    def test_cryogenic_floor_not_boltzmann(self):
+        # At 10 K the Boltzmann limit would be ~2 mV/dec; band tails pin
+        # the swing near 7 mV/dec (the experimentally observed floor).
+        ss = thermal.subthreshold_swing(10.0, 35.0, ideality=1.0)
+        boltzmann = thermal.subthreshold_swing(10.0, 0.0, ideality=1.0)
+        assert boltzmann == pytest.approx(0.002, rel=0.05)
+        assert 0.005 < ss < 0.010
+
+    def test_ideality_scales_swing(self):
+        base = thermal.subthreshold_swing(300.0, 35.0, ideality=1.0)
+        assert thermal.subthreshold_swing(300.0, 35.0, ideality=1.5) == pytest.approx(1.5 * base)
+
+    def test_rejects_ideality_below_one(self):
+        with pytest.raises(ValueError):
+            thermal.subthreshold_swing(300.0, 35.0, ideality=0.9)
+
+
+class TestThresholdShift:
+    def test_zero_at_reference_temperature(self):
+        assert thermal.threshold_shift(300.0, 4.5e-4) == pytest.approx(0.0, abs=1e-12)
+
+    def test_positive_when_cooling(self):
+        assert thermal.threshold_shift(77.0, 4.5e-4) > 0.0
+        assert thermal.threshold_shift(10.0, 4.5e-4) > thermal.threshold_shift(77.0, 4.5e-4)
+
+    def test_magnitude_at_10k_about_100mv(self):
+        # The literature the paper cites reports ~0.1 V V_th rise at
+        # deep cryo for FinFET nodes.
+        shift = thermal.threshold_shift(10.0, 4.5e-4)
+        assert 0.05 < shift < 0.15
+
+    def test_flattens_below_freezeout_knee(self):
+        # The knee makes the increment from 20 K to 10 K much smaller
+        # than the linear extrapolation from 300 K would predict.
+        step_cold = thermal.threshold_shift(10.0, 4.5e-4) - thermal.threshold_shift(20.0, 4.5e-4)
+        step_warm = thermal.threshold_shift(280.0, 4.5e-4) - thermal.threshold_shift(290.0, 4.5e-4)
+        assert step_cold < 0.5 * step_warm
+
+    def test_rejects_nonpositive_knee(self):
+        with pytest.raises(ValueError):
+            thermal.threshold_shift(77.0, 4.5e-4, freezeout_knee_k=0.0)
+
+
+class TestMobility:
+    def test_phonon_mobility_increases_when_cooling(self):
+        mu300 = thermal.phonon_limited_mobility(300.0, 0.04)
+        mu77 = thermal.phonon_limited_mobility(77.0, 0.04)
+        assert mu300 == pytest.approx(0.04)
+        assert mu77 > 5.0 * mu300
+
+    def test_effective_mobility_saturates(self):
+        mu10 = thermal.effective_mobility(10.0, 0.04, 0.065)
+        mu2 = thermal.effective_mobility(2.0, 0.04, 0.065)
+        assert mu10 == pytest.approx(0.065, rel=0.05)
+        assert mu2 == pytest.approx(0.065, rel=0.01)
+
+    def test_cryo_improvement_in_reported_range(self):
+        # 10 nm-class FinFET literature reports ~58 % mobility gain.
+        mu300 = thermal.effective_mobility(300.0, 0.04, 0.065)
+        mu10 = thermal.effective_mobility(10.0, 0.04, 0.065)
+        improvement = mu10 / mu300 - 1.0
+        assert 0.3 < improvement < 2.0
+
+    @given(t=st.floats(min_value=1.0, max_value=400.0))
+    def test_effective_below_both_limits(self, t):
+        mu = thermal.effective_mobility(t, 0.04, 0.065)
+        assert mu < 0.065
+        assert mu < thermal.phonon_limited_mobility(t, 0.04)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            thermal.phonon_limited_mobility(300.0, -0.01)
+        with pytest.raises(ValueError):
+            thermal.effective_mobility(300.0, 0.04, 0.0)
+
+
+class TestSaturationVelocityAndCaps:
+    def test_vsat_increases_at_cryo(self):
+        assert thermal.saturation_velocity(10.0, 1e5) > thermal.saturation_velocity(300.0, 1e5)
+
+    def test_vsat_reference_value(self):
+        assert thermal.saturation_velocity(300.0, 1e5) == pytest.approx(1e5)
+
+    def test_gate_cap_factor_bounds(self):
+        assert thermal.gate_capacitance_factor(300.0) == pytest.approx(1.0)
+        f10 = thermal.gate_capacitance_factor(10.0)
+        assert 0.9 < f10 < 1.0
+
+    def test_gate_cap_factor_rejects_bad_reduction(self):
+        with pytest.raises(ValueError):
+            thermal.gate_capacitance_factor(10.0, cryo_reduction=1.5)

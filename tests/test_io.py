@@ -1,0 +1,206 @@
+"""Tests for AIGER / BLIF / Verilog interchange."""
+
+import random
+
+import pytest
+
+from repro.charlib import default_library
+from repro.io import (
+    parse_ascii,
+    parse_binary,
+    parse_blif,
+    write_ascii,
+    write_binary,
+    write_blif,
+    write_verilog,
+)
+from repro.mapping import map_to_gates
+from repro.sat import assert_equivalent
+from repro.synth import AIG, lit_not, map_luts
+
+
+def random_network(seed: int, n_pis=5, n_ops=50) -> AIG:
+    rng = random.Random(seed)
+    g = AIG(f"net{seed}")
+    lits = [g.add_pi(f"in{i}") for i in range(n_pis)]
+    for _ in range(n_ops):
+        a, b = rng.choice(lits), rng.choice(lits)
+        lits.append(
+            getattr(g, rng.choice(["add_and", "add_or", "add_xor"]))(
+                a ^ rng.randint(0, 1), b ^ rng.randint(0, 1)
+            )
+        )
+    g.add_po(lits[-1], "out0")
+    g.add_po(lit_not(lits[-2]), "out1")
+    return g.cleanup()
+
+
+class TestAigerAscii:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_round_trip_equivalence(self, seed):
+        g = random_network(seed)
+        back = parse_ascii(write_ascii(g))
+        assert_equivalent(g, back, f"aag seed {seed}")
+
+    def test_names_preserved(self):
+        g = random_network(0)
+        back = parse_ascii(write_ascii(g))
+        assert back.pi_names == g.pi_names
+        assert back.po_names == g.po_names
+
+    def test_header_counts(self):
+        g = random_network(1)
+        header = write_ascii(g).splitlines()[0].split()
+        assert header[0] == "aag"
+        assert int(header[2]) == g.num_pis
+        assert int(header[4]) == g.num_pos
+        assert int(header[5]) == g.num_ands
+
+    def test_constant_po(self):
+        g = AIG()
+        g.add_pi("a")
+        g.add_po(1, "const1")
+        back = parse_ascii(write_ascii(g))
+        assert back.evaluate([False]) == [True]
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_ascii("module foo; endmodule")
+
+    def test_rejects_latches(self):
+        with pytest.raises(ValueError):
+            parse_ascii("aag 1 0 1 0 0\n2 2\n")
+
+
+class TestAigerBinary:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_round_trip_equivalence(self, seed):
+        g = random_network(seed)
+        back = parse_binary(write_binary(g))
+        assert_equivalent(g, back, f"aig seed {seed}")
+
+    def test_names_preserved(self):
+        g = random_network(2)
+        back = parse_binary(write_binary(g))
+        assert back.pi_names == g.pi_names
+
+    def test_binary_smaller_than_ascii(self):
+        g = random_network(3, n_ops=200)
+        assert len(write_binary(g)) < len(write_ascii(g).encode())
+
+    def test_cross_format_equivalence(self):
+        g = random_network(1)
+        via_ascii = parse_ascii(write_ascii(g))
+        via_binary = parse_binary(write_binary(g))
+        assert_equivalent(via_ascii, via_binary, "cross-format")
+
+
+class TestBlif:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_round_trip_equivalence(self, seed):
+        g = random_network(seed)
+        net = map_luts(g, k=4)
+        back = parse_blif(write_blif(net))
+        assert_equivalent(net.to_aig(), back.to_aig(), f"blif seed {seed}")
+
+    def test_model_name(self):
+        g = random_network(0)
+        net = map_luts(g, k=4)
+        text = write_blif(net, model="mymodel")
+        assert text.startswith(".model mymodel")
+        assert parse_blif(text).name == "mymodel"
+
+    def test_unsupported_construct_rejected(self):
+        with pytest.raises(ValueError):
+            parse_blif(".model x\n.inputs a\n.outputs y\n.latch a y\n.end\n")
+
+    def test_undefined_output_rejected(self):
+        with pytest.raises(ValueError):
+            parse_blif(".model x\n.inputs a\n.outputs y\n.end\n")
+
+
+class TestVerilog:
+    def test_structure(self):
+        g = random_network(0)
+        lib = default_library(10.0)
+        net = map_to_gates(g, lib)
+        text = write_verilog(net)
+        assert text.startswith("module net0")
+        assert text.rstrip().endswith("endmodule")
+        for gate in net.gates:
+            assert gate.cell in text
+
+    def test_bus_names_sanitized(self):
+        g = AIG("top")
+        a = g.add_pi("data[0]")
+        b = g.add_pi("data[1]")
+        g.add_po(g.add_and(a, b), "out[0]")
+        lib = default_library(10.0)
+        net = map_to_gates(g, lib)
+        text = write_verilog(net)
+        assert "data[0]" not in text
+        assert "data_0_" in text
+
+    def test_instance_count_matches(self):
+        g = random_network(1)
+        lib = default_library(10.0)
+        net = map_to_gates(g, lib)
+        text = write_verilog(net)
+        instance_lines = [l for l in text.splitlines() if l.strip().startswith(("INV", "NAND", "NOR", "AND", "OR", "XOR", "XNOR", "AOI", "OAI", "AO", "OA", "MUX", "MAJ", "HA", "FA", "BUF", "CLK", "NAND2B", "NOR2B", "DLY", "TIE"))]
+        assert len(instance_lines) == net.num_gates
+
+
+class TestVerilogReader:
+    def test_round_trip_equivalence(self):
+        from repro.io import parse_verilog, write_verilog
+
+        g = random_network(4)
+        lib = default_library(10.0)
+        net = map_to_gates(g, lib)
+        back = parse_verilog(write_verilog(net))
+        assert back.num_gates == net.num_gates
+        assert back.pi_nets and back.po_nets
+        assert_equivalent(net.to_aig(lib), back.to_aig(lib), "verilog rt")
+
+    def test_comments_stripped(self):
+        from repro.io import parse_verilog
+
+        text = (
+            "// header comment\n"
+            "module m (\n  input a,\n  output y\n);\n"
+            "/* block */  INVx1 g1 (.A(a), .Y(y));\n"
+            "endmodule\n"
+        )
+        net = parse_verilog(text)
+        assert net.pi_nets == ["a"]
+        assert net.po_nets == ["y"]
+        assert net.gates[0].cell == "INVx1"
+        assert net.gates[0].pins == {"A": "a"}
+        assert net.gates[0].output_net == "y"
+
+    def test_wire_declarations_accepted(self):
+        from repro.io import parse_verilog
+
+        text = (
+            "module m (\n  input a,\n  output y\n);\n"
+            "  wire t1, t2;\n"
+            "  INVx1 g1 (.A(a), .Y(t1));\n"
+            "  INVx1 g2 (.A(t1), .Y(y));\n"
+            "endmodule\n"
+        )
+        net = parse_verilog(text)
+        assert net.num_gates == 2
+
+    def test_missing_endmodule_rejected(self):
+        from repro.io import parse_verilog
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            parse_verilog("module m (input a, output y); INVx1 g (.A(a), .Y(y));")
+
+    def test_garbage_rejected(self):
+        from repro.io import parse_verilog
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            parse_verilog("library (foo) { }")

@@ -1,0 +1,216 @@
+"""Tests for technology mapping: cost policies, matching, extraction."""
+
+import random
+
+import pytest
+
+from repro.charlib import default_library
+from repro.mapping import (
+    CostPolicy,
+    MappedNetlist,
+    TechLibraryView,
+    TechnologyMapper,
+    all_orderings,
+    baseline_power_aware,
+    map_to_gates,
+    p_a_d,
+    p_d_a,
+)
+from repro.sat import assert_equivalent
+from repro.synth import AIG, lit_not
+
+
+@pytest.fixture(scope="module")
+def library():
+    return default_library(10.0)
+
+
+@pytest.fixture(scope="module")
+def view(library):
+    return TechLibraryView(library)
+
+
+def random_network(seed: int, n_pis=6, n_ops=60, n_pos=3) -> AIG:
+    rng = random.Random(seed)
+    g = AIG()
+    lits = [g.add_pi() for _ in range(n_pis)]
+    for _ in range(n_ops):
+        a, b = rng.choice(lits), rng.choice(lits)
+        op = rng.choice(["add_and", "add_or", "add_xor"])
+        lits.append(getattr(g, op)(a ^ rng.randint(0, 1), b ^ rng.randint(0, 1)))
+    for i in range(n_pos):
+        g.add_po(lits[-(i + 1)])
+    return g.cleanup()
+
+
+class TestCostPolicy:
+    def test_permutation_enforced(self):
+        with pytest.raises(ValueError):
+            CostPolicy("bad", ("power", "power", "delay"))
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            CostPolicy("bad", ("power", "area", "delay"), epsilon=-0.1)
+
+    def test_primary_dominates(self):
+        policy = p_a_d()
+        cheap_power = {"power": 1.0, "area": 100.0, "delay": 100.0}
+        cheap_area = {"power": 2.0, "area": 1.0, "delay": 1.0}
+        assert policy.better(cheap_power, cheap_area)
+        assert not policy.better(cheap_area, cheap_power)
+
+    def test_tie_falls_through(self):
+        policy = p_a_d()
+        a = {"power": 1.00, "area": 5.0, "delay": 1.0}
+        b = {"power": 1.01, "area": 2.0, "delay": 1.0}  # power ties (1% < eps)
+        assert policy.better(b, a)
+
+    def test_orderings_distinct(self):
+        orderings = all_orderings()
+        assert len(orderings) == 6
+        assert len({o.priorities for o in orderings}) == 6
+
+    def test_named_policies(self):
+        assert baseline_power_aware().priorities[0] == "area"
+        assert p_a_d().priorities == ("power", "area", "delay")
+        assert p_d_a().priorities == ("power", "delay", "area")
+
+
+class TestLibraryView:
+    def test_inverter_found(self, view):
+        assert view.inverter.name.startswith(("INV", "CLKINV"))
+
+    def test_families_group_drive_variants(self, view):
+        nand2_families = [
+            family
+            for family in view.families.values()
+            if family.arity == 2 and family.table == 0b0111
+        ]
+        assert len(nand2_families) == 1
+        assert len(nand2_families[0].cells) >= 4  # NAND2x1..x8
+
+    def test_matches_for_basic_functions(self, view):
+        assert view.matches(0b0111, 2)  # NAND2
+        assert view.matches(0b0110, 2)  # XOR2
+        assert view.matches(0b01, 1)  # INV
+
+    def test_matches_cover_negated_inputs(self, view):
+        # a & !b has a direct config (AND2B) or one using inverters.
+        configs = view.matches(0b0010, 2)
+        assert configs
+
+    def test_oversize_arity_returns_empty(self, view):
+        assert view.matches(0, 5) == []
+
+    def test_match_semantics(self, view, library):
+        # Every advertised config must actually realize the function.
+        rng = random.Random(0)
+        checked = 0
+        for arity in (2, 3):
+            tables = list(view.match_tables[arity])
+            rng.shuffle(tables)
+            for tt in tables[:10]:
+                for config in view.matches(tt, arity)[:3]:
+                    cell_tt, cell_arity = config.function_key
+                    realized = 0
+                    for assignment in range(1 << arity):
+                        pin_values = 0
+                        for pin in range(cell_arity):
+                            bit = (assignment >> config.leaf_of_pin[pin]) & 1
+                            if (config.pin_neg_mask >> pin) & 1:
+                                bit ^= 1
+                            pin_values |= bit << pin
+                        value = (cell_tt >> pin_values) & 1
+                        if config.output_neg:
+                            value ^= 1
+                        realized |= value << assignment
+                    assert realized == tt, (tt, config)
+                    checked += 1
+        assert checked > 20
+
+
+class TestMapper:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_equivalence_all_policies(self, seed, library):
+        g = random_network(seed)
+        for policy in (baseline_power_aware(), p_a_d(), p_d_a()):
+            net = map_to_gates(g, library, policy)
+            assert_equivalent(g, net.to_aig(library), f"{policy.name} seed {seed}")
+
+    def test_complemented_outputs_get_inverters(self, library):
+        g = AIG()
+        a, b = g.add_pi(), g.add_pi()
+        g.add_po(lit_not(g.add_and(a, b)))
+        net = map_to_gates(g, library)
+        assert_equivalent(g, net.to_aig(library), "complемented po")
+
+    def test_constant_outputs(self, library):
+        g = AIG()
+        g.add_pi("a")
+        g.add_po(0, "zero")
+        g.add_po(1, "one")
+        net = map_to_gates(g, library)
+        assert net.evaluate(library, [True]) == [False, True]
+        assert net.evaluate(library, [False]) == [False, True]
+
+    def test_pi_passthrough_po(self, library):
+        g = AIG()
+        a = g.add_pi("a")
+        g.add_po(a, "same")
+        net = map_to_gates(g, library)
+        assert net.evaluate(library, [True]) == [True]
+        assert net.evaluate(library, [False]) == [False]
+
+    def test_gate_count_reasonable(self, library):
+        g = random_network(5, n_ops=100)
+        net = map_to_gates(g, library)
+        # Mapping onto multi-input cells compresses vs AND count.
+        assert net.num_gates < g.num_ands * 1.2
+
+    def test_netlist_topologically_ordered(self, library):
+        g = random_network(6)
+        net = map_to_gates(g, library)
+        driven = set(net.pi_nets)
+        for gate in net.gates:
+            for pin_net in gate.pins.values():
+                assert pin_net in driven, f"{gate.name} uses undriven {pin_net}"
+            driven.add(gate.output_net)
+
+    def test_policies_actually_differ_somewhere(self, library):
+        differ = False
+        for seed in range(8):
+            g = random_network(seed, n_ops=120)
+            area_first = map_to_gates(g, library, baseline_power_aware())
+            power_first = map_to_gates(g, library, p_a_d())
+            if area_first.cell_counts() != power_first.cell_counts():
+                differ = True
+                break
+        assert differ, "cost orderings never changed a mapping decision"
+
+
+class TestMappedNetlist:
+    def test_cell_counts_and_area(self, library):
+        g = random_network(7)
+        net = map_to_gates(g, library)
+        counts = net.cell_counts()
+        assert sum(counts.values()) == net.num_gates
+        assert net.total_area(library) > 0.0
+
+    def test_simulation_matches_aig(self, library):
+        g = random_network(8)
+        net = map_to_gates(g, library)
+        rng = random.Random(0)
+        for _ in range(20):
+            inputs = [rng.random() < 0.5 for _ in range(g.num_pis)]
+            assert net.evaluate(library, inputs) == g.evaluate(inputs)
+
+    def test_drivers_and_loads_consistent(self, library):
+        g = random_network(9)
+        net = map_to_gates(g, library)
+        drivers = net.drivers()
+        loads = net.loads()
+        for net_name, sinks in loads.items():
+            if net_name not in net.pi_nets:
+                assert net_name in drivers
+            for gate, pin in sinks:
+                assert gate.pins[pin] == net_name

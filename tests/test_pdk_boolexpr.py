@@ -1,0 +1,98 @@
+"""Tests for Boolean-expression trees."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pdk import And, Lit, Not, Or, and_all, or_all, truth_table
+
+
+class TestEvaluation:
+    def test_literal(self):
+        assert Lit("A").evaluate({"A": True}) is True
+        assert Lit("A").evaluate({"A": False}) is False
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(KeyError):
+            Lit("A").evaluate({})
+
+    def test_operators(self):
+        a, b = Lit("A"), Lit("B")
+        env = {"A": True, "B": False}
+        assert (a & b).evaluate(env) is False
+        assert (a | b).evaluate(env) is True
+        assert (~a).evaluate(env) is False
+
+    def test_nested(self):
+        a, b, c = Lit("A"), Lit("B"), Lit("C")
+        expr = (a & b) | (~a & c)
+        assert expr.evaluate({"A": False, "B": False, "C": True}) is True
+        assert expr.evaluate({"A": True, "B": False, "C": True}) is False
+
+
+class TestVariables:
+    def test_order_is_first_reference(self):
+        a, b, c = Lit("A"), Lit("B"), Lit("C")
+        expr = (b & a) | c
+        assert expr.variables() == ["B", "A", "C"]
+
+    def test_duplicates_removed(self):
+        a = Lit("A")
+        assert (a & a).variables() == ["A"]
+
+
+class TestBuilders:
+    def test_and_all_or_all(self):
+        lits = [Lit(x) for x in "ABC"]
+        env = {"A": True, "B": True, "C": False}
+        assert and_all(lits).evaluate(env) is False
+        assert or_all(lits).evaluate(env) is True
+
+    def test_single_element(self):
+        assert and_all([Lit("A")]).evaluate({"A": True}) is True
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            and_all([])
+        with pytest.raises(ValueError):
+            or_all([])
+
+
+class TestLibertyStrings:
+    def test_formats(self):
+        a, b = Lit("A"), Lit("B")
+        assert (a & b).to_liberty() == "(A&B)"
+        assert (a | b).to_liberty() == "(A|B)"
+        assert (~a).to_liberty() == "(!A)"
+
+
+class TestTruthTable:
+    def test_and2(self):
+        a, b = Lit("A"), Lit("B")
+        assert truth_table(a & b, ["A", "B"]) == 0b1000
+
+    def test_or2(self):
+        a, b = Lit("A"), Lit("B")
+        assert truth_table(a | b, ["A", "B"]) == 0b1110
+
+    def test_xor_via_composition(self):
+        a, b = Lit("A"), Lit("B")
+        xor = (a & ~b) | (~a & b)
+        assert truth_table(xor, ["A", "B"]) == 0b0110
+
+    def test_input_order_matters(self):
+        a, b = Lit("A"), Lit("B")
+        expr = a & ~b
+        assert truth_table(expr, ["A", "B"]) == 0b0010
+        assert truth_table(expr, ["B", "A"]) == 0b0100
+
+    def test_too_many_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            truth_table(Lit("A"), [f"X{i}" for i in range(17)])
+
+    @given(st.integers(min_value=0, max_value=7))
+    def test_matches_direct_evaluation(self, i):
+        a, b, c = Lit("A"), Lit("B"), Lit("C")
+        expr = (a | b) & ~c
+        table = truth_table(expr, ["A", "B", "C"])
+        env = {"A": bool(i & 1), "B": bool(i & 2), "C": bool(i & 4)}
+        assert bool((table >> i) & 1) == expr.evaluate(env)

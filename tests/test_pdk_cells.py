@@ -1,0 +1,240 @@
+"""Tests for cell templates, the catalog, and transistor netlist generation."""
+
+import pytest
+
+from repro.device import CryoFinFET
+from repro.pdk import (
+    CellTemplate,
+    Lit,
+    Stage,
+    cryo5_technology,
+    standard_cell_catalog,
+)
+from repro.pdk.catalog import (
+    catalog_by_name,
+    make_dff,
+    make_fa,
+    make_inv,
+    make_latch,
+    make_mux2,
+    make_nand,
+    make_nor,
+    make_xor2,
+)
+from repro.spice import Simulator
+
+TECH = cryo5_technology()
+
+
+class TestTechnology:
+    def test_supply(self):
+        assert TECH.vdd == pytest.approx(0.7)
+
+    def test_device_factories(self):
+        n = TECH.nfet_device(3)
+        assert isinstance(n, CryoFinFET)
+        assert n.params.nfin == 3
+        assert n.params.polarity == "n"
+        assert TECH.pfet_device(2).params.polarity == "p"
+
+    def test_pfin_ratio(self):
+        assert TECH.pfin_for(2) == 3
+        assert TECH.pfin_for(1) >= 1
+
+    def test_grids_are_seven_points(self):
+        # The paper characterizes on a 7x7 grid.
+        assert len(TECH.slew_grid) == 7
+        assert len(TECH.load_grid) == 7
+
+    def test_calibrated_params_override(self):
+        from repro.device import default_nfet_5nm
+        from repro.pdk import cryo5_technology
+
+        custom = default_nfet_5nm().with_fins(7)
+        tech = cryo5_technology(nfet=custom)
+        # Fin count is normalized back to 1 for sizing control.
+        assert tech.nfet.nfin == 1
+
+
+class TestCellLogic:
+    def test_nand_truth_tables(self):
+        assert make_nand(2, 1).output_truth_table("Y") == 0b0111
+        assert make_nand(3, 1).output_truth_table("Y") == 0x7F
+        assert make_nor(2, 1).output_truth_table("Y") == 0b0001
+
+    def test_xor(self):
+        assert make_xor2(1).output_truth_table("Y") == 0b0110
+
+    def test_mux(self):
+        # Y = S ? B : A with inputs (A, B, S).
+        assert make_mux2(1).output_truth_table("Y") == 0xCA
+
+    def test_full_adder(self):
+        fa = make_fa(1)
+        assert fa.output_truth_table("S") == 0x96
+        assert fa.output_truth_table("CO") == 0xE8
+
+    def test_output_function_matches_truth_table(self):
+        from repro.pdk import truth_table
+
+        for cell in (make_nand(2, 1), make_xor2(2), make_mux2(1)):
+            expr = cell.output_function("Y")
+            assert truth_table(expr, list(cell.inputs)) == cell.output_truth_table("Y")
+
+    def test_unknown_output_rejected(self):
+        with pytest.raises(KeyError):
+            make_inv(1).output_truth_table("Z")
+
+    def test_validation_rejects_unknown_node(self):
+        with pytest.raises(ValueError):
+            CellTemplate(
+                name="BROKEN",
+                inputs=("A",),
+                outputs=("Y",),
+                stages=(Stage("Y", Lit("NOPE")),),
+            )
+
+    def test_validation_rejects_undriven_output(self):
+        with pytest.raises(ValueError):
+            CellTemplate(
+                name="BROKEN",
+                inputs=("A",),
+                outputs=("Z",),
+                stages=(Stage("Y", Lit("A")),),
+            )
+
+    def test_latch_transparent_and_opaque(self):
+        latch = make_latch(1)
+        high = latch.evaluate({"D": True, "CLK": True})
+        assert high["Q"] is True
+        low = latch.evaluate({"D": False, "CLK": True})
+        assert low["Q"] is False
+
+    def test_dff_is_sequential(self):
+        dff = make_dff(1)
+        assert dff.is_sequential
+        assert dff.clock_pin == "CLK"
+
+
+class TestSizing:
+    def test_inverter_transistor_count(self):
+        assert make_inv(1).transistor_count(TECH) == 2
+
+    def test_nand2_transistor_count(self):
+        assert make_nand(2, 1).transistor_count(TECH) == 4
+
+    def test_bigger_drive_more_fins(self):
+        assert make_inv(4).total_fins(TECH) > make_inv(1).total_fins(TECH)
+
+    def test_area_scales_with_fins(self):
+        inv1, inv4 = make_inv(1), make_inv(4)
+        assert inv4.area_um2(TECH) / inv1.area_um2(TECH) == pytest.approx(
+            inv4.total_fins(TECH) / inv1.total_fins(TECH)
+        )
+
+    def test_input_fins_single_pin(self):
+        n, p = make_inv(2).input_fins("A", TECH)
+        assert n == 2
+        assert p == TECH.pfin_for(2)
+
+    def test_series_stack_upsized(self):
+        # NAND4 n-devices are stacked 4 deep, so each gets 4x fins.
+        nand4 = make_nand(4, 1)
+        n, p = nand4.input_fins("A", TECH)
+        assert n == 4
+        assert p == TECH.pfin_for(1)
+
+
+class TestNetlistGeneration:
+    def test_inverter_netlist(self):
+        circuit = make_inv(1).to_circuit(TECH)
+        assert len(circuit.finfets) == 2
+        kinds = {m.device.params.polarity for m in circuit.finfets}
+        assert kinds == {"n", "p"}
+
+    def test_nand2_topology(self):
+        circuit = make_nand(2, 1).to_circuit(TECH)
+        nfets = [m for m in circuit.finfets if m.device.params.polarity == "n"]
+        pfets = [m for m in circuit.finfets if m.device.params.polarity == "p"]
+        assert len(nfets) == 2
+        assert len(pfets) == 2
+        # Series n-stack: exactly one internal node shared by two nfets.
+        nodes = [m.drain for m in nfets] + [m.source for m in nfets]
+        internal = [n for n in nodes if n.startswith("Y_int")]
+        assert len(internal) == 2
+        # Parallel p-devices both connect Y to vdd.
+        assert all({m.drain, m.source} == {"Y", "vdd"} for m in pfets)
+
+    def test_nand2_dc_logic(self):
+        cell = make_nand(2, 1)
+        for a in (0.0, TECH.vdd):
+            for b in (0.0, TECH.vdd):
+                circuit = cell.to_circuit(TECH)
+                circuit.add_vsource("va", "A", "0", a)
+                circuit.add_vsource("vb", "B", "0", b)
+                op = Simulator(circuit, temperature_k=300.0).dc_operating_point()
+                expected = 0.0 if (a > 0 and b > 0) else TECH.vdd
+                assert op["Y"] == pytest.approx(expected, abs=0.02), (a, b)
+
+    def test_xor2_dc_logic(self):
+        cell = make_xor2(1)
+        for a in (0.0, TECH.vdd):
+            for b in (0.0, TECH.vdd):
+                circuit = cell.to_circuit(TECH)
+                circuit.add_vsource("va", "A", "0", a)
+                circuit.add_vsource("vb", "B", "0", b)
+                op = Simulator(circuit, temperature_k=300.0).dc_operating_point()
+                expected = TECH.vdd if (a > 0) != (b > 0) else 0.0
+                assert op["Y"] == pytest.approx(expected, abs=0.02), (a, b)
+
+    def test_load_caps_attached(self):
+        circuit = make_inv(1).to_circuit(TECH, load_caps={"Y": 5e-15})
+        names = [c.name for c in circuit.capacitors]
+        assert "cl_Y" in names
+
+
+class TestCatalog:
+    def test_exactly_200_cells(self):
+        # The paper's library "consists of 200 combinational and
+        # sequential logic gates".
+        assert len(standard_cell_catalog()) == 200
+
+    def test_no_duplicate_names(self):
+        names = [c.name for c in standard_cell_catalog()]
+        assert len(set(names)) == len(names)
+
+    def test_has_sequential_cells(self):
+        seq = [c for c in standard_cell_catalog() if c.is_sequential]
+        assert len(seq) >= 8
+        assert any(c.name.startswith("DFF") for c in seq)
+        assert any(c.name.startswith("LATCH") for c in seq)
+
+    def test_catalog_by_name(self):
+        by_name = catalog_by_name()
+        assert "INVx1" in by_name
+        assert "NAND2x1" in by_name
+        assert by_name["INVx1"].footprint == "INV"
+
+    def test_all_cells_have_consistent_structure(self):
+        for cell in standard_cell_catalog():
+            assert cell.inputs, cell.name
+            assert cell.outputs, cell.name
+            assert cell.area_um2(TECH) > 0.0, cell.name
+
+    def test_all_combinational_truth_tables_nontrivial(self):
+        for cell in standard_cell_catalog():
+            if cell.is_sequential or cell.footprint in ("TIEHI", "TIELO"):
+                continue
+            for out in cell.outputs:
+                table = cell.output_truth_table(out)
+                size = 1 << len(cell.inputs)
+                assert 0 < table < (1 << size) - 1, cell.name
+
+    def test_drive_families_share_function(self):
+        by_name = catalog_by_name()
+        assert by_name["NAND2x1"].output_truth_table("Y") == by_name[
+            "NAND2x4"
+        ].output_truth_table("Y")
+        assert by_name["INVx1"].output_truth_table("Y") == by_name[
+            "INVx8"
+        ].output_truth_table("Y")

@@ -1,0 +1,125 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Invariants that must hold across the whole stack, stated as
+properties over generated inputs rather than examples.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.io import parse_ascii, parse_binary, write_ascii, write_binary
+from repro.synth import AIG, balance, lit_not, rewrite
+from repro.synth.truth import tt_mask
+
+
+def build_random_aig(seed: int, n_pis: int, n_ops: int) -> AIG:
+    rng = random.Random(seed)
+    g = AIG(f"p{seed}")
+    lits = [g.add_pi() for _ in range(n_pis)]
+    for _ in range(n_ops):
+        a, b = rng.choice(lits), rng.choice(lits)
+        op = rng.choice([g.add_and, g.add_or, g.add_xor])
+        lits.append(op(a ^ rng.randint(0, 1), b ^ rng.randint(0, 1)))
+    g.add_po(lits[-1])
+    g.add_po(lit_not(lits[len(lits) // 2]))
+    return g.cleanup()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_pis=st.integers(min_value=2, max_value=6),
+    n_ops=st.integers(min_value=5, max_value=60),
+)
+def test_aiger_round_trip_preserves_simulation(seed, n_pis, n_ops):
+    g = build_random_aig(seed, n_pis, n_ops)
+    rng = random.Random(seed)
+    words = [rng.getrandbits(128) for _ in g.pis]
+    reference = g.simulate(words, 128)
+    assert parse_ascii(write_ascii(g)).simulate(words, 128) == reference
+    assert parse_binary(write_binary(g)).simulate(words, 128) == reference
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_ops=st.integers(min_value=10, max_value=80),
+)
+def test_optimization_passes_preserve_simulation(seed, n_ops):
+    g = build_random_aig(seed, 5, n_ops)
+    rng = random.Random(seed + 1)
+    words = [rng.getrandbits(256) for _ in g.pis]
+    reference = g.simulate(words, 256)
+    assert rewrite(g).simulate(words, 256) == reference
+    assert balance(g).simulate(words, 256) == reference
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_ops=st.integers(min_value=5, max_value=50),
+)
+def test_balance_never_increases_depth(seed, n_ops):
+    g = build_random_aig(seed, 5, n_ops)
+    assert balance(g).depth() <= g.depth()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_ops=st.integers(min_value=5, max_value=50),
+)
+def test_rewrite_never_increases_size(seed, n_ops):
+    g = build_random_aig(seed, 5, n_ops)
+    assert rewrite(g).num_ands <= g.num_ands
+
+
+@settings(max_examples=40, deadline=None)
+@given(f=st.integers(min_value=0, max_value=0xFFFF))
+def test_liberty_function_string_round_trip(f):
+    """Expression -> liberty string -> parse -> same truth table."""
+    from repro.charlib import parse_function
+    from repro.pdk.boolexpr import truth_table
+    from repro.synth import build_function
+    from repro.synth.aig import AIG as MiniAig
+
+    # Build a structural expression for f via the AIG factoring path,
+    # then render its liberty string through a cell template.
+    from repro.pdk.boolexpr import And, Lit, Not, Or
+
+    # Direct SOP expression over 4 vars.
+    names = ["A", "B", "C", "D"]
+    terms = []
+    for minterm in range(16):
+        if not (f >> minterm) & 1:
+            continue
+        lits = []
+        for v in range(4):
+            lit = Lit(names[v])
+            lits.append(lit if (minterm >> v) & 1 else Not(lit))
+        term = lits[0]
+        for l in lits[1:]:
+            term = And(term, l)
+        terms.append(term)
+    if not terms:
+        return  # constant-0 has no SOP literal form here
+    expr = terms[0]
+    for t in terms[1:]:
+        expr = Or(expr, t)
+    rendered = expr.to_liberty()
+    parsed = parse_function(rendered)
+    assert truth_table(parsed, names) == f
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    slew=st.floats(min_value=1e-12, max_value=2e-10),
+    load=st.floats(min_value=1e-16, max_value=5e-14),
+)
+def test_nldm_interpolation_bounded_by_table(slew, load):
+    from repro.charlib import default_library
+
+    arc = default_library(10.0)["NAND2x1"].arcs[0]
+    value = arc.cell_rise.lookup(slew, load)
+    assert arc.cell_rise.min_value() <= value <= arc.cell_rise.max_value()

@@ -1,0 +1,130 @@
+"""Tests for Tseitin encoding and equivalence checking."""
+
+import random
+
+import pytest
+
+from repro.sat import AIGEncoder, Solver, assert_equivalent, check_equivalence
+from repro.synth import AIG, lit_not
+
+
+def xor_network():
+    g = AIG()
+    a, b = g.add_pi("a"), g.add_pi("b")
+    g.add_po(g.add_xor(a, b), "y")
+    return g
+
+
+def xor_via_demorgan():
+    g = AIG()
+    a, b = g.add_pi("a"), g.add_pi("b")
+    t = g.add_or(g.add_and(a, b), g.add_and(lit_not(a), lit_not(b)))
+    g.add_po(lit_not(t), "y")
+    return g
+
+
+def and_network():
+    g = AIG()
+    a, b = g.add_pi(), g.add_pi()
+    g.add_po(g.add_and(a, b))
+    return g
+
+
+class TestEncoder:
+    def test_encoding_is_satisfiable(self):
+        solver = Solver()
+        encoder = AIGEncoder(solver)
+        encoder.encode(xor_network())
+        assert solver.solve() is True
+
+    def test_po_forced_by_inputs(self):
+        g = xor_network()
+        solver = Solver()
+        encoder = AIGEncoder(solver)
+        node_var = encoder.encode(g)
+        pi_vars = [node_var[n] for n in g.pis]
+        po_lit = encoder.literal(node_var, g.pos[0])
+        # a=1, b=0 -> xor = 1, so PO cannot be false.
+        assert solver.solve([pi_vars[0], -pi_vars[1], -po_lit]) is False
+        assert solver.solve([pi_vars[0], -pi_vars[1], po_lit]) is True
+
+    def test_shared_pi_vars(self):
+        solver = Solver()
+        encoder = AIGEncoder(solver)
+        pis = [solver.new_var(), solver.new_var()]
+        m1 = encoder.encode(xor_network(), pis)
+        m2 = encoder.encode(xor_via_demorgan(), pis)
+        l1 = encoder.literal(m1, xor_network().pos[0])
+        # Encodings over shared inputs cannot disagree.
+        # (Miter check done through check_equivalence below; here we
+        # just confirm the shared encoding is consistent.)
+        assert solver.solve() is True
+
+    def test_pi_vars_length_checked(self):
+        solver = Solver()
+        encoder = AIGEncoder(solver)
+        with pytest.raises(ValueError):
+            encoder.encode(xor_network(), [solver.new_var()])
+
+
+class TestCEC:
+    def test_equivalent_structures(self):
+        result = check_equivalence(xor_network(), xor_via_demorgan())
+        assert result.equivalent
+
+    def test_inequivalent_with_counterexample(self):
+        result = check_equivalence(xor_network(), and_network())
+        assert not result.equivalent
+        assert result.counterexample is not None
+        cex = list(result.counterexample)
+        assert xor_network().evaluate(cex) != and_network().evaluate(cex)
+
+    def test_interface_mismatch_rejected(self):
+        g = AIG()
+        g.add_pi()
+        g.add_po(0)
+        with pytest.raises(ValueError):
+            check_equivalence(g, xor_network())
+
+    def test_simulation_prefilter_finds_easy_differences(self):
+        result = check_equivalence(xor_network(), and_network(), simulation_patterns=64)
+        assert not result.equivalent
+
+    def test_sat_only_path(self):
+        result = check_equivalence(
+            xor_network(), xor_via_demorgan(), simulation_patterns=0
+        )
+        assert result.equivalent
+
+    def test_assert_equivalent_raises_with_context(self):
+        with pytest.raises(AssertionError, match="mycontext"):
+            assert_equivalent(xor_network(), and_network(), "mycontext")
+
+    def test_cleanup_preserves_function_randomized(self):
+        rng = random.Random(5)
+        for _ in range(10):
+            g = AIG()
+            lits = [g.add_pi() for _ in range(6)]
+            for _ in range(80):
+                a, b = rng.choice(lits), rng.choice(lits)
+                lits.append(
+                    getattr(g, rng.choice(["add_and", "add_or", "add_xor"]))(
+                        a ^ rng.randint(0, 1), b ^ rng.randint(0, 1)
+                    )
+                )
+            g.add_po(lits[-1])
+            g.add_po(lits[-3])
+            assert check_equivalence(g, g.cleanup()).equivalent
+
+    def test_multi_output_counterexample_indexed(self):
+        g1 = AIG()
+        a, b = g1.add_pi(), g1.add_pi()
+        g1.add_po(g1.add_and(a, b))
+        g1.add_po(g1.add_or(a, b))
+        g2 = AIG()
+        a, b = g2.add_pi(), g2.add_pi()
+        g2.add_po(g2.add_and(a, b))
+        g2.add_po(g2.add_xor(a, b))
+        result = check_equivalence(g1, g2)
+        assert not result.equivalent
+        assert result.failing_output == 1

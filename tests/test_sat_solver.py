@@ -1,0 +1,204 @@
+"""Tests for the CDCL SAT solver."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat import Solver, solve_cnf
+from repro.sat.solver import _luby
+
+
+def brute_force(clauses, n, extra=None):
+    """Reference: does a satisfying assignment over vars 1..n exist?"""
+    extra = extra or []
+    for bits in range(1 << n):
+        def val(lit):
+            return (lit > 0) == bool((bits >> (abs(lit) - 1)) & 1)
+
+        if all(any(val(l) for l in c) for c in clauses) and all(val(a) for a in extra):
+            return True
+    return False
+
+
+class TestBasics:
+    def test_empty_formula_sat(self):
+        assert Solver().solve() is True
+
+    def test_single_unit(self):
+        s = Solver()
+        s.add_clause([1])
+        assert s.solve() is True
+        assert s.model()[1] is True
+
+    def test_contradiction(self):
+        assert solve_cnf([[1], [-1]]) is False
+
+    def test_empty_clause_unsat(self):
+        s = Solver()
+        assert s.add_clause([]) is False
+        assert s.solve() is False
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(ValueError):
+            Solver().add_clause([0])
+
+    def test_tautology_ignored(self):
+        s = Solver()
+        s.add_clause([1, -1])
+        s.add_clause([-2])
+        assert s.solve() is True
+
+    def test_duplicate_literals_collapse(self):
+        assert solve_cnf([[1, 1, 1], [-1, -1]]) is False
+
+    def test_simple_implication_chain(self):
+        s = Solver()
+        s.add_clause([1])
+        s.add_clause([-1, 2])
+        s.add_clause([-2, 3])
+        assert s.solve() is True
+        model = s.model()
+        assert model[1] and model[2] and model[3]
+
+
+class TestPigeonhole:
+    @staticmethod
+    def php(pigeons, holes):
+        def var(p, h):
+            return p * holes + h + 1
+
+        clauses = [[var(p, h) for h in range(holes)] for p in range(pigeons)]
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    clauses.append([-var(p1, h), -var(p2, h)])
+        return clauses
+
+    def test_php_43_unsat(self):
+        assert solve_cnf(self.php(4, 3)) is False
+
+    def test_php_33_sat(self):
+        assert solve_cnf(self.php(3, 3)) is True
+
+    def test_php_54_unsat(self):
+        assert solve_cnf(self.php(5, 4)) is False
+
+
+class TestAssumptions:
+    def test_assumption_forces_value(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        assert s.solve([-1]) is True
+        assert s.model()[2] is True
+
+    def test_conflicting_assumption(self):
+        s = Solver()
+        s.add_clause([1])
+        assert s.solve([-1]) is False
+
+    def test_solver_reusable_after_assumption_unsat(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        s.add_clause([-1, 3])
+        assert s.solve([1, -3]) is False
+        assert s.solve([2]) is True
+        assert s.solve([1]) is True
+        assert s.model()[3] is True
+
+    def test_add_clause_between_queries(self):
+        # Regression for the level-0 simplification bug: clauses added
+        # after a query (with leftover trail) must still propagate.
+        s = Solver()
+        s.add_clause([1, 2])
+        assert s.solve([1]) is True
+        s.add_clause([-1])
+        assert s.solve() is True
+        assert s.model()[2] is True
+        assert s.solve([1]) is False
+
+    def test_fresh_assumption_variable(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        x = s.new_var()
+        assert s.solve([x]) is True
+        assert s.model()[x] is True
+
+
+class TestConflictLimit:
+    def test_budgeted_call_returns_none_or_answer(self):
+        clauses = TestPigeonhole.php(6, 5)
+        s = Solver()
+        for c in clauses:
+            s.add_clause(list(c))
+        result = s.solve(conflict_limit=5)
+        assert result in (None, False)
+
+    def test_unbudgeted_call_completes(self):
+        clauses = TestPigeonhole.php(5, 4)
+        assert solve_cnf(clauses) is False
+
+
+class TestLuby:
+    def test_prefix(self):
+        assert [_luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]
+
+
+class TestRandomized:
+    def test_agrees_with_brute_force(self):
+        rng = random.Random(42)
+        for _ in range(120):
+            n = rng.randint(3, 8)
+            m = rng.randint(3, 30)
+            clauses = [
+                [rng.choice([1, -1]) * rng.randint(1, n) for _ in range(3)]
+                for _ in range(m)
+            ]
+            assert solve_cnf(clauses) == brute_force(clauses, n)
+
+    def test_incremental_agrees_with_brute_force(self):
+        rng = random.Random(7)
+        for _ in range(40):
+            n = rng.randint(3, 6)
+            m = rng.randint(4, 20)
+            clauses = [
+                [rng.choice([1, -1]) * rng.randint(1, n) for _ in range(3)]
+                for _ in range(m)
+            ]
+            s = Solver()
+            for c in clauses:
+                s.add_clause(list(c))
+            for _ in range(4):
+                assum = [rng.choice([1, -1]) * rng.randint(1, n)]
+                got = s.solve(assumptions=assum)
+                assert got == brute_force(clauses, n, extra=assum)
+
+    def test_model_satisfies_formula(self):
+        rng = random.Random(3)
+        for _ in range(60):
+            n = rng.randint(3, 8)
+            m = rng.randint(3, 25)
+            clauses = [
+                [rng.choice([1, -1]) * rng.randint(1, n) for _ in range(3)]
+                for _ in range(m)
+            ]
+            s = Solver()
+            ok = all(s.add_clause(list(c)) for c in clauses)
+            if ok and s.solve() is True:
+                model = s.model()
+                for clause in clauses:
+                    assert any(
+                        model.get(abs(l), False) == (l > 0) for l in clause
+                    ), (clauses, model)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(
+        st.lists(st.integers(min_value=-5, max_value=5).filter(lambda x: x != 0),
+                 min_size=1, max_size=4),
+        min_size=1, max_size=15,
+    ))
+    def test_hypothesis_agrees_with_brute_force(self, clauses):
+        n = max(abs(l) for c in clauses for l in c)
+        assert solve_cnf([list(c) for c in clauses]) == brute_force(clauses, n)

@@ -1,0 +1,98 @@
+"""Tests for post-mapping gate sizing and signoff reports."""
+
+import pytest
+
+from repro.benchgen import build_circuit
+from repro.charlib import default_library
+from repro.mapping import map_to_gates, size_gates
+from repro.mapping.cost import CostPolicy, p_d_a
+from repro.sat import assert_equivalent
+from repro.sta import (
+    StaticTimingAnalyzer,
+    analyze_power,
+    critical_delay,
+    full_signoff,
+    render_power_report,
+    render_timing_report,
+)
+from repro.synth import compress2rs
+
+
+@pytest.fixture(scope="module")
+def library():
+    return default_library(10.0)
+
+
+@pytest.fixture(scope="module")
+def mapped(library):
+    aig = compress2rs(build_circuit("int2float", "small"))
+    return aig, map_to_gates(aig, library)
+
+
+DELAY_FIRST = CostPolicy("d_p_a", ("delay", "power", "area"), epsilon=0.05)
+
+
+class TestSizing:
+    def test_preserves_function(self, library, mapped):
+        aig, net = mapped
+        sized, _ = size_gates(net, library, DELAY_FIRST)
+        assert_equivalent(net.to_aig(library), sized.to_aig(library), "sizing")
+
+    def test_delay_first_reduces_delay(self, library, mapped):
+        _, net = mapped
+        sized, report = size_gates(net, library, DELAY_FIRST)
+        assert report.total_changes > 0
+        assert critical_delay(sized, library) < critical_delay(net, library)
+
+    def test_power_first_never_increases_power(self, library, mapped):
+        _, net = mapped
+        sized, _ = size_gates(net, library, p_d_a())
+        clock = max(critical_delay(net, library), critical_delay(sized, library)) * 1.5
+        before = analyze_power(net, library, clock, vectors=128).total
+        after = analyze_power(sized, library, clock, vectors=128).total
+        assert after <= before * 1.01
+
+    def test_original_netlist_untouched(self, library, mapped):
+        _, net = mapped
+        cells_before = net.cell_counts()
+        size_gates(net, library, DELAY_FIRST)
+        assert net.cell_counts() == cells_before
+
+    def test_gate_count_invariant(self, library, mapped):
+        _, net = mapped
+        sized, _ = size_gates(net, library, DELAY_FIRST)
+        assert sized.num_gates == net.num_gates
+
+    def test_converges_within_pass_budget(self, library, mapped):
+        _, net = mapped
+        _, report = size_gates(net, library, DELAY_FIRST, max_passes=10)
+        assert report.passes <= 10
+
+
+class TestReports:
+    def test_timing_report_contains_path(self, library, mapped):
+        _, net = mapped
+        timing = StaticTimingAnalyzer(net, library).analyze()
+        text = render_timing_report(net, library, timing)
+        assert "critical delay" in text
+        for name in timing.critical_path:
+            assert name in text
+
+    def test_power_report_decomposition(self, library, mapped):
+        _, net = mapped
+        power = analyze_power(net, library, 1e-9, vectors=128)
+        text = render_power_report(net, library, power)
+        assert "leakage" in text and "switching" in text
+        assert "TOTAL" in text
+        assert f"{net.num_gates:>6}" in text
+
+    def test_full_signoff_default_clock(self, library, mapped):
+        _, net = mapped
+        text = full_signoff(net, library, vectors=128)
+        assert "Timing report" in text
+        assert "Power report" in text
+
+    def test_full_signoff_explicit_clock(self, library, mapped):
+        _, net = mapped
+        text = full_signoff(net, library, clock_period=1e-9, vectors=128)
+        assert "1000.00 ps" in text

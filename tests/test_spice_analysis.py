@@ -1,0 +1,98 @@
+"""Tests for waveform measurement utilities."""
+
+import numpy as np
+import pytest
+
+from repro.spice import DC, Circuit, Simulator, crossing_time, ramp, supply_energy
+from repro.spice.analysis import propagation_delay, transition_time
+from repro.spice.engine import TransientResult
+
+
+def synthetic_result():
+    """Hand-built waveforms: input rises 1->9 ns, output falls 4->6 ns."""
+    t = np.linspace(0.0, 10e-9, 101)
+    vin = np.clip((t - 1e-9) / 8e-9, 0.0, 1.0)
+    vout = 1.0 - np.clip((t - 4e-9) / 2e-9, 0.0, 1.0)
+    i_src = np.full_like(t, -1e-3)
+    return TransientResult(
+        time=t,
+        voltages={"in": vin, "out": vout},
+        source_currents={"vdd": i_src},
+    )
+
+
+class TestCrossingTime:
+    def test_rising_crossing_interpolated(self):
+        r = synthetic_result()
+        t50 = crossing_time(r.time, r.voltage("in"), 0.5, rising=True)
+        assert t50 == pytest.approx(5e-9, rel=0.02)
+
+    def test_falling_crossing(self):
+        r = synthetic_result()
+        t50 = crossing_time(r.time, r.voltage("out"), 0.5, rising=False)
+        assert t50 == pytest.approx(5e-9, rel=0.02)
+
+    def test_after_filter(self):
+        t = np.linspace(0, 1, 11)
+        w = np.array([0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0], dtype=float)
+        first = crossing_time(t, w, 0.5, rising=True)
+        later = crossing_time(t, w, 0.5, rising=True, after=first + 0.05)
+        assert later > first
+
+    def test_no_crossing_raises(self):
+        t = np.linspace(0, 1, 5)
+        w = np.zeros(5)
+        with pytest.raises(ValueError):
+            crossing_time(t, w, 0.5, rising=True)
+
+
+class TestDerivedMeasurements:
+    def test_propagation_delay_synthetic(self):
+        r = synthetic_result()
+        d = propagation_delay(r, "in", "out", vdd=1.0, input_rising=True)
+        assert d == pytest.approx(0.0, abs=0.2e-9)  # both cross 0.5 at ~5 ns
+
+    def test_transition_time_scaling(self):
+        r = synthetic_result()
+        # Output falls 1->0 over 2 ns; 80->20 section is 1.2 ns; scaled
+        # by 0.6 -> 2.0 ns.
+        s = transition_time(r, "out", vdd=1.0, rising=False)
+        assert s == pytest.approx(2e-9, rel=0.05)
+
+    def test_supply_energy_constant_current(self):
+        r = synthetic_result()
+        # -1 mA for 10 ns at 1 V -> +10 pJ delivered.
+        e = supply_energy(r, "vdd", vdd=1.0)
+        assert e == pytest.approx(10e-12, rel=1e-6)
+
+    def test_supply_energy_window_too_small(self):
+        r = synthetic_result()
+        with pytest.raises(ValueError):
+            supply_energy(r, "vdd", 1.0, t_start=9.99e-9, t_stop=9.995e-9)
+
+    def test_missing_output_crossing_raises(self):
+        t = np.linspace(0, 1e-9, 11)
+        r = TransientResult(
+            time=t,
+            voltages={"a": np.linspace(0, 1, 11), "y": np.full(11, 0.4)},
+            source_currents={},
+        )
+        with pytest.raises(ValueError):
+            propagation_delay(r, "a", "y", vdd=1.0, input_rising=True)
+
+
+class TestDcSweepVtc:
+    def test_inverter_switching_threshold_near_midrail(self):
+        from repro.device import CryoFinFET, default_nfet_5nm, default_pfet_5nm
+
+        c = Circuit()
+        c.add_vsource("vdd", "vdd", "0", DC(0.7))
+        c.add_vsource("vin", "a", "0", DC(0.0))
+        c.add_finfet("mp", "y", "a", "vdd", CryoFinFET(default_pfet_5nm(nfin=3)))
+        c.add_finfet("mn", "y", "a", "0", CryoFinFET(default_nfet_5nm(nfin=2)))
+        sweep = Simulator(c).dc_sweep("vin", np.linspace(0.0, 0.7, 29))
+        outputs = np.array([op["y"] for op in sweep])
+        inputs = np.linspace(0.0, 0.7, 29)
+        # Switching threshold: where vout crosses vin.
+        idx = int(np.argmin(np.abs(outputs - inputs)))
+        assert 0.25 < inputs[idx] < 0.45

@@ -1,0 +1,77 @@
+"""Unit tests for stimulus waveforms."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.spice import DC, PWL, pulse, ramp
+
+
+class TestDC:
+    def test_constant(self):
+        w = DC(0.7)
+        assert w(0.0) == 0.7
+        assert w(1e9) == 0.7
+
+    def test_no_breakpoints(self):
+        assert DC(1.0).breakpoints() == ()
+
+
+class TestPWL:
+    def test_holds_ends(self):
+        w = PWL([(1.0, 0.0), (2.0, 1.0)])
+        assert w(0.0) == 0.0
+        assert w(5.0) == 1.0
+
+    def test_interpolates_linearly(self):
+        w = PWL([(0.0, 0.0), (2.0, 1.0)])
+        assert w(1.0) == pytest.approx(0.5)
+        assert w(0.5) == pytest.approx(0.25)
+
+    def test_multiple_segments(self):
+        w = PWL([(0.0, 0.0), (1.0, 1.0), (2.0, -1.0)])
+        assert w(1.5) == pytest.approx(0.0)
+
+    def test_rejects_non_increasing_times(self):
+        with pytest.raises(ValueError):
+            PWL([(0.0, 0.0), (0.0, 1.0)])
+        with pytest.raises(ValueError):
+            PWL([(1.0, 0.0), (0.5, 1.0)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PWL([])
+
+    def test_breakpoints_reported(self):
+        w = PWL([(0.0, 0.0), (1.0, 1.0)])
+        assert w.breakpoints() == (0.0, 1.0)
+
+    @given(t=st.floats(min_value=-10, max_value=10))
+    def test_output_within_value_range(self, t):
+        w = PWL([(0.0, 0.0), (1.0, 1.0), (3.0, 0.25)])
+        assert 0.0 <= w(t) <= 1.0
+
+
+class TestRampAndPulse:
+    def test_ramp_endpoints(self):
+        w = ramp(1.0, 2.0, 0.0, 0.7)
+        assert w(1.0) == pytest.approx(0.0)
+        assert w(3.0) == pytest.approx(0.7)
+        assert w(2.0) == pytest.approx(0.35)
+
+    def test_ramp_rejects_bad_duration(self):
+        with pytest.raises(ValueError):
+            ramp(0.0, 0.0, 0.0, 1.0)
+
+    def test_falling_ramp(self):
+        w = ramp(0.0, 1.0, 0.7, 0.0)
+        assert w(0.5) == pytest.approx(0.35)
+
+    def test_pulse_shape(self):
+        w = pulse(0.0, 1.0, t_delay=1.0, t_rise=1.0, t_width=2.0, t_fall=1.0)
+        assert w(0.5) == 0.0
+        assert w(2.5) == 1.0
+        assert w(10.0) == 0.0
+
+    def test_pulse_rejects_zero_edges(self):
+        with pytest.raises(ValueError):
+            pulse(0.0, 1.0, 0.0, 0.0, 1.0, 1.0)

@@ -1,0 +1,210 @@
+"""Tests for the AIG data structure."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.synth import AIG, CONST0, CONST1, lit_is_compl, lit_not, lit_var, make_lit
+
+
+class TestLiterals:
+    def test_encoding(self):
+        assert make_lit(5) == 10
+        assert make_lit(5, True) == 11
+        assert lit_var(11) == 5
+        assert lit_is_compl(11)
+        assert not lit_is_compl(10)
+
+    def test_not(self):
+        assert lit_not(10) == 11
+        assert lit_not(lit_not(10)) == 10
+
+    def test_constants(self):
+        assert CONST0 == 0
+        assert CONST1 == 1
+        assert lit_not(CONST0) == CONST1
+
+
+class TestConstruction:
+    def test_pi_literals(self):
+        g = AIG()
+        a = g.add_pi("x")
+        assert a == 2  # node 1, positive
+        assert g.num_pis == 1
+        assert g.pi_names == ["x"]
+
+    def test_and_simplifications(self):
+        g = AIG()
+        a = g.add_pi()
+        assert g.add_and(a, CONST0) == CONST0
+        assert g.add_and(a, CONST1) == a
+        assert g.add_and(a, a) == a
+        assert g.add_and(a, lit_not(a)) == CONST0
+
+    def test_structural_hashing(self):
+        g = AIG()
+        a, b = g.add_pi(), g.add_pi()
+        x = g.add_and(a, b)
+        assert g.add_and(a, b) == x
+        assert g.add_and(b, a) == x
+        assert g.num_ands == 1
+
+    def test_derived_gates(self):
+        g = AIG()
+        a, b, c = g.add_pi(), g.add_pi(), g.add_pi()
+        g.add_po(g.add_or(a, b), "or")
+        g.add_po(g.add_xor(a, b), "xor")
+        g.add_po(g.add_mux(c, a, b), "mux")
+        g.add_po(g.add_maj(a, b, c), "maj")
+        for i in range(8):
+            va, vb, vc = bool(i & 1), bool(i & 2), bool(i & 4)
+            outs = g.evaluate([va, vb, vc])
+            assert outs[0] == (va or vb)
+            assert outs[1] == (va != vb)
+            assert outs[2] == (va if vc else vb)
+            assert outs[3] == (va and vb or vc and (va or vb))
+
+    def test_fanins_of_pi_rejected(self):
+        g = AIG()
+        a = g.add_pi()
+        with pytest.raises(ValueError):
+            g.fanins(lit_var(a))
+
+
+class TestAnalysis:
+    def test_levels_and_depth(self):
+        g = AIG()
+        a, b, c = g.add_pi(), g.add_pi(), g.add_pi()
+        x = g.add_and(a, b)
+        y = g.add_and(x, c)
+        g.add_po(y)
+        assert g.depth() == 2
+        levels = g.levels()
+        assert levels[lit_var(x)] == 1
+        assert levels[lit_var(y)] == 2
+
+    def test_fanout_counts(self):
+        g = AIG()
+        a, b = g.add_pi(), g.add_pi()
+        x = g.add_and(a, b)
+        g.add_po(x)
+        g.add_po(g.add_and(x, a))
+        counts = g.fanout_counts()
+        assert counts[lit_var(x)] == 2  # PO + AND
+        assert counts[lit_var(a)] == 2
+
+    def test_empty_network_depth(self):
+        assert AIG().depth() == 0
+
+
+class TestSimulation:
+    def test_bit_parallel_matches_single(self):
+        rng = random.Random(1)
+        g = AIG()
+        lits = [g.add_pi() for _ in range(5)]
+        for _ in range(40):
+            a, b = rng.choice(lits), rng.choice(lits)
+            lits.append(g.add_xor(a, b) if rng.random() < 0.3 else g.add_and(a, b))
+        g.add_po(lits[-1])
+        words = [rng.getrandbits(32) for _ in range(5)]
+        parallel = g.simulate(words, width=32)[0]
+        for bit in range(32):
+            inputs = [bool((w >> bit) & 1) for w in words]
+            assert g.evaluate(inputs)[0] == bool((parallel >> bit) & 1)
+
+    def test_pi_count_checked(self):
+        g = AIG()
+        g.add_pi()
+        g.add_po(2)
+        with pytest.raises(ValueError):
+            g.simulate([1, 2], width=8)
+
+    def test_complemented_po(self):
+        g = AIG()
+        a = g.add_pi()
+        g.add_po(lit_not(a))
+        assert g.evaluate([True]) == [False]
+        assert g.evaluate([False]) == [True]
+
+    def test_constant_po(self):
+        g = AIG()
+        g.add_pi()
+        g.add_po(CONST1)
+        assert g.evaluate([False]) == [True]
+
+
+class TestReconstruction:
+    def test_cleanup_drops_dangling(self):
+        g = AIG()
+        a, b = g.add_pi(), g.add_pi()
+        used = g.add_and(a, b)
+        g.add_and(a, lit_not(b))  # dangling
+        g.add_po(used)
+        cleaned = g.cleanup()
+        assert cleaned.num_ands == 1
+        assert cleaned.num_pis == 2
+
+    def test_cleanup_preserves_names(self):
+        g = AIG()
+        a = g.add_pi("first")
+        g.add_po(lit_not(a), "out")
+        cleaned = g.cleanup()
+        assert cleaned.pi_names == ["first"]
+        assert cleaned.po_names == ["out"]
+
+    def test_substitution_with_constant(self):
+        g = AIG()
+        a, b = g.add_pi(), g.add_pi()
+        x = g.add_and(a, b)
+        g.add_po(g.add_and(x, a))
+        replaced = g.copy_dag(substitutions={lit_var(x): CONST1})
+        # Function becomes just `a`.
+        assert replaced.evaluate([True, False]) == [True]
+        assert replaced.evaluate([False, True]) == [False]
+
+    def test_substitution_with_other_node(self):
+        g = AIG()
+        a, b, c = g.add_pi(), g.add_pi(), g.add_pi()
+        x = g.add_and(a, b)
+        y = g.add_and(a, c)
+        g.add_po(g.add_and(x, c))
+        replaced = g.copy_dag(substitutions={lit_var(x): y})
+        # PO = (a & c) & c = a & c now.
+        assert replaced.evaluate([True, False, True]) == [True]
+        assert replaced.evaluate([True, True, False]) == [False]
+
+    def test_complemented_substitution(self):
+        g = AIG()
+        a, b = g.add_pi(), g.add_pi()
+        x = g.add_and(a, b)
+        g.add_po(x)
+        replaced = g.copy_dag(substitutions={lit_var(x): lit_not(a)})
+        assert replaced.evaluate([True, True]) == [False]
+        assert replaced.evaluate([False, True]) == [True]
+
+    def test_deep_chain_no_recursion_error(self):
+        g = AIG()
+        lit = g.add_pi()
+        other = g.add_pi()
+        for _ in range(30000):
+            lit = g.add_and(lit_not(lit), other)
+        g.add_po(lit)
+        cleaned = g.cleanup()
+        assert cleaned.num_ands == 30000
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_cleanup_equivalence_property(seed):
+    rng = random.Random(seed)
+    g = AIG()
+    lits = [g.add_pi() for _ in range(4)]
+    for _ in range(30):
+        a, b = rng.choice(lits), rng.choice(lits)
+        lits.append(g.add_and(a ^ rng.randint(0, 1), b ^ rng.randint(0, 1)))
+    g.add_po(lits[-1])
+    cleaned = g.cleanup()
+    for i in range(16):
+        inputs = [bool((i >> j) & 1) for j in range(4)]
+        assert g.evaluate(inputs) == cleaned.evaluate(inputs)

@@ -1,0 +1,163 @@
+"""Tests for truth-table utilities, ISOP, factoring, and NPN."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.synth import AIG, build_function, cover_to_tt, isop, npn_apply, npn_canon
+from repro.synth.truth import (
+    tt_cofactor,
+    tt_depends_on,
+    tt_expand,
+    tt_flip_input,
+    tt_mask,
+    tt_not,
+    tt_permute,
+    tt_support,
+    tt_var,
+)
+
+AND2 = 0b1000
+XOR2 = 0b0110
+
+
+class TestTruthBasics:
+    def test_masks(self):
+        assert tt_mask(1) == 0b11
+        assert tt_mask(2) == 0xF
+        assert tt_mask(3) == 0xFF
+
+    def test_variables(self):
+        assert tt_var(0, 2) == 0b1010
+        assert tt_var(1, 2) == 0b1100
+
+    def test_var_out_of_range(self):
+        with pytest.raises(ValueError):
+            tt_var(2, 2)
+
+    def test_not(self):
+        assert tt_not(AND2, 2) == 0b0111
+
+    def test_cofactors(self):
+        # AND: cofactor wrt var0=1 gives var1; wrt var0=0 gives 0.
+        assert tt_cofactor(AND2, 0, True, 2) == tt_var(1, 2)
+        assert tt_cofactor(AND2, 0, False, 2) == 0
+
+    def test_support(self):
+        assert tt_support(AND2, 2) == [0, 1]
+        assert tt_support(tt_var(0, 3), 3) == [0]
+        assert tt_support(0, 3) == []
+
+    def test_depends_on(self):
+        assert tt_depends_on(XOR2, 0, 2)
+        assert not tt_depends_on(tt_var(1, 2), 0, 2)
+
+    def test_permute_swap(self):
+        f = tt_var(0, 2)  # f = x0
+        swapped = tt_permute(f, (1, 0), 2)
+        assert swapped == tt_var(1, 2)
+
+    def test_flip_input(self):
+        f = tt_var(0, 2)
+        assert tt_flip_input(f, 0, 2) == tt_not(tt_var(0, 2), 2)
+
+    def test_expand(self):
+        # x0 over 1 var -> placed at position 2 of 3 vars.
+        f = tt_var(0, 1)
+        expanded = tt_expand(f, [2], 1, 3)
+        assert expanded == tt_var(2, 3)
+
+
+class TestNPN:
+    def test_idempotent(self):
+        canon, *_ = npn_canon(AND2, 2)
+        canon2, *_ = npn_canon(canon, 2)
+        assert canon == canon2
+
+    def test_class_members_share_canon(self):
+        # AND, OR, NAND, NOR are all one NPN class.
+        targets = {npn_canon(f, 2)[0] for f in (0b1000, 0b1110, 0b0111, 0b0001)}
+        assert len(targets) == 1
+
+    def test_xor_class_separate_from_and(self):
+        assert npn_canon(XOR2, 2)[0] != npn_canon(AND2, 2)[0]
+
+    def test_transform_applies(self):
+        rng = random.Random(0)
+        for _ in range(100):
+            n = rng.randint(1, 4)
+            f = rng.getrandbits(1 << n) & tt_mask(n)
+            canon, perm, neg, out = npn_canon(f, n)
+            assert npn_apply(f, perm, neg, out, n) == canon
+
+    def test_limit_enforced(self):
+        with pytest.raises(ValueError):
+            npn_canon(0, 5)
+
+    @settings(max_examples=60, deadline=None)
+    @given(f=st.integers(min_value=0, max_value=0xFFFF))
+    def test_canonical_is_minimum(self, f):
+        canon, *_ = npn_canon(f, 4)
+        assert canon <= f & tt_mask(4)
+
+
+class TestISOP:
+    def test_constant_functions(self):
+        assert isop(0, 0, 2) == []
+        cover = isop(tt_mask(2), 0, 2)
+        assert cover_to_tt(cover, 2) == tt_mask(2)
+
+    def test_and_function(self):
+        cover = isop(AND2, 0, 2)
+        assert cover_to_tt(cover, 2) == AND2
+        assert len(cover) == 1
+
+    def test_xor_needs_two_cubes(self):
+        cover = isop(XOR2, 0, 2)
+        assert cover_to_tt(cover, 2) == XOR2
+        assert len(cover) == 2
+
+    def test_dont_cares_shrink_cover(self):
+        # f = minterm 3 only, dc = everything else on -> single cube
+        # covering broadly is allowed.
+        cover = isop(0b1000, 0b0111, 2)
+        tt = cover_to_tt(cover, 2)
+        assert tt & 0b1000
+        assert len(cover) <= 1
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        f=st.integers(min_value=0, max_value=0xFFFF),
+        dc=st.integers(min_value=0, max_value=0xFFFF),
+    )
+    def test_cover_valid_property(self, f, dc):
+        on = f & ~dc & tt_mask(4)
+        cover = isop(on, dc & tt_mask(4), 4)
+        tt = cover_to_tt(cover, 4)
+        assert (on & ~tt) == 0, "cover must include the on-set"
+        assert (tt & ~(on | dc)) & tt_mask(4) == 0, "cover must stay in bounds"
+
+
+class TestBuildFunction:
+    @settings(max_examples=80, deadline=None)
+    @given(f=st.integers(min_value=0, max_value=0xFFFF))
+    def test_factored_form_correct(self, f):
+        g = AIG()
+        leaves = [g.add_pi() for _ in range(4)]
+        lit = build_function(g, f, leaves)
+        g.add_po(lit)
+        for i in range(16):
+            bits = [bool((i >> j) & 1) for j in range(4)]
+            assert g.evaluate(bits)[0] == bool((f >> i) & 1)
+
+    def test_constants(self):
+        g = AIG()
+        leaves = [g.add_pi()]
+        assert build_function(g, 0, leaves) == 0
+        assert build_function(g, 0b11, leaves) == 1
+
+    def test_single_variable(self):
+        g = AIG()
+        leaves = [g.add_pi()]
+        assert build_function(g, 0b10, leaves) == leaves[0]
