@@ -1,0 +1,85 @@
+"""Tracer overhead guard: disabled tracing must stay near-free.
+
+The ``repro.obs`` contract is one ``ContextVar.get`` + one branch per
+call site when no tracer is installed.  These checks keep that honest:
+
+* a microbenchmark bounds the absolute per-call cost of the disabled
+  primitives;
+* a budget check multiplies the number of instrumentation events a
+  real synthesis run emits by the measured per-call cost and asserts
+  the product is under 5% of the run's wall time (the acceptance bound
+  for shipping instrumentation in hot paths).
+
+Both use generous absolute thresholds so they hold on slow shared CI
+runners while still catching an accidentally-expensive fast path
+(e.g. formatting a span name or building attrs eagerly).
+"""
+
+import time
+
+from repro import obs
+from repro.benchgen import build_circuit
+from repro.charlib import default_library
+from repro.core import CryoSynthesisFlow
+
+
+def _disabled_cost_per_call(calls: int = 100_000) -> float:
+    """Measured seconds per disabled span+count pair."""
+    assert obs.current_tracer() is None
+    start = time.perf_counter()
+    for _ in range(calls):
+        with obs.span("bench.noop", x=1):
+            pass
+        obs.count("bench.noop", 1)
+    return (time.perf_counter() - start) / calls
+
+
+class _CallCountingTracer(obs.Tracer):
+    """Tracer that counts primitive invocations (not counter sums)."""
+
+    def __init__(self):
+        super().__init__()
+        self.calls = 0
+
+    def count(self, name, n=1):
+        self.calls += 1
+        super().count(name, n)
+
+    def span(self, name, **attrs):
+        self.calls += 2  # enter + exit
+        return super().span(name, **attrs)
+
+
+def test_disabled_primitives_are_cheap():
+    per_call = _disabled_cost_per_call()
+    # One span + one count; even modest hardware does this in well
+    # under a microsecond — 10 us flags a broken fast path, not jitter.
+    assert per_call < 1e-5, f"disabled obs call cost {per_call * 1e6:.2f} us"
+
+
+def test_disabled_tracer_overhead_under_5_percent():
+    aig = build_circuit("ctrl", "small")
+    library = default_library(10.0)  # characterize outside the timed region
+
+    def run_flow():
+        flow = CryoSynthesisFlow(library, "p_a_d")
+        result = flow.run(aig)
+        flow.signoff_power(result, clock_period=result.critical_delay * 1.1)
+
+    # Timed run with tracing disabled (the production default).
+    run_flow()  # warm caches
+    start = time.perf_counter()
+    run_flow()
+    flow_time = time.perf_counter() - start
+
+    # Count how many instrumentation events the same run emits.
+    with _CallCountingTracer() as tracer:
+        run_flow()
+    events = tracer.calls
+
+    per_call = _disabled_cost_per_call()
+    projected = events * per_call
+    assert projected < 0.05 * flow_time, (
+        f"{events} obs events x {per_call * 1e9:.0f} ns = {projected * 1e3:.2f} ms "
+        f"exceeds 5% of the {flow_time * 1e3:.1f} ms flow"
+    )

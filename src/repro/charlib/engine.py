@@ -12,6 +12,7 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import Iterable, Sequence
 
+from .. import obs
 from ..pdk.catalog import standard_cell_catalog
 from ..pdk.cells import CellTemplate
 from ..pdk.technology import Technology, cryo5_technology
@@ -54,8 +55,16 @@ def characterize_library(
         temperature=temperature_k,
         vdd=tech.vdd,
     )
-    for cell in cells:
-        library.add(characterizer.characterize_cell(cell, slews, loads))
+    with obs.span(
+        "charlib.library", backend=backend, temperature_k=temperature_k
+    ) as sp:
+        for cell in cells:
+            with obs.span("charlib.cell", cell=cell.name):
+                result = characterizer.characterize_cell(cell, slews, loads)
+                obs.count("charlib.cells")
+                obs.count("charlib.arcs", len(result.arcs))
+            library.add(result)
+        sp.set(cells=len(library))
     return library
 
 

@@ -8,7 +8,12 @@ Exposes the paper's pipeline the way a user drives ABC + SiliconSmart
   scenario and write the mapped Verilog + signoff reports;
 * ``compare``      — the Fig. 3 experiment on chosen circuits;
 * ``calibrate``    — the Fig. 1 measurement + model-fitting loop;
-* ``benchmarks``   — list the available EPFL generators.
+* ``benchmarks``   — list the available EPFL generators;
+* ``report-trace`` — re-render a saved JSONL trace as a summary tree.
+
+``synthesize``, ``compare``, and ``calibrate`` accept ``--profile``
+(print a span-tree profile after the run) and ``--trace out.jsonl``
+(stream the full trace to a file); see ``docs/OBSERVABILITY.md``.
 
 Run ``python -m repro <subcommand> --help`` for the options.
 """
@@ -16,8 +21,36 @@ Run ``python -m repro <subcommand> --help`` for the options.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from pathlib import Path
+
+
+@contextlib.contextmanager
+def _tracing(args: argparse.Namespace):
+    """Install a tracer when ``--trace``/``--profile`` ask for one."""
+    trace_path = getattr(args, "trace", None)
+    profile = getattr(args, "profile", False)
+    if not trace_path and not profile:
+        yield
+        return
+    from . import obs
+
+    sinks = [obs.JsonlSink(trace_path)] if trace_path else []
+    with obs.Tracer(sinks=sinks) as tracer:
+        yield
+    if profile:
+        print()
+        print(tracer.render_summary())
+    if trace_path:
+        print(f"wrote trace to {trace_path}", file=sys.stderr)
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", metavar="OUT.jsonl",
+                        help="write a JSONL trace of the run")
+    parser.add_argument("--profile", action="store_true",
+                        help="print a span-tree profile after the run")
 
 
 def _cmd_characterize(args: argparse.Namespace) -> int:
@@ -43,10 +76,12 @@ def _load_circuit(source: str, preset: str):
         return build_circuit(source, preset)
     path = Path(source)
     if not path.exists():
-        raise SystemExit(
-            f"'{source}' is neither an EPFL circuit ({', '.join(sorted(EPFL_SUITE))}) "
-            "nor a readable file"
+        print(
+            f"repro: error: '{source}' is neither an EPFL circuit "
+            f"({', '.join(sorted(EPFL_SUITE))}) nor a readable file",
+            file=sys.stderr,
         )
+        raise SystemExit(2)
     data = path.read_bytes()
     if data.startswith(b"aig "):
         return parse_binary(data)
@@ -79,6 +114,11 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
         report = full_signoff(result.netlist, library)
         Path(args.report).write_text(report)
         print(f"wrote {args.report}")
+    if args.json:
+        import json
+
+        Path(args.json).write_text(json.dumps(result.to_dict(), indent=2) + "\n")
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -157,10 +197,28 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report_trace(args: argparse.Namespace) -> int:
+    from .obs import read_jsonl, render_summary
+
+    path = Path(args.trace_file)
+    if not path.exists():
+        print(f"repro: error: no such trace file: {path}", file=sys.stderr)
+        raise SystemExit(2)
+    spans, metrics = read_jsonl(path)
+    print(f"trace: {path} ({len(spans)} spans)")
+    print(render_summary(spans, metrics, top_counters=args.top))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Cryogenic-aware design automation (DAC 2023 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -178,16 +236,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--preset", default="default", choices=["small", "default", "large"])
     p.add_argument("--output", "-o", help="mapped Verilog output path")
     p.add_argument("--report", "-r", help="signoff report output path")
+    p.add_argument("--json", "-j", help="JSON result (FlowResult.to_dict) output path")
+    _add_obs_flags(p)
     p.set_defaults(func=_cmd_synthesize)
 
     p = sub.add_parser("compare", help="Fig. 3: scenarios on EPFL circuits")
     p.add_argument("circuits", nargs="*", help="circuit names (default: all)")
     p.add_argument("--temperature", "-t", type=float, default=10.0)
     p.add_argument("--preset", default="default", choices=["small", "default", "large"])
+    _add_obs_flags(p)
     p.set_defaults(func=_cmd_compare)
 
     p = sub.add_parser("calibrate", help="Fig. 1: measure + fit the compact model")
     p.add_argument("--seed", type=int, default=2023)
+    _add_obs_flags(p)
     p.set_defaults(func=_cmd_calibrate)
 
     p = sub.add_parser("benchmarks", help="list the EPFL generators")
@@ -201,13 +263,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--lut-size", type=int, default=6, help="k for BLIF export")
     p.add_argument("--output", "-o")
     p.set_defaults(func=_cmd_export)
+
+    p = sub.add_parser("report-trace", help="re-render a saved JSONL trace")
+    p.add_argument("trace_file", help="trace written by --trace")
+    p.add_argument("--top", type=int, default=12, help="counters to show")
+    p.set_defaults(func=_cmd_report_trace)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        with _tracing(args):
+            return args.func(args)
+    except KeyboardInterrupt:
+        return 130
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; suppress the shutdown
+        # flush complaint and exit with the conventional SIGPIPE code.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
+    except Exception as exc:  # surfaced as a one-liner, not a traceback
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

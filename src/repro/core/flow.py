@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..charlib.nldm import Library
 from ..mapping.cost import CostPolicy, baseline_power_aware, p_a_d, p_d_a
 from ..mapping.library import TechLibraryView
@@ -63,6 +64,28 @@ class FlowResult:
             raise ValueError("run signoff_power first")
         return self.power.total
 
+    def to_dict(self) -> dict:
+        """JSON-serializable view of the run (diffable between runs)."""
+        out = {
+            "circuit": self.circuit,
+            "scenario": self.scenario,
+            "num_gates": self.num_gates,
+            "area_um2": self.area,
+            "critical_delay_s": self.critical_delay,
+            "aig_nodes": self.optimized_aig.num_ands,
+            "aig_depth": self.optimized_aig.depth(),
+        }
+        if self.power is not None:
+            out["power"] = {
+                "total_w": self.power.total,
+                "leakage_w": self.power.leakage,
+                "internal_w": self.power.internal,
+                "switching_w": self.power.switching,
+                "clock_period_s": self.power.clock_period,
+                "temperature_k": self.power.temperature,
+            }
+        return out
+
 
 class CryoSynthesisFlow:
     """Three-stage synthesis + signoff against one library corner."""
@@ -96,27 +119,39 @@ class CryoSynthesisFlow:
 
     def optimize(self, aig: AIG) -> AIG:
         """Stages 1 + 2: technology-independent + power-aware opt."""
-        stage1 = compress2rs(aig)
+        with obs.span("flow.c2rs", nodes_in=aig.num_ands) as sp:
+            stage1 = compress2rs(aig)
+            sp.set(nodes_out=stage1.num_ands)
         if self.skip_stage2:
             return stage1
-        return power_aware_restructure(
-            stage1,
-            k=self.k_lut,
-            power_mode=self.stage2_power_mode,
-            use_choices=self.use_choices,
-        )
+        with obs.span("flow.power_restructure", nodes_in=stage1.num_ands) as sp:
+            restructured = power_aware_restructure(
+                stage1,
+                k=self.k_lut,
+                power_mode=self.stage2_power_mode,
+                use_choices=self.use_choices,
+            )
+            sp.set(nodes_out=restructured.num_ands)
+        return restructured
 
     def map(self, aig: AIG) -> MappedNetlist:
         """Stage 3: technology mapping under the scenario's policy."""
-        mapper = TechnologyMapper(self._view, self.policy)
-        return mapper.map(aig)
+        with obs.span("flow.map", scenario=self.scenario) as sp:
+            mapper = TechnologyMapper(self._view, self.policy)
+            netlist = mapper.map(aig)
+            sp.set(gates=netlist.num_gates)
+        return netlist
 
     def run(self, aig: AIG) -> FlowResult:
         """Full pipeline on one circuit (power signoff done separately
         because the clock period depends on the sibling variants)."""
-        optimized = self.optimize(aig)
-        netlist = self.map(optimized)
-        timing = StaticTimingAnalyzer(netlist, self.library, self.signoff).analyze()
+        with obs.span("flow.run", circuit=aig.name, scenario=self.scenario):
+            optimized = self.optimize(aig)
+            netlist = self.map(optimized)
+            with obs.span("flow.sta"):
+                timing = StaticTimingAnalyzer(
+                    netlist, self.library, self.signoff
+                ).analyze()
         return FlowResult(
             circuit=aig.name,
             scenario=self.scenario,
@@ -131,10 +166,13 @@ class CryoSynthesisFlow:
         self, result: FlowResult, clock_period: float, vectors: int = 512, seed: int = 0
     ) -> PowerReport:
         """PrimeTime-style power decomposition at a given clock."""
-        analyzer = PowerAnalyzer(
-            result.netlist, self.library, self.signoff, vectors=vectors, seed=seed
-        )
-        result.power = analyzer.analyze(clock_period)
+        with obs.span(
+            "flow.signoff_power", circuit=result.circuit, scenario=result.scenario
+        ):
+            analyzer = PowerAnalyzer(
+                result.netlist, self.library, self.signoff, vectors=vectors, seed=seed
+            )
+            result.power = analyzer.analyze(clock_period)
         return result.power
 
 
@@ -162,12 +200,14 @@ def run_scenarios(
         flows[scenario] = flow
         # Stages 1-2 only depend on the stage-2 power mode; share them
         # between the two proposed scenarios.
-        mode = flow.stage2_power_mode
-        if mode not in optimized_cache:
-            optimized_cache[mode] = flow.optimize(aig)
-        optimized = optimized_cache[mode]
-        netlist = flow.map(optimized)
-        timing = StaticTimingAnalyzer(netlist, library, flow.signoff).analyze()
+        with obs.span("flow.scenario", circuit=aig.name, scenario=scenario):
+            mode = flow.stage2_power_mode
+            if mode not in optimized_cache:
+                optimized_cache[mode] = flow.optimize(aig)
+            optimized = optimized_cache[mode]
+            netlist = flow.map(optimized)
+            with obs.span("flow.sta"):
+                timing = StaticTimingAnalyzer(netlist, library, flow.signoff).analyze()
         results[scenario] = FlowResult(
             circuit=aig.name,
             scenario=scenario,

@@ -19,6 +19,7 @@ from typing import Sequence
 import numpy as np
 from scipy.optimize import least_squares
 
+from .. import obs
 from .bsimcmg import CryoFinFET, FinFETParams
 from .measurement import SweepResult
 
@@ -105,11 +106,20 @@ def calibrate(
                 sweep.vgs, np.full_like(sweep.vgs, sweep.vds), sweep.temperature_setpoint
             )
             res.append(_clipped_log_current(np.asarray(model_ids)) - target)
-        return np.concatenate(res)
+        stacked = np.concatenate(res)
+        if obs.current_tracer() is not None:
+            obs.count("calibration.residual_evals")
+            obs.observe(
+                "calibration.rms_trace", float(np.sqrt(np.mean(stacked**2)))
+            )
+        return stacked
 
-    solution = least_squares(
-        residuals, x0, bounds=(lower, upper), max_nfev=max_iterations, method="trf"
-    )
+    with obs.span("calibration.fit", sweeps=len(sweeps), parameters=len(names)) as sp:
+        solution = least_squares(
+            residuals, x0, bounds=(lower, upper), max_nfev=max_iterations, method="trf"
+        )
+        sp.set(nfev=int(solution.nfev), converged=bool(solution.success))
+        obs.count("calibration.fit_iterations", int(solution.nfev))
     fitted = _unpack(initial, names, solution.x)
     final_residuals = residuals(solution.x)
 
@@ -123,6 +133,7 @@ def calibrate(
         )
         offset += n
 
+    obs.gauge("calibration.rms_log_error", float(np.sqrt(np.mean(final_residuals**2))))
     return CalibrationResult(
         params=fitted,
         rms_log_error=float(np.sqrt(np.mean(final_residuals**2))),

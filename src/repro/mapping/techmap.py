@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import obs
 from ..charlib.nldm import Library, LibertyCell
 from ..synth.activity import node_activities, simulated_activities
 from ..synth.aig import AIG, lit_var
@@ -96,6 +97,7 @@ class TechnologyMapper:
             state_costs[node] = dict(zero)
             arrivals[node] = 0.0
 
+        matches_evaluated = 0
         for node in aig.and_nodes():
             chosen: _Match | None = None
             for cut in cuts[node]:
@@ -106,6 +108,7 @@ class TechnologyMapper:
                 arity = len(cut.leaves)
                 for config in self.view.matches(cut.table, arity):
                     for cell in self.view.family_cells(config)[: self.cells_per_family]:
+                        matches_evaluated += 1
                         match = self._evaluate(
                             node, cut, config, cell, activities, fanouts,
                             state_costs, arrivals, vdd,
@@ -123,6 +126,9 @@ class TechnologyMapper:
             state_costs[node] = chosen.costs
             arrivals[node] = chosen.arrival
 
+        if obs.current_tracer() is not None:
+            obs.count("map.matches_evaluated", matches_evaluated)
+            obs.count("map.nodes_mapped", len(best))
         return self._extract(aig, best)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,112 @@
+"""Pluggable trace sinks: where completed spans and metrics go.
+
+The :class:`~repro.obs.tracer.Tracer` keeps everything in memory by
+itself (the default "sink"); the classes here add streaming exports.
+A sink receives three callbacks:
+
+* ``on_span(record)``   — once per completed span, in completion order;
+* ``on_metrics(snapshot)`` — once, the aggregated counters/gauges/
+  histograms at tracer close;
+* ``close()``           — release resources (idempotent).
+
+The JSONL format is one JSON object per line, ``{"type": "span", ...}``
+for spans and a single trailing ``{"type": "metrics", ...}`` record —
+append-friendly, greppable, and diffable between runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, IO
+
+from .tracer import SpanRecord
+
+__all__ = ["Sink", "InMemorySink", "JsonlSink", "read_jsonl"]
+
+
+class Sink:
+    """Base sink; subclasses override what they need."""
+
+    def on_span(self, record: SpanRecord) -> None:
+        pass
+
+    def on_metrics(self, snapshot: dict[str, Any]) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class InMemorySink(Sink):
+    """Collects the stream into lists (useful for tests and tooling)."""
+
+    def __init__(self) -> None:
+        self.spans: list[SpanRecord] = []
+        self.metrics: dict[str, Any] | None = None
+
+    def on_span(self, record: SpanRecord) -> None:
+        self.spans.append(record)
+
+    def on_metrics(self, snapshot: dict[str, Any]) -> None:
+        self.metrics = snapshot
+
+
+class JsonlSink(Sink):
+    """Streams the trace to a JSONL file (or any text stream)."""
+
+    def __init__(self, target: str | Path | IO[str]):
+        if hasattr(target, "write"):
+            self._stream: IO[str] = target  # type: ignore[assignment]
+            self._owns = False
+        else:
+            self._stream = open(target, "w")
+            self._owns = True
+
+    def on_span(self, record: SpanRecord) -> None:
+        self._stream.write(json.dumps(record.to_dict()) + "\n")
+
+    def on_metrics(self, snapshot: dict[str, Any]) -> None:
+        self._stream.write(json.dumps(snapshot) + "\n")
+
+    def close(self) -> None:
+        self._stream.flush()
+        if self._owns and not self._stream.closed:
+            self._stream.close()
+
+
+def read_jsonl(source: str | Path | IO[str]) -> tuple[list[SpanRecord], dict[str, Any]]:
+    """Parse a JSONL trace back into span records + metrics snapshot.
+
+    The inverse of :class:`JsonlSink`; powers ``repro report-trace``.
+    Unknown record types are skipped so the format can grow.
+    """
+    if hasattr(source, "read"):
+        lines = source.read().splitlines()  # type: ignore[union-attr]
+    else:
+        lines = Path(source).read_text().splitlines()
+    spans: list[SpanRecord] = []
+    metrics: dict[str, Any] = {"type": "metrics", "counters": {}, "gauges": {},
+                               "histograms": {}}
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        obj = json.loads(line)
+        kind = obj.get("type")
+        if kind == "span":
+            spans.append(
+                SpanRecord(
+                    span_id=obj["id"],
+                    parent_id=obj.get("parent"),
+                    name=obj["name"],
+                    start=obj["start"],
+                    duration=obj.get("duration"),
+                    attrs=obj.get("attrs", {}),
+                    counters=obj.get("counters", {}),
+                    status=obj.get("status", "ok"),
+                )
+            )
+        elif kind == "metrics":
+            metrics = obj
+    return spans, metrics

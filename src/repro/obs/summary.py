@@ -1,0 +1,149 @@
+"""Human-readable trace summaries.
+
+Aggregates a flat list of :class:`~repro.obs.tracer.SpanRecord` into a
+tree keyed by span *path* (parent names joined with ``/``), so repeated
+invocations of the same stage fold into one line with a call count:
+
+    flow.run                        1x   812.4 ms
+      synth.balance                 3x    41.2 ms
+      synth.rewrite                 3x   203.9 ms   applied=17
+      flow.map                      1x   122.0 ms
+
+Per node: call count, total wall time, self time (total minus child
+time), and the counters recorded while that span was active.  A "top
+counters" section follows with the global totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .tracer import SpanRecord
+
+__all__ = ["SummaryNode", "build_summary", "render_summary"]
+
+
+@dataclass
+class SummaryNode:
+    """One aggregated line of the summary tree."""
+
+    name: str
+    calls: int = 0
+    total: float = 0.0
+    child_time: float = 0.0
+    counters: dict[str, float] = field(default_factory=dict)
+    children: dict[str, "SummaryNode"] = field(default_factory=dict)
+
+    @property
+    def self_time(self) -> float:
+        return max(0.0, self.total - self.child_time)
+
+
+def build_summary(spans: list[SpanRecord]) -> SummaryNode:
+    """Fold span records into an aggregated tree (root is synthetic)."""
+    by_id = {record.span_id: record for record in spans}
+
+    def path_of(record: SpanRecord) -> tuple[str, ...]:
+        names: list[str] = []
+        current: SpanRecord | None = record
+        guard = 0
+        while current is not None and guard <= len(spans):
+            guard += 1
+            names.append(current.name)
+            current = by_id.get(current.parent_id) if current.parent_id else None
+        return tuple(reversed(names))
+
+    root = SummaryNode(name="<root>")
+    for record in spans:
+        node = root
+        for name in path_of(record):
+            node = node.children.setdefault(name, SummaryNode(name=name))
+        node.calls += 1
+        duration = record.duration or 0.0
+        node.total += duration
+        for key, value in record.counters.items():
+            node.counters[key] = node.counters.get(key, 0) + value
+        parent = by_id.get(record.parent_id) if record.parent_id else None
+        if parent is not None:
+            # Accumulate child time on the parent's aggregate node.
+            pnode = root
+            for name in path_of(parent):
+                pnode = pnode.children.setdefault(name, SummaryNode(name=name))
+            pnode.child_time += duration
+    return root
+
+
+def _format_time(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f} s "
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:8.2f} ms"
+    return f"{seconds * 1e6:8.1f} us"
+
+
+def _format_count(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def _render_node(node: SummaryNode, depth: int, lines: list[str]) -> None:
+    label = "  " * depth + node.name
+    counters = ""
+    if node.counters:
+        shown = sorted(node.counters.items(), key=lambda kv: -abs(kv[1]))[:3]
+        counters = "   " + " ".join(
+            f"{key.rsplit('.', 1)[-1]}={_format_count(value)}" for key, value in shown
+        )
+    lines.append(
+        f"{label:44s} {node.calls:5d}x {_format_time(node.total)}"
+        f"  self {_format_time(node.self_time)}{counters}"
+    )
+    for child in sorted(node.children.values(), key=lambda c: -c.total):
+        _render_node(child, depth + 1, lines)
+
+
+def render_summary(
+    spans: list[SpanRecord],
+    metrics: dict[str, Any] | None = None,
+    top_counters: int = 12,
+) -> str:
+    """Render the span tree plus a top-counters table as text."""
+    lines: list[str] = []
+    if spans:
+        lines.append(f"{'span':44s} {'calls':>6} {'total':>11} {'(self)':>16}")
+        lines.append("-" * 86)
+        root = build_summary(spans)
+        for child in sorted(root.children.values(), key=lambda c: -c.total):
+            _render_node(child, 0, lines)
+    else:
+        lines.append("(no spans recorded)")
+
+    metrics = metrics or {}
+    counters = metrics.get("counters") or {}
+    if counters:
+        lines.append("")
+        lines.append("top counters")
+        lines.append("-" * 44)
+        ordered = sorted(counters.items(), key=lambda kv: -abs(kv[1]))[:top_counters]
+        for name, value in ordered:
+            lines.append(f"  {name:38s} {_format_count(value):>12}")
+    gauges = metrics.get("gauges") or {}
+    if gauges:
+        lines.append("")
+        lines.append("gauges")
+        lines.append("-" * 44)
+        for name, value in sorted(gauges.items()):
+            lines.append(f"  {name:38s} {value:12.6g}")
+    hists = metrics.get("histograms") or {}
+    if hists:
+        lines.append("")
+        lines.append("histograms")
+        lines.append("-" * 44)
+        for name, stats in sorted(hists.items()):
+            lines.append(
+                f"  {name:30s} n={stats['count']:<6d} mean={stats['mean']:.4g}"
+                f" p50={stats['p50']:.4g} p95={stats['p95']:.4g} max={stats['max']:.4g}"
+            )
+    return "\n".join(lines)

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from .netlist import GROUND, Circuit
 
 #: Conductance from every node to ground, for matrix conditioning.
@@ -264,7 +265,7 @@ class Simulator:
         x = x0.copy()
         if cap_history is None:
             cap_history = np.zeros(len(self._caps))
-        for _ in range(MAX_NEWTON):
+        for iteration in range(MAX_NEWTON):
             jac = np.zeros((sys.size, sys.size))
             res = np.zeros(sys.size)
             self._stamp_static(x, t, jac, res)
@@ -276,6 +277,7 @@ class Simulator:
             try:
                 delta = np.linalg.solve(jac, -res)
             except np.linalg.LinAlgError as exc:
+                obs.count("spice.newton.singular")
                 raise ConvergenceError(f"singular MNA matrix at t={t}: {exc}") from exc
             # Damp node-voltage updates only.
             v_part = delta[: sys.n_nodes]
@@ -284,7 +286,10 @@ class Simulator:
                 delta = delta * (MAX_STEP / max_dv)
             x = x + delta
             if max_dv < VTOL:
+                obs.count("spice.newton.solves")
+                obs.count("spice.newton.iterations", iteration + 1)
                 return x
+        obs.count("spice.newton.nonconverged")
         raise ConvergenceError(f"Newton failed to converge at t={t}")
 
     # ------------------------------------------------------------------
@@ -305,6 +310,7 @@ class Simulator:
         }
         return OperatingPoint(voltages, currents)
 
+    @obs.traced("spice.dc_sweep")
     def dc_sweep(
         self, source_name: str, values: np.ndarray, initial: dict[str, float] | None = None
     ) -> list[OperatingPoint]:
@@ -334,6 +340,7 @@ class Simulator:
             self.circuit.vsources[target] = original
         return results
 
+    @obs.traced("spice.transient")
     def transient(
         self,
         t_stop: float,
@@ -352,11 +359,15 @@ class Simulator:
 
         # Time grid: uniform plus stimulus breakpoints.
         grid = set(np.arange(0.0, t_stop + dt * 0.5, dt).tolist())
+        uniform_steps = len(grid)
         for src in self.circuit.vsources:
             for bp in src.waveform.breakpoints():
                 if 0.0 < bp < t_stop:
                     grid.add(float(bp))
         times = np.array(sorted(grid))
+        obs.count("spice.transient.runs")
+        obs.count("spice.transient.steps", len(times) - 1)
+        obs.count("spice.transient.breakpoint_refinements", len(times) - uniform_steps)
 
         op = self.dc_operating_point(initial)
         x = np.zeros(sys.size)

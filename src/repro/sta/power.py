@@ -21,6 +21,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from .. import obs
 from ..charlib.nldm import Library
 from ..mapping.netlist import MappedNetlist
 from .timing import SignoffConfig, StaticTimingAnalyzer
@@ -110,6 +111,8 @@ class PowerAnalyzer:
         vdd = self.library.vdd
         frequency = 1.0 / clock_period
 
+        obs.count("sta.power_queries")
+        obs.count("sta.power_vectors", self.vectors)
         values = self._simulate()
         toggles = self._toggle_rates(values)
         sta = StaticTimingAnalyzer(self.netlist, self.library, self.config)

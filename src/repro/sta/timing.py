@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..charlib.nldm import Library
 from ..mapping.netlist import GateInstance, MappedNetlist
 
@@ -87,6 +88,7 @@ class StaticTimingAnalyzer:
         arrival: dict[str, float] = {}
         slew: dict[str, float] = {}
         from_pin: dict[str, tuple[str, str] | None] = {}
+        arc_lookups = 0
 
         for net in self.netlist.pi_nets:
             arrival[net] = 0.0
@@ -106,6 +108,7 @@ class StaticTimingAnalyzer:
                     arc = cell.arc(pin, gate.output_pin)
                 except KeyError:
                     continue  # non-controlling pin (no arc)
+                arc_lookups += 1
                 delay = max(
                     arc.cell_rise.lookup(in_slew, load),
                     arc.cell_fall.lookup(in_slew, load),
@@ -123,6 +126,10 @@ class StaticTimingAnalyzer:
             slew[gate.output_net] = best_slew
             from_pin[gate.output_net] = best_source
 
+        if obs.current_tracer() is not None:
+            obs.count("sta.timing_queries")
+            obs.count("sta.arc_lookups", arc_lookups)
+            obs.count("sta.gates_analyzed", len(self.netlist.gates))
         report = TimingReport(arrival=arrival, slew=slew, net_load=loads)
         if self.netlist.po_nets:
             worst_net = max(self.netlist.po_nets, key=lambda n: arrival.get(n, 0.0))

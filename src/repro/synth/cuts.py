@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import obs
 from .aig import AIG, lit_is_compl, lit_var
 from .truth import tt_expand, tt_mask, tt_not, tt_var
 
@@ -120,6 +121,9 @@ def enumerate_cuts(
         if include_trivial:
             merged.append(Cut((node,), trivial_table))
         cuts[node] = merged
+    if obs.current_tracer() is not None:
+        obs.count("synth.cuts.enumerated", sum(len(v) for v in cuts.values()))
+        obs.count("synth.cuts.calls")
     return cuts
 
 

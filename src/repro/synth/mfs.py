@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import obs
 from .isop import cover_to_tt, isop
 from .lutnet import LUT, LUTNetwork
 from .truth import tt_mask, tt_support
@@ -199,4 +200,7 @@ def mfs(
         list(network.po_names),
         network.name,
     )
+    obs.count("synth.mfs.luts_examined", report.luts_examined)
+    obs.count("synth.mfs.luts_simplified", report.luts_simplified)
+    obs.count("synth.mfs.inputs_dropped", report.inputs_dropped)
     return result, report

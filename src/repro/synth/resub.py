@@ -21,6 +21,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from .. import obs
 from ..sat.solver import Solver
 from ..sat.tseitin import AIGEncoder
 from .aig import AIG, CONST0, lit_var
@@ -190,6 +191,9 @@ def resub(
             if found is not None:
                 pair_subs[node] = found
                 replaced.add(node)
+
+    obs.count("synth.resub.sat_queries", queries[0])
+    obs.count("synth.resub.substitutions", len(literal_subs) + len(pair_subs))
 
     if not literal_subs and not pair_subs:
         return aig.cleanup()

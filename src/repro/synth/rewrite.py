@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import obs
 from .aig import AIG, CONST0, lit_is_compl, lit_not, lit_var, make_lit
 from .cuts import Cut, cut_cone_nodes, enumerate_cuts, mffc_size
 from .isop import build_function
@@ -181,6 +182,9 @@ def rewrite(aig: AIG, k: int = 4, max_cuts: int = 8, use_zero_gain: bool = False
             continue
         claimed |= cone
         selected[node] = (cut, structure, perm, neg_mask, out_neg)
+
+    obs.count("synth.rewrite.candidates", len(candidates))
+    obs.count("synth.rewrite.applied", len(selected))
 
     if not selected:
         return aig.cleanup()

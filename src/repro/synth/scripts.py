@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import obs
 from .aig import AIG
 from .activity import simulated_activities
 from .balance import balance
@@ -42,6 +43,29 @@ class ScriptReport:
         return self.steps[-1][1] if self.steps else 0
 
 
+def _run_sequence(script: str, aig: AIG, sequence, report: ScriptReport) -> AIG:
+    """Run a pass sequence with the monotone guard, tracing each step.
+
+    Every pass gets a ``synth.<label>`` span with node counts in/out;
+    ``synth.<label>.node_delta`` counts the nodes the pass removed and
+    ``synth.pass_rejected`` the steps discarded for growing the net.
+    """
+    current = aig
+    for label, step in sequence:
+        base = label.split("-")[0]
+        with obs.span(f"synth.{base}", script=script, nodes_in=current.num_ands) as sp:
+            candidate = step(current)
+            # Monotone guard: never keep a step that grew the network.
+            if candidate.num_ands <= current.num_ands:
+                obs.count(f"synth.{base}.node_delta", current.num_ands - candidate.num_ands)
+                current = candidate
+            else:
+                obs.count("synth.pass_rejected")
+            sp.set(nodes_out=current.num_ands)
+        report.record(label, current)
+    return current
+
+
 def compress2rs(aig: AIG, report: ScriptReport | None = None) -> AIG:
     """The ``c2rs`` stage-1 script.
 
@@ -63,14 +87,7 @@ def compress2rs(aig: AIG, report: ScriptReport | None = None) -> AIG:
         ("rewrite", lambda g: rewrite(g, use_zero_gain=True)),
         ("balance", balance),
     )
-    current = aig
-    for label, step in sequence:
-        candidate = step(current)
-        # Monotone guard: never keep a step that grew the network.
-        if candidate.num_ands <= current.num_ands:
-            current = candidate
-        report.record(label, current)
-    return current
+    return _run_sequence("c2rs", aig, sequence, report)
 
 
 def dc2(aig: AIG, report: ScriptReport | None = None) -> AIG:
@@ -94,13 +111,7 @@ def dc2(aig: AIG, report: ScriptReport | None = None) -> AIG:
         ("rewrite-z", lambda g: rewrite(g, use_zero_gain=True)),
         ("balance", balance),
     )
-    current = aig
-    for label, step in sequence:
-        candidate = step(current)
-        if candidate.num_ands <= current.num_ands:
-            current = candidate
-        report.record(label, current)
-    return current
+    return _run_sequence("dc2", aig, sequence, report)
 
 
 def power_aware_restructure(
@@ -122,25 +133,31 @@ def power_aware_restructure(
     report = report if report is not None else ScriptReport()
     report.record("start", aig)
     power_aware = power_mode != "off"
-    choices = compute_choices(aig) if use_choices else None
-    network = map_luts(aig, k=k, power_mode=power_mode, choices=choices)
+    with obs.span("synth.dch", enabled=use_choices):
+        choices = compute_choices(aig) if use_choices else None
+    with obs.span("synth.lutmap", k=k, power_mode=power_mode) as sp:
+        network = map_luts(aig, k=k, power_mode=power_mode, choices=choices)
+        sp.set(luts=network.num_luts if hasattr(network, "num_luts") else None)
     activities = None
     if power_aware:
-        base = choices.aig if choices is not None else aig
-        aig_act = simulated_activities(base, vectors=256)
-        # Approximate LUT-leaf activities via a fresh simulation of the
-        # LUT network itself.
-        import random
+        with obs.span("synth.activity"):
+            base = choices.aig if choices is not None else aig
+            aig_act = simulated_activities(base, vectors=256)
+            # Approximate LUT-leaf activities via a fresh simulation of
+            # the LUT network itself.
+            import random
 
-        rng = random.Random(0)
-        words = [rng.getrandbits(256) for _ in range(network.num_pis)]
-        values = network.simulate_nodes(words, 256)
-        pair_mask = (1 << 255) - 1
-        activities = [
-            bin((w ^ (w >> 1)) & pair_mask).count("1") / 255.0 for w in values
-        ]
-    network, _ = mfs(network, power_aware=power_aware, activities=activities)
-    result = network.to_aig()
+            rng = random.Random(0)
+            words = [rng.getrandbits(256) for _ in range(network.num_pis)]
+            values = network.simulate_nodes(words, 256)
+            pair_mask = (1 << 255) - 1
+            activities = [
+                bin((w ^ (w >> 1)) & pair_mask).count("1") / 255.0 for w in values
+            ]
+    with obs.span("synth.mfs"):
+        network, _ = mfs(network, power_aware=power_aware, activities=activities)
+    with obs.span("synth.strash"):
+        result = network.to_aig()
     report.record("strash", result)
     if result.num_ands > aig.num_ands * 1.3:
         # LUT round-trip can inflate weak structures; keep the input.

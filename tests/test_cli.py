@@ -85,3 +85,68 @@ class TestCommands:
         assert main(["export", "dec", "--preset", "small", "-o", str(out)]) == 0
         assert main(["synthesize", str(out), "--preset", "small"]) == 0
         assert "mapped:" in capsys.readouterr().out
+
+
+class TestObservabilityFlags:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_unknown_circuit_exits_2_with_one_line_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["synthesize", "not_a_circuit_or_file"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_malformed_aiger_is_one_line_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.aag"
+        bad.write_text("this is not an AIGER file\n")
+        assert main(["synthesize", str(bad)]) == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+    def test_profile_prints_span_tree(self, capsys):
+        assert main([
+            "synthesize", "ctrl", "--preset", "small",
+            "--scenario", "p_a_d", "--profile",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "flow.run" in out
+        assert "flow.map" in out
+        assert "top counters" in out
+
+    def test_trace_then_report_trace(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        assert main([
+            "synthesize", "ctrl", "--preset", "small", "--trace", str(trace),
+        ]) == 0
+        assert trace.exists()
+        capsys.readouterr()
+        assert main(["report-trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "spans" in out
+        assert "flow.run" in out
+
+    def test_report_trace_missing_file_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["report-trace", "/no/such/trace.jsonl"])
+        assert exc.value.code == 2
+
+    def test_json_result_dump(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "result.json"
+        assert main([
+            "synthesize", "ctrl", "--preset", "small", "--json", str(out),
+        ]) == 0
+        data = json.loads(out.read_text())
+        assert data["circuit"] == "ctrl"
+        assert data["power"]["total_w"] > 0
+
+    def test_calibrate_profile(self, capsys):
+        assert main(["calibrate", "--seed", "7", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "calibration.fit" in out
