@@ -12,7 +12,7 @@ at 10 K.
 
 from repro.device import default_nfet_5nm
 from repro.device.montecarlo import mc_cell_delay, mc_cell_leakage, mc_device_metric
-from repro.pdk.catalog import make_inv, make_nand
+from repro.pdk.catalog import make_nand
 
 N_SAMPLES = 32
 

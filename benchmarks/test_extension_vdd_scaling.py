@@ -18,7 +18,7 @@ from dataclasses import replace
 from repro.benchgen import build_circuit
 from repro.charlib import characterize_library
 from repro.mapping import map_to_gates
-from repro.pdk import Technology, cryo5_technology
+from repro.pdk import cryo5_technology
 from repro.sta import analyze_power, critical_delay
 from repro.synth import compress2rs
 

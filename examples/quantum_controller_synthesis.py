@@ -29,8 +29,6 @@ def build_controller_slice(channels_bits: int = 4, amp_bits: int = 6) -> AIG:
     enable = wb.aig.add_pi("en")
 
     # One-hot channel decode, gated by enable.
-    from repro.synth.aig import CONST1
-
     for value in range(1 << channels_bits):
         term = enable
         for bit in range(channels_bits):

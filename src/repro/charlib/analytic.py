@@ -28,8 +28,6 @@ this backend at both 300 K and 10 K.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from functools import lru_cache
 
 from ..device.bsimcmg import CryoFinFET
 from ..pdk.boolexpr import And, Expr, Lit, Or

@@ -2,15 +2,19 @@
 
 The Fig. 2 experiments need the whole 200-cell catalog characterized
 at both 300 K and 10 K.  This module drives a backend over the catalog
-(or any cell subset), assembles the :class:`Library`, and memoizes the
-default-technology corners so that tests and benchmarks share one
-characterization run per temperature.
+(or any cell subset), assembles the :class:`Library`, and routes the
+result through the content-addressed artifact cache
+(:mod:`repro.core.artifacts`): a characterized corner is computed once
+per (technology, temperature, backend, grid, cell set) and reused
+across scenarios, figures, and — with a disk-backed cache — process
+restarts, where a warm cache skips characterization entirely
+(``cache.hit.charlib`` in the obs summary).
 """
 
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from .. import obs
 from ..pdk.catalog import standard_cell_catalog
@@ -22,6 +26,40 @@ from .spice_char import SpiceCharacterizer
 
 BACKENDS = ("analytic", "spice")
 
+#: Bump when characterization semantics change, to invalidate every
+#: persisted library artifact at once.
+CHARACTERIZATION_VERSION = 1
+
+
+def _characterization_key(
+    tech: Technology,
+    temperature_k: float,
+    cells: Sequence[CellTemplate],
+    backend: str,
+    slews: tuple[float, ...] | None,
+    loads: tuple[float, ...] | None,
+    name: str | None,
+) -> str:
+    """Content address of one characterization run.
+
+    Cell templates are defined in code, so their names + count (plus
+    :data:`CHARACTERIZATION_VERSION`) stand in for their content; the
+    technology is a plain dataclass and digests field by field.
+    """
+    from ..core.artifacts import cache_key
+
+    return cache_key(
+        "charlib",
+        CHARACTERIZATION_VERSION,
+        tech,
+        temperature_k,
+        tuple(cell.name for cell in cells),
+        backend,
+        slews,
+        loads,
+        name,
+    )
+
 
 def characterize_library(
     tech: Technology,
@@ -31,6 +69,7 @@ def characterize_library(
     slews: tuple[float, ...] | None = None,
     loads: tuple[float, ...] | None = None,
     name: str | None = None,
+    cache=None,
 ) -> Library:
     """Characterize a cell set into a :class:`Library` at one corner.
 
@@ -40,39 +79,62 @@ def characterize_library(
         ``"analytic"`` (fast effective-current model, used for full
         libraries) or ``"spice"`` (transistor-level transients, used
         for validation subsets).
+    cache:
+        An :class:`repro.core.artifacts.ArtifactCache`; pass ``False``
+        to force characterization, ``None`` for the process default.
     """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
     if cells is None:
         cells = standard_cell_catalog()
-    characterizer = (
-        AnalyticCharacterizer(tech, temperature_k)
-        if backend == "analytic"
-        else SpiceCharacterizer(tech, temperature_k)
-    )
-    library = Library(
-        name=name or f"{tech.name}_{temperature_k:g}K",
-        temperature=temperature_k,
-        vdd=tech.vdd,
-    )
-    with obs.span(
-        "charlib.library", backend=backend, temperature_k=temperature_k
-    ) as sp:
-        for cell in cells:
-            with obs.span("charlib.cell", cell=cell.name):
-                result = characterizer.characterize_cell(cell, slews, loads)
-                obs.count("charlib.cells")
-                obs.count("charlib.arcs", len(result.arcs))
-            library.add(result)
-        sp.set(cells=len(library))
-    return library
+
+    def build() -> Library:
+        characterizer = (
+            AnalyticCharacterizer(tech, temperature_k)
+            if backend == "analytic"
+            else SpiceCharacterizer(tech, temperature_k)
+        )
+        library = Library(
+            name=name or f"{tech.name}_{temperature_k:g}K",
+            temperature=temperature_k,
+            vdd=tech.vdd,
+        )
+        with obs.span(
+            "charlib.library", backend=backend, temperature_k=temperature_k
+        ) as sp:
+            for cell in cells:
+                with obs.span("charlib.cell", cell=cell.name):
+                    result = characterizer.characterize_cell(cell, slews, loads)
+                    obs.count("charlib.cells")
+                    obs.count("charlib.arcs", len(result.arcs))
+                library.add(result)
+            sp.set(cells=len(library))
+        return library
+
+    if cache is False:
+        return build()
+    if cache is None:
+        from ..core.artifacts import default_cache
+
+        cache = default_cache()
+    key = _characterization_key(tech, temperature_k, cells, backend, slews, loads, name)
+    return cache.get_or_compute(key, build)
 
 
 @lru_cache(maxsize=8)
-def default_library(temperature_k: float) -> Library:
+def _default_library_memo(temperature_k: float) -> Library:
+    return characterize_library(cryo5_technology(), temperature_k)
+
+
+def default_library(temperature_k: float, cache=None) -> Library:
     """Memoized full-catalog library of the default technology.
 
-    This is the library every synthesis experiment maps against; the
-    cache makes repeated benchmark/test invocations cheap.
+    This is the library every synthesis experiment maps against.  With
+    no explicit cache the per-process memo keeps the historical
+    guarantee that repeated calls return the *same object*; an
+    explicit ``cache`` routes through it directly (e.g. a warm disk
+    cache loads the corner instead of recharacterizing it).
     """
-    return characterize_library(cryo5_technology(), temperature_k)
+    if cache is not None:
+        return characterize_library(cryo5_technology(), temperature_k, cache=cache)
+    return _default_library_memo(temperature_k)

@@ -210,6 +210,61 @@ class Library:
         if cell.name in self.cells:
             raise ValueError(f"duplicate cell {cell.name}")
         self.cells[cell.name] = cell
+        self.__dict__.pop("_fingerprint", None)
+
+    def fingerprint(self) -> str:
+        """Content address of the characterized library (SHA-256 hex).
+
+        Digests the corner (name, temperature, Vdd) and every cell's
+        structure and tables, iterating cells in sorted-name order so
+        the digest is independent of insertion order.  Two libraries
+        share a fingerprint iff signoff against them is
+        indistinguishable; :mod:`repro.core.artifacts` uses this as
+        the library component of mapping/STA cache keys.
+
+        The digest is memoized on the instance and invalidated by
+        :meth:`add`; mutating cells in place after the first call is
+        not supported.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is not None:
+            return cached
+        import hashlib
+
+        h = hashlib.sha256()
+
+        def feed(*parts: object) -> None:
+            for part in parts:
+                h.update(repr(part).encode())
+                h.update(b"\0")
+
+        def feed_table(table: NLDMTable) -> None:
+            feed(table.slews, table.loads, table.values)
+
+        feed(self.name, self.temperature, self.vdd)
+        for name in sorted(self.cells):
+            cell = self.cells[name]
+            feed(
+                cell.name, cell.area, cell.input_pins, cell.output_pins,
+                sorted(cell.functions.items()),
+                sorted(cell.truth_tables.items()),
+                sorted(cell.input_caps.items()),
+                sorted(cell.leakage_by_state.items()),
+                cell.is_sequential, cell.clock_pin, cell.footprint,
+            )
+            for arc in cell.arcs:
+                feed(arc.related_pin, arc.output_pin, arc.timing_sense, arc.timing_type)
+                for table in (arc.cell_rise, arc.cell_fall, arc.rise_transition,
+                              arc.fall_transition, arc.rise_power, arc.fall_power):
+                    feed_table(table)
+            for constraint in cell.constraints:
+                feed(constraint.constrained_pin, constraint.related_pin,
+                     constraint.timing_type)
+                feed_table(constraint.rise_constraint)
+                feed_table(constraint.fall_constraint)
+        digest = h.hexdigest()
+        self.__dict__["_fingerprint"] = digest
+        return digest
 
     def __getitem__(self, name: str) -> LibertyCell:
         return self.cells[name]

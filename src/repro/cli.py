@@ -6,14 +6,21 @@ Exposes the paper's pipeline the way a user drives ABC + SiliconSmart
 * ``characterize`` — build a liberty file for a temperature corner;
 * ``synthesize``   — run a circuit (EPFL name or AIGER file) through a
   scenario and write the mapped Verilog + signoff reports;
+* ``evaluate``     — run every scenario on chosen circuits with the
+  fair-clock rule and dump the results (table and/or JSON);
 * ``compare``      — the Fig. 3 experiment on chosen circuits;
 * ``calibrate``    — the Fig. 1 measurement + model-fitting loop;
 * ``benchmarks``   — list the available EPFL generators;
 * ``report-trace`` — re-render a saved JSONL trace as a summary tree.
 
-``synthesize``, ``compare``, and ``calibrate`` accept ``--profile``
-(print a span-tree profile after the run) and ``--trace out.jsonl``
-(stream the full trace to a file); see ``docs/OBSERVABILITY.md``.
+``synthesize``, ``evaluate``, ``compare``, and ``calibrate`` accept
+``--profile`` (print a span-tree profile after the run) and ``--trace
+out.jsonl`` (stream the full trace to a file); see
+``docs/OBSERVABILITY.md``.  Flow commands also accept ``--cache-dir
+[DIR]`` (persist characterized libraries and optimized networks to an
+on-disk content-addressed cache, default ``~/.cache/repro``) and
+``evaluate``/``compare`` take ``--jobs N`` for parallel experiment
+fan-out; see ``docs/ARCHITECTURE.md``.
 
 Run ``python -m repro <subcommand> --help`` for the options.
 """
@@ -46,11 +53,33 @@ def _tracing(args: argparse.Namespace):
         print(f"wrote trace to {trace_path}", file=sys.stderr)
 
 
+@contextlib.contextmanager
+def _caching(args: argparse.Namespace):
+    """Install a disk-backed artifact cache when ``--cache-dir`` asks."""
+    cache_dir = getattr(args, "cache_dir", None)
+    if not cache_dir:
+        yield
+        return
+    from .core import ArtifactCache, using_cache
+
+    with using_cache(ArtifactCache(cache_dir=cache_dir)):
+        yield
+
+
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace", metavar="OUT.jsonl",
                         help="write a JSONL trace of the run")
     parser.add_argument("--profile", action="store_true",
                         help="print a span-tree profile after the run")
+
+
+def _add_cache_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir", nargs="?", const="~/.cache/repro", default=None,
+        metavar="DIR",
+        help="persist artifacts (characterized libraries, optimized "
+             "networks) to an on-disk cache (default dir: ~/.cache/repro)",
+    )
 
 
 def _cmd_characterize(args: argparse.Namespace) -> int:
@@ -122,12 +151,45 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from .core import DesignContext, run_scenarios
+
+    context = DesignContext.default(args.temperature)
+    header = (
+        f"{'circuit':12s} {'scenario':10s} {'gates':>7} {'area[um2]':>10}"
+        f" {'delay[ps]':>10} {'power[uW]':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    dump: dict[str, dict[str, dict]] = {}
+    for source in args.circuits:
+        aig = _load_circuit(source, args.preset)
+        results = run_scenarios(
+            aig, context=context, vectors=args.vectors, jobs=args.jobs
+        )
+        dump[aig.name] = {}
+        for scenario, result in results.items():
+            dump[aig.name][scenario] = result.to_dict()
+            print(
+                f"{aig.name:12s} {scenario:10s} {result.num_gates:>7}"
+                f" {result.area:10.3f} {result.critical_delay * 1e12:10.1f}"
+                f" {result.total_power * 1e6:10.2f}"
+            )
+    if args.json:
+        import json
+
+        Path(args.json).write_text(json.dumps(dump, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     from .core import figure3_summary, figure3_synthesis_comparison
 
     circuits = args.circuits or None
     rows = figure3_synthesis_comparison(
-        circuits=circuits, preset=args.preset, temperature=args.temperature
+        circuits=circuits, preset=args.preset, temperature=args.temperature,
+        jobs=args.jobs,
     )
     header = (
         f"{'circuit':12s} {'base P[uW]':>11} {'base D[ps]':>11}"
@@ -238,13 +300,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--report", "-r", help="signoff report output path")
     p.add_argument("--json", "-j", help="JSON result (FlowResult.to_dict) output path")
     _add_obs_flags(p)
+    _add_cache_flag(p)
     p.set_defaults(func=_cmd_synthesize)
+
+    p = sub.add_parser("evaluate", help="all scenarios on circuits (fair clock)")
+    p.add_argument("circuits", nargs="+", help="EPFL circuit names or AIGER files")
+    p.add_argument("--temperature", "-t", type=float, default=10.0)
+    p.add_argument("--preset", default="default", choices=["small", "default", "large"])
+    p.add_argument("--vectors", type=int, default=512, help="power signoff vectors")
+    p.add_argument("--jobs", "-J", type=int, default=1,
+                   help="worker threads for scenario fan-out")
+    p.add_argument("--json", "-j", help="JSON results output path")
+    _add_obs_flags(p)
+    _add_cache_flag(p)
+    p.set_defaults(func=_cmd_evaluate)
 
     p = sub.add_parser("compare", help="Fig. 3: scenarios on EPFL circuits")
     p.add_argument("circuits", nargs="*", help="circuit names (default: all)")
     p.add_argument("--temperature", "-t", type=float, default=10.0)
     p.add_argument("--preset", default="default", choices=["small", "default", "large"])
+    p.add_argument("--jobs", "-J", type=int, default=1,
+                   help="worker threads for circuit fan-out")
     _add_obs_flags(p)
+    _add_cache_flag(p)
     p.set_defaults(func=_cmd_compare)
 
     p = sub.add_parser("calibrate", help="Fig. 1: measure + fit the compact model")
@@ -275,7 +353,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        with _tracing(args):
+        with _tracing(args), _caching(args):
             return args.func(args)
     except KeyboardInterrupt:
         return 130

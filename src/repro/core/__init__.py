@@ -1,7 +1,17 @@
 """The paper's core contribution: the end-to-end cryogenic-aware
 design-automation flow and its experiment harness."""
 
+from .artifacts import (
+    ArtifactCache,
+    cache_key,
+    config_digest,
+    default_cache,
+    set_default_cache,
+    using_cache,
+)
+from .context import DesignContext
 from .flow import SCENARIOS, CryoSynthesisFlow, FlowResult, run_scenarios
+from .stages import FlowRunner, Stage
 from .sequential import (
     SequentialDesign,
     SequentialResult,
@@ -24,6 +34,15 @@ from .experiments import (
 )
 
 __all__ = [
+    "ArtifactCache",
+    "DesignContext",
+    "FlowRunner",
+    "Stage",
+    "cache_key",
+    "config_digest",
+    "default_cache",
+    "set_default_cache",
+    "using_cache",
     "SCENARIOS",
     "CryoSynthesisFlow",
     "FlowResult",

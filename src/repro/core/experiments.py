@@ -3,6 +3,14 @@
 Each ``figure*`` function returns plain data structures and can print
 the same rows/series the paper reports; the pytest-benchmark targets
 in ``benchmarks/`` are thin wrappers around these.
+
+Every harness accepts a ``jobs`` parameter: independent
+(circuit x scenario x temperature) units fan out over worker threads
+via :func:`repro.obs.parallel_map`, with deterministic input-ordered
+results and tracing spans that survive into the workers.  Shared
+products (characterized libraries, match-table views, optimized AIGs)
+are deduplicated through the content-addressed artifact cache, so the
+parallel workers never repeat one another's work.
 """
 
 from __future__ import annotations
@@ -11,12 +19,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..benchgen.suite import build_suite
-from ..charlib.engine import default_library
 from ..charlib.nldm import Library
-from ..device.bsimcmg import CryoFinFET, default_nfet_5nm, default_pfet_5nm
+from ..device.bsimcmg import default_nfet_5nm, default_pfet_5nm
 from ..device.calibration import calibrate, validate
 from ..device.measurement import CryoProbeStation, perturbed_silicon
+from .context import DesignContext
 from .flow import SCENARIOS, run_scenarios
 
 
@@ -34,11 +43,13 @@ class Figure1Row:
 def figure1_model_validation(
     temperatures: tuple[float, ...] = (300.0, 200.0, 77.0, 10.0),
     seed: int = 2023,
+    jobs: int = 1,
 ) -> list[Figure1Row]:
     """Calibrate the cryo model against synthetic measurements and
     report the per-condition residuals behind Fig. 1(b, c)."""
-    rows: list[Figure1Row] = []
-    for polarity, base in (("n", default_nfet_5nm()), ("p", default_pfet_5nm())):
+
+    def calibrate_polarity(spec: tuple[str, object]) -> list[Figure1Row]:
+        polarity, base = spec
         silicon = perturbed_silicon(base, seed=seed if polarity == "n" else seed + 1)
         station = CryoProbeStation(silicon, seed=seed + 17)
         sweeps = []
@@ -47,8 +58,15 @@ def figure1_model_validation(
                 sweeps.append(station.sweep_ids_vgs(vds, temperature, points=36))
         result = calibrate(sweeps, base)
         report = validate(result.device(), sweeps)
-        for (vds, temperature), rms in report.items():
-            rows.append(Figure1Row(polarity, vds, temperature, rms))
+        return [
+            Figure1Row(polarity, vds, temperature, rms)
+            for (vds, temperature), rms in report.items()
+        ]
+
+    specs = [("n", default_nfet_5nm()), ("p", default_pfet_5nm())]
+    rows: list[Figure1Row] = []
+    for chunk in obs.parallel_map(calibrate_polarity, specs, jobs):
+        rows.extend(chunk)
     return rows
 
 
@@ -76,17 +94,22 @@ class DistributionSummary:
 
 def figure2ab_cell_distributions(
     temperatures: tuple[float, ...] = (300.0, 10.0),
+    jobs: int = 1,
 ) -> dict[str, dict[float, DistributionSummary]]:
     """Delay/energy distributions of the full 200-cell library."""
+
+    def summarize(temperature: float):
+        library = DesignContext.default(temperature).library
+        return (
+            DistributionSummary.from_values(temperature, library.delay_distribution()),
+            DistributionSummary.from_values(temperature, library.energy_distribution()),
+        )
+
     out: dict[str, dict[float, DistributionSummary]] = {"delay": {}, "energy": {}}
-    for temperature in temperatures:
-        library = default_library(temperature)
-        out["delay"][temperature] = DistributionSummary.from_values(
-            temperature, library.delay_distribution()
-        )
-        out["energy"][temperature] = DistributionSummary.from_values(
-            temperature, library.energy_distribution()
-        )
+    summaries = obs.parallel_map(summarize, temperatures, jobs)
+    for temperature, (delay, energy) in zip(temperatures, summaries):
+        out["delay"][temperature] = delay
+        out["energy"][temperature] = energy
     return out
 
 
@@ -109,6 +132,7 @@ def figure2c_power_breakdown(
     vectors: int = 256,
     clock_period: float = 1.0e-9,
     pi_activity: float = 0.2,
+    jobs: int = 1,
 ) -> list[PowerShareRow]:
     """Leakage/internal/switching shares on EPFL circuits, per corner.
 
@@ -124,27 +148,29 @@ def figure2c_power_breakdown(
 
     circuits = circuits or ["ctrl", "i2c", "int2float", "dec", "cavlc", "router"]
     suite = build_suite(preset, names=circuits)
-    rows: list[PowerShareRow] = []
-    for temperature in temperatures:
-        library = default_library(temperature)
-        flow = CryoSynthesisFlow(library, "baseline")
-        for name, aig in suite.items():
-            result = flow.run(aig)
-            analyzer = PowerAnalyzer(
-                result.netlist, library, flow.signoff,
-                vectors=vectors, pi_probability=pi_activity,
-            )
-            report = analyzer.analyze(clock_period)
-            rows.append(
-                PowerShareRow(
-                    circuit=name,
-                    temperature=temperature,
-                    leakage_share=report.leakage_share,
-                    internal_share=report.internal_share,
-                    switching_share=report.switching_share,
-                )
-            )
-    return rows
+    contexts = {t: DesignContext.default(t) for t in temperatures}
+    tasks = [
+        (temperature, name) for temperature in temperatures for name in suite
+    ]
+
+    def breakdown(task: tuple[float, str]) -> PowerShareRow:
+        temperature, name = task
+        context = contexts[temperature]
+        flow = CryoSynthesisFlow(scenario="baseline", context=context)
+        result = flow.run(suite[name])
+        analyzer = PowerAnalyzer.from_context(
+            context, result.netlist, vectors=vectors, pi_probability=pi_activity
+        )
+        report = analyzer.analyze(clock_period)
+        return PowerShareRow(
+            circuit=name,
+            temperature=temperature,
+            leakage_share=report.leakage_share,
+            internal_share=report.internal_share,
+            switching_share=report.switching_share,
+        )
+
+    return obs.parallel_map(breakdown, tasks, jobs)
 
 
 def average_shares(rows: list[PowerShareRow], temperature: float) -> tuple[float, float, float]:
@@ -186,13 +212,26 @@ def figure3_synthesis_comparison(
     vectors: int = 512,
     library: Library | None = None,
     use_choices: bool = True,
+    jobs: int = 1,
 ) -> list[Figure3Row]:
-    """Run the three scenarios over the suite; the Fig. 3 data."""
-    library = library or default_library(temperature)
+    """Run the three scenarios over the suite; the Fig. 3 data.
+
+    One :class:`DesignContext` is shared by every circuit, so the
+    library view is built once and stage outputs dedupe through the
+    artifact cache; with ``jobs > 1`` circuits fan out over worker
+    threads (results stay in sorted-circuit order).
+    """
+    if library is not None:
+        context = DesignContext.from_library(library)
+    else:
+        context = DesignContext.default(temperature)
     suite = build_suite(preset, names=circuits)
-    rows: list[Figure3Row] = []
-    for name, aig in sorted(suite.items()):
-        results = run_scenarios(aig, library, vectors=vectors, use_choices=use_choices)
+
+    def compare(item: tuple[str, object]) -> Figure3Row:
+        name, aig = item
+        results = run_scenarios(
+            aig, context=context, vectors=vectors, use_choices=use_choices
+        )
         row = Figure3Row(
             circuit=name,
             baseline_power=results["baseline"].total_power,
@@ -203,8 +242,9 @@ def figure3_synthesis_comparison(
                 continue
             row.power[scenario] = results[scenario].total_power
             row.delay[scenario] = results[scenario].critical_delay
-        rows.append(row)
-    return rows
+        return row
+
+    return obs.parallel_map(compare, sorted(suite.items()), jobs)
 
 
 def figure3_summary(rows: list[Figure3Row]) -> dict[str, dict[str, float]]:

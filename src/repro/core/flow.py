@@ -16,6 +16,14 @@ The paper's three-stage pipeline:
    * ``p_a_d`` — the proposed power -> area -> delay hierarchy;
    * ``p_d_a`` — the proposed power -> delay -> area hierarchy.
 
+The pipeline is expressed as declarative :class:`repro.core.stages.Stage`
+steps executed by a :class:`repro.core.stages.FlowRunner` over a shared
+:class:`repro.core.context.DesignContext`.  Stages 1–2 are
+content-addressed by the input AIG (they are technology-independent),
+stage 3 by the optimized AIG + library fingerprint + cost policy — so
+scenarios, temperatures, repeated runs, and (with a disk cache)
+separate processes share every computation they legally can.
+
 Signoff (delay + power decomposition) runs through the PrimeTime
 substrate, with the paper's fair-comparison rule: the clock period for
 power analysis is set by the slowest variant of the same circuit.
@@ -23,18 +31,20 @@ power analysis is set by the slowest variant of the same circuit.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .. import obs
 from ..charlib.nldm import Library
 from ..mapping.cost import CostPolicy, baseline_power_aware, p_a_d, p_d_a
-from ..mapping.library import TechLibraryView
 from ..mapping.netlist import MappedNetlist
 from ..mapping.techmap import TechnologyMapper
 from ..sta.power import PowerAnalyzer, PowerReport
 from ..sta.timing import SignoffConfig, StaticTimingAnalyzer
 from ..synth.aig import AIG
-from ..synth.scripts import compress2rs, power_aware_restructure
+from ..synth.scripts import ScriptReport, compress2rs, power_aware_restructure
+from .artifacts import cache_key
+from .context import DesignContext
+from .stages import FlowRunner, Stage
 
 
 SCENARIOS: dict[str, CostPolicy] = {
@@ -42,6 +52,9 @@ SCENARIOS: dict[str, CostPolicy] = {
     "p_a_d": p_a_d(),
     "p_d_a": p_d_a(),
 }
+
+#: A per-pass (label, AND count, depth) trace entry.
+TraceStep = tuple[str, int, int]
 
 
 @dataclass
@@ -57,6 +70,9 @@ class FlowResult:
     num_gates: int
     #: Filled by :meth:`CryoSynthesisFlow.signoff_power`.
     power: PowerReport | None = None
+    #: Per-pass size/depth trajectory of stages 1–2 (``stage/pass``
+    #: labels), surfaced in :meth:`to_dict` for ``--json`` output.
+    opt_trace: tuple[TraceStep, ...] | None = None
 
     @property
     def total_power(self) -> float:
@@ -84,31 +100,54 @@ class FlowResult:
                 "clock_period_s": self.power.clock_period,
                 "temperature_k": self.power.temperature,
             }
+        if self.opt_trace is not None:
+            out["optimization_trace"] = [
+                {"pass": label, "ands": ands, "depth": depth}
+                for label, ands, depth in self.opt_trace
+            ]
         return out
 
 
+def _prefix_steps(stage: str, steps: tuple[TraceStep, ...]) -> tuple[TraceStep, ...]:
+    return tuple((f"{stage}/{label}", ands, depth) for label, ands, depth in steps)
+
+
 class CryoSynthesisFlow:
-    """Three-stage synthesis + signoff against one library corner."""
+    """Three-stage synthesis + signoff against one library corner.
+
+    Accepts either a bare :class:`Library` (a private
+    :class:`DesignContext` is built around it) or an explicit shared
+    ``context`` — the latter is what lets scenarios, circuits, and
+    worker threads share the characterized library, the match-table
+    view, and every cached stage output.
+    """
 
     def __init__(
         self,
-        library: Library,
+        library: Library | None = None,
         scenario: str = "baseline",
         k_lut: int = 6,
         use_choices: bool = True,
         signoff: SignoffConfig | None = None,
         skip_stage2: bool = False,
+        context: DesignContext | None = None,
     ):
         if scenario not in SCENARIOS:
             raise ValueError(f"unknown scenario {scenario!r}; choose from {sorted(SCENARIOS)}")
-        self.library = library
+        if context is None:
+            if library is None:
+                raise ValueError("provide a characterized library or a DesignContext")
+            context = DesignContext.from_library(library, signoff=signoff)
+        elif signoff is not None:
+            context = context.with_signoff(signoff)
+        self.context = context
+        self.library = context.library
         self.scenario = scenario
         self.policy = SCENARIOS[scenario]
         self.k_lut = k_lut
         self.use_choices = use_choices
-        self.signoff = signoff or SignoffConfig()
+        self.signoff = context.signoff
         self.skip_stage2 = skip_stage2
-        self._view = TechLibraryView(library)
 
     # ------------------------------------------------------------------
     @property
@@ -117,60 +156,150 @@ class CryoSynthesisFlow:
         hierarchies make power the primary stage-2 cost."""
         return "tiebreak" if self.scenario == "baseline" else "primary"
 
+    # ------------------------------------------------------------------
+    # Stage declarations
+    # ------------------------------------------------------------------
+    def _stage1(self) -> Stage:
+        def compute(ctx: DesignContext, ins) -> tuple[AIG, tuple[TraceStep, ...]]:
+            aig = ins["aig"]
+            report = ScriptReport()
+            optimized = compress2rs(aig, report)
+            return optimized, tuple(report.steps)
+
+        return Stage(
+            name="c2rs",
+            inputs=("aig",),
+            output="stage1",
+            compute=compute,
+            # Technology-independent: keyed by the input network alone,
+            # so the result is shared across temperatures and policies.
+            cache_key=lambda ctx, ins: cache_key("stage1.c2rs", ins["aig"]),
+        )
+
+    def _stage2(self) -> Stage:
+        mode = self.stage2_power_mode
+
+        def compute(ctx: DesignContext, ins) -> tuple[AIG, tuple[TraceStep, ...]]:
+            stage1_aig, _ = ins["stage1"]
+            report = ScriptReport()
+            restructured = power_aware_restructure(
+                stage1_aig,
+                k=self.k_lut,
+                power_mode=mode,
+                use_choices=self.use_choices,
+                report=report,
+            )
+            return restructured, tuple(report.steps)
+
+        return Stage(
+            name="power_restructure",
+            inputs=("stage1",),
+            output="stage2",
+            compute=compute,
+            # Also technology-independent; two scenarios with the same
+            # power mode share this computation (the generalization of
+            # the old hand-rolled ``optimized_cache``).
+            cache_key=lambda ctx, ins: cache_key(
+                "stage2.power", ins["stage1"][0], self.k_lut, mode, self.use_choices
+            ),
+        )
+
+    def _select(self) -> Stage:
+        last = "stage1" if self.skip_stage2 else "stage2"
+        inputs = ("stage1",) if self.skip_stage2 else ("stage1", "stage2")
+
+        def compute(ctx: DesignContext, ins) -> tuple[AIG, tuple[TraceStep, ...]]:
+            trace = _prefix_steps("c2rs", ins["stage1"][1])
+            if not self.skip_stage2:
+                trace += _prefix_steps("power", ins["stage2"][1])
+            return ins[last][0], trace
+
+        return Stage(
+            name="select", inputs=inputs, output="optimized", compute=compute
+        )
+
+    def _map_stage(self) -> Stage:
+        def compute(ctx: DesignContext, ins) -> MappedNetlist:
+            optimized = ins["optimized"][0]
+            mapper = TechnologyMapper(ctx.view, self.policy)
+            return mapper.map(optimized)
+
+        return Stage(
+            name="map",
+            inputs=("optimized",),
+            output="netlist",
+            compute=compute,
+            cache_key=lambda ctx, ins: cache_key(
+                "map", ins["optimized"][0], ctx.library_fingerprint, self.policy
+            ),
+        )
+
+    def _sta_stage(self) -> Stage:
+        def compute(ctx: DesignContext, ins):
+            return StaticTimingAnalyzer.from_context(ctx, ins["netlist"]).analyze()
+
+        # Cheap relative to synthesis/mapping and dependent only on
+        # already-cached inputs: always recomputed.
+        return Stage(name="sta", inputs=("netlist",), output="timing", compute=compute)
+
+    def synthesis_stages(self) -> list[Stage]:
+        """The declarative pipeline this flow executes."""
+        stages = [self._stage1()]
+        if not self.skip_stage2:
+            stages.append(self._stage2())
+        stages.extend([self._select(), self._map_stage(), self._sta_stage()])
+        return stages
+
+    # ------------------------------------------------------------------
+    # Public API (unchanged surface)
+    # ------------------------------------------------------------------
     def optimize(self, aig: AIG) -> AIG:
         """Stages 1 + 2: technology-independent + power-aware opt."""
-        with obs.span("flow.c2rs", nodes_in=aig.num_ands) as sp:
-            stage1 = compress2rs(aig)
-            sp.set(nodes_out=stage1.num_ands)
-        if self.skip_stage2:
-            return stage1
-        with obs.span("flow.power_restructure", nodes_in=stage1.num_ands) as sp:
-            restructured = power_aware_restructure(
-                stage1,
-                k=self.k_lut,
-                power_mode=self.stage2_power_mode,
-                use_choices=self.use_choices,
-            )
-            sp.set(nodes_out=restructured.num_ands)
-        return restructured
+        stages = [self._stage1()]
+        if not self.skip_stage2:
+            stages.append(self._stage2())
+        stages.append(self._select())
+        artifacts = FlowRunner(self.context, stages, span_prefix="flow").run(aig=aig)
+        return artifacts["optimized"][0]
 
     def map(self, aig: AIG) -> MappedNetlist:
         """Stage 3: technology mapping under the scenario's policy."""
-        with obs.span("flow.map", scenario=self.scenario) as sp:
-            mapper = TechnologyMapper(self._view, self.policy)
-            netlist = mapper.map(aig)
-            sp.set(gates=netlist.num_gates)
-        return netlist
+        runner = FlowRunner(self.context, [self._map_stage()], span_prefix="flow")
+        return runner.run(optimized=(aig, ()))["netlist"]
 
     def run(self, aig: AIG) -> FlowResult:
         """Full pipeline on one circuit (power signoff done separately
         because the clock period depends on the sibling variants)."""
         with obs.span("flow.run", circuit=aig.name, scenario=self.scenario):
-            optimized = self.optimize(aig)
-            netlist = self.map(optimized)
-            with obs.span("flow.sta"):
-                timing = StaticTimingAnalyzer(
-                    netlist, self.library, self.signoff
-                ).analyze()
+            artifacts = FlowRunner(
+                self.context, self.synthesis_stages(), span_prefix="flow"
+            ).run(aig=aig)
+        optimized, trace = artifacts["optimized"]
+        netlist = artifacts["netlist"]
         return FlowResult(
             circuit=aig.name,
             scenario=self.scenario,
             netlist=netlist,
             optimized_aig=optimized,
-            critical_delay=timing.max_delay,
+            critical_delay=artifacts["timing"].max_delay,
             area=netlist.total_area(self.library),
             num_gates=netlist.num_gates,
+            opt_trace=trace,
         )
 
     def signoff_power(
-        self, result: FlowResult, clock_period: float, vectors: int = 512, seed: int = 0
+        self,
+        result: FlowResult,
+        clock_period: float,
+        vectors: int = 512,
+        seed: int | None = None,
     ) -> PowerReport:
         """PrimeTime-style power decomposition at a given clock."""
         with obs.span(
             "flow.signoff_power", circuit=result.circuit, scenario=result.scenario
         ):
-            analyzer = PowerAnalyzer(
-                result.netlist, self.library, self.signoff, vectors=vectors, seed=seed
+            analyzer = PowerAnalyzer.from_context(
+                self.context, result.netlist, vectors=vectors, seed=seed
             )
             result.power = analyzer.analyze(clock_period)
         return result.power
@@ -178,11 +307,13 @@ class CryoSynthesisFlow:
 
 def run_scenarios(
     aig: AIG,
-    library: Library,
+    library: Library | None = None,
     scenarios: list[str] | None = None,
     clock_margin: float = 1.1,
     vectors: int = 512,
     use_choices: bool = True,
+    context: DesignContext | None = None,
+    jobs: int = 1,
 ) -> dict[str, FlowResult]:
     """Run all scenarios on one circuit with the fair-power rule.
 
@@ -190,35 +321,36 @@ def run_scenarios(
     the slowest variant's critical delay times ``clock_margin``
     (footnote 1 of the paper — otherwise faster variants would be
     charged for their higher clock rates).
+
+    Scenarios share one :class:`DesignContext` (one match-table view,
+    one artifact cache), so stages 1–2 are computed once per distinct
+    stage-2 power mode — the content-addressed generalization of the
+    old per-call ``optimized_cache``.  With ``jobs > 1`` the scenario
+    runs (and their signoffs) fan out over worker threads with
+    deterministic, scenario-ordered results.
     """
+    if context is None:
+        if library is None:
+            raise ValueError("provide a characterized library or a DesignContext")
+        context = DesignContext.from_library(library)
     scenarios = scenarios or list(SCENARIOS)
-    results: dict[str, FlowResult] = {}
-    flows: dict[str, CryoSynthesisFlow] = {}
-    optimized_cache: dict[str, AIG] = {}
-    for scenario in scenarios:
-        flow = CryoSynthesisFlow(library, scenario, use_choices=use_choices)
-        flows[scenario] = flow
-        # Stages 1-2 only depend on the stage-2 power mode; share them
-        # between the two proposed scenarios.
-        with obs.span("flow.scenario", circuit=aig.name, scenario=scenario):
-            mode = flow.stage2_power_mode
-            if mode not in optimized_cache:
-                optimized_cache[mode] = flow.optimize(aig)
-            optimized = optimized_cache[mode]
-            netlist = flow.map(optimized)
-            with obs.span("flow.sta"):
-                timing = StaticTimingAnalyzer(netlist, library, flow.signoff).analyze()
-        results[scenario] = FlowResult(
-            circuit=aig.name,
-            scenario=scenario,
-            netlist=netlist,
-            optimized_aig=optimized,
-            critical_delay=timing.max_delay,
-            area=netlist.total_area(library),
-            num_gates=netlist.num_gates,
+    flows = {
+        scenario: CryoSynthesisFlow(
+            scenario=scenario, use_choices=use_choices, context=context
         )
+        for scenario in scenarios
+    }
+
+    def run_one(scenario: str) -> FlowResult:
+        with obs.span("flow.scenario", circuit=aig.name, scenario=scenario):
+            return flows[scenario].run(aig)
+
+    results = dict(zip(scenarios, obs.parallel_map(run_one, scenarios, jobs)))
     slowest = max(result.critical_delay for result in results.values())
     clock_period = max(slowest * clock_margin, 1e-12)
-    for scenario, result in results.items():
-        flows[scenario].signoff_power(result, clock_period, vectors=vectors)
+
+    def signoff_one(scenario: str) -> None:
+        flows[scenario].signoff_power(results[scenario], clock_period, vectors=vectors)
+
+    obs.parallel_map(signoff_one, scenarios, jobs)
     return results

@@ -17,7 +17,7 @@ off the *sequential* timing and power:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..charlib.nldm import Library, LibertyCell
 from ..mapping.netlist import MappedNetlist

@@ -1,0 +1,106 @@
+"""Declarative pipeline stages and the runner that executes them.
+
+The paper's flow is a fixed three-stage pipeline; this module makes
+that shape explicit instead of hard-coding it.  Each step is a
+:class:`Stage` with named inputs, one named output, a compute
+function, and (when the step is pure) a cache-key function; a
+:class:`FlowRunner` executes a stage list over a shared artifact
+namespace, consulting the :class:`repro.core.artifacts.ArtifactCache`
+before computing anything.
+
+The runner is what generalizes the old hand-rolled
+``optimized_cache``/``stage2_power_mode`` sharing in
+``run_scenarios``: two scenarios whose stage-2 parameters agree now
+produce the *same cache key* and therefore share the computation
+automatically — across scenarios, circuits, temperatures, worker
+threads, and (with a disk-backed cache) process restarts.
+
+Observability: each stage executes under a ``<prefix>.<name>`` span
+(``stage.`` by default; the synthesis flow uses ``flow.``) carrying a
+``cache`` attribute (``"hit"``/``"miss"``/``"uncached"``), and the
+cache emits the ``cache.hit``/``cache.miss`` counters; see
+``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from .. import obs
+from .context import DesignContext
+
+#: Signature of a stage body: ``(context, inputs) -> output``.
+StageFn = Callable[[DesignContext, Mapping[str, Any]], Any]
+#: Signature of a stage cache-key builder: ``(context, inputs) -> key``.
+KeyFn = Callable[[DesignContext, Mapping[str, Any]], str]
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One named, optionally-cacheable pipeline step.
+
+    ``inputs`` name artifacts that must exist in the runner's
+    namespace before the stage runs; ``output`` names the artifact the
+    stage produces.  A stage with ``cache_key=None`` always computes
+    (use for impure or cheap steps); otherwise the key must capture
+    *everything* the output depends on — the runner trusts it
+    blindly.  ``persist`` additionally allows the on-disk cache tier
+    (the output must pickle losslessly).
+    """
+
+    name: str
+    inputs: tuple[str, ...]
+    output: str
+    compute: StageFn
+    cache_key: KeyFn | None = None
+    persist: bool = True
+
+
+class FlowRunner:
+    """Execute a stage list over a shared artifact namespace."""
+
+    def __init__(
+        self,
+        context: DesignContext,
+        stages: Sequence[Stage],
+        span_prefix: str = "stage",
+    ):
+        names = [stage.name for stage in stages]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate stage names: {names}")
+        self.context = context
+        self.stages = tuple(stages)
+        self.span_prefix = span_prefix
+
+    def run(self, **initial: Any) -> dict[str, Any]:
+        """Run every stage in order; returns the artifact namespace.
+
+        ``initial`` seeds the namespace (e.g. ``aig=...``).  Each
+        cacheable stage is looked up before being computed; the
+        returned dict maps artifact names (plus the initial seeds) to
+        values.
+        """
+        artifacts: dict[str, Any] = dict(initial)
+        for stage in self.stages:
+            missing = [name for name in stage.inputs if name not in artifacts]
+            if missing:
+                raise KeyError(
+                    f"stage {stage.name!r} missing inputs {missing}; "
+                    f"have {sorted(artifacts)}"
+                )
+            inputs = {name: artifacts[name] for name in stage.inputs}
+            with obs.span(f"{self.span_prefix}.{stage.name}") as sp:
+                if stage.cache_key is None:
+                    sp.set(cache="uncached")
+                    value = stage.compute(self.context, inputs)
+                else:
+                    key = stage.cache_key(self.context, inputs)
+                    value, hit = self.context.cache.get_or_compute_flagged(
+                        key,
+                        lambda: stage.compute(self.context, inputs),
+                        persist=stage.persist,
+                    )
+                    sp.set(cache="hit" if hit else "miss")
+            artifacts[stage.output] = value
+        return artifacts

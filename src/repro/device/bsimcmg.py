@@ -27,8 +27,7 @@ library-characterization backends (:mod:`repro.charlib`).
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterable
 
 import numpy as np

@@ -27,7 +27,7 @@ from typing import Sequence
 
 import numpy as np
 
-from .constants import T_MIN_STABLE, T_REF
+from .constants import T_MIN_STABLE
 from .bsimcmg import CryoFinFET, FinFETParams, default_nfet_5nm, default_pfet_5nm
 
 

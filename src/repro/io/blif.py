@@ -8,7 +8,7 @@ cube covers (via ISOP) and read back into truth tables.
 from __future__ import annotations
 
 from ..synth.isop import Cube, cover_to_tt, isop
-from ..synth.lutnet import LUT, LUTNetwork
+from ..synth.lutnet import LUTNetwork
 from ..synth.truth import tt_mask
 
 

@@ -56,6 +56,23 @@ class CellFamily:
 class TechLibraryView:
     """Match tables + convenience metrics over a liberty library."""
 
+    @classmethod
+    def for_library(cls, library: Library, cache=None) -> "TechLibraryView":
+        """The shared view of a library, via the artifact cache.
+
+        View construction enumerates every NP configuration of every
+        matchable cell — far too expensive to repeat per scenario.  The
+        view is pure w.r.t. the library, so it is content-addressed by
+        the library fingerprint and built at most once per cache
+        (memory tier only: the view is cheap to rebuild relative to
+        characterization and holds a reference to the live library).
+        """
+        from ..core.artifacts import cache_key, default_cache
+
+        cache = cache or default_cache()
+        key = cache_key("techview", library.fingerprint())
+        return cache.get_or_compute(key, lambda: cls(library), persist=False)
+
     def __init__(self, library: Library):
         self.library = library
         self.families: dict[tuple[int, int], CellFamily] = {}

@@ -17,10 +17,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import TYPE_CHECKING
+
 from ..charlib.nldm import Library, LibertyCell
-from ..sta.timing import SignoffConfig, StaticTimingAnalyzer
 from .cost import CostPolicy, baseline_power_aware
 from .netlist import GateInstance, MappedNetlist
+
+# ``repro.sta.timing`` imports ``repro.mapping.netlist``, so a
+# module-level import here would close an import cycle whose outcome
+# depends on which package initializes first.  The STA classes are
+# imported lazily inside :func:`size_gates` instead.
+if TYPE_CHECKING:
+    from ..sta.timing import SignoffConfig
 
 
 @dataclass
@@ -71,6 +79,8 @@ def size_gates(
     its per-event energy plus the input capacitance it presents, and
     its area — compared under ``policy``.
     """
+    from ..sta.timing import SignoffConfig, StaticTimingAnalyzer
+
     policy = policy or baseline_power_aware()
     config = config or SignoffConfig()
     families = _build_families(library)

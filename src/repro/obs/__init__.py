@@ -18,6 +18,7 @@ See ``docs/OBSERVABILITY.md`` for the span taxonomy and the CLI
 surface (``--trace``, ``--profile``, ``repro report-trace``).
 """
 
+from .parallel import effective_jobs, parallel_map
 from .sinks import InMemorySink, JsonlSink, Sink, read_jsonl
 from .summary import SummaryNode, build_summary, render_summary
 from .tracer import (
@@ -47,4 +48,6 @@ __all__ = [
     "SummaryNode",
     "build_summary",
     "render_summary",
+    "parallel_map",
+    "effective_jobs",
 ]

@@ -17,11 +17,11 @@ The template knows how to:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..spice.netlist import Circuit
 from ..spice.waveforms import DC
-from .boolexpr import Expr, Lit, Not, truth_table
+from .boolexpr import Expr, Lit, Not
 from .technology import Technology
 
 VDD_NODE = "vdd"

@@ -14,7 +14,7 @@ literal ``v`` or ``-v``).
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 UNASSIGNED = 0

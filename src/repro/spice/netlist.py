@@ -8,7 +8,7 @@ cryogenic compact model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 from ..device.bsimcmg import CryoFinFET

@@ -79,6 +79,26 @@ class PowerAnalyzer:
         self.seed = seed
         self.pi_probability = pi_probability
 
+    @classmethod
+    def from_context(
+        cls,
+        context,
+        netlist: MappedNetlist,
+        vectors: int = 512,
+        seed: int | None = None,
+        pi_probability: float = 0.5,
+    ) -> "PowerAnalyzer":
+        """Build an analyzer from a :class:`repro.core.context.DesignContext`;
+        ``seed=None`` falls back to the context's vector seed."""
+        return cls(
+            netlist,
+            context.library,
+            context.signoff,
+            vectors=vectors,
+            seed=context.seed if seed is None else seed,
+            pi_probability=pi_probability,
+        )
+
     # ------------------------------------------------------------------
     def _simulate(self) -> dict[str, int]:
         rng = random.Random(self.seed)

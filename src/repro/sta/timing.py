@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 
 from .. import obs
 from ..charlib.nldm import Library
-from ..mapping.netlist import GateInstance, MappedNetlist
+from ..mapping.netlist import MappedNetlist
 
 
 @dataclass(frozen=True)
@@ -59,6 +59,12 @@ class StaticTimingAnalyzer:
         self.library = library
         self.config = config or SignoffConfig()
 
+    @classmethod
+    def from_context(cls, context, netlist: MappedNetlist) -> "StaticTimingAnalyzer":
+        """Build an analyzer from a :class:`repro.core.context.DesignContext`
+        (library + signoff boundary conditions come from the context)."""
+        return cls(netlist, context.library, context.signoff)
+
     # ------------------------------------------------------------------
     def net_loads(self) -> dict[str, float]:
         """Capacitive load per net [F]: sink pins + wire + PO loads."""
@@ -70,7 +76,10 @@ class StaticTimingAnalyzer:
             all_nets.add(gate.output_net)
             all_nets.update(gate.pins.values())
         po_nets = set(self.netlist.po_nets)
-        for net in all_nets:
+        # Sorted iteration keeps downstream float summations (e.g. the
+        # switching-power accumulation over .items()) byte-identical
+        # across processes; set order varies with string hashing.
+        for net in sorted(all_nets):
             sinks = sink_map.get(net, [])
             total = config.wire_cap_base + config.wire_cap_per_fanout * len(sinks)
             for gate, pin in sinks:

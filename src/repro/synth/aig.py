@@ -24,7 +24,6 @@ pattern words, so a single pass simulates any number of patterns.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 
 def lit_not(lit: int) -> int:
@@ -167,6 +166,34 @@ class AIG:
     # ------------------------------------------------------------------
     # Analysis
     # ------------------------------------------------------------------
+    def structural_hash(self) -> str:
+        """Content address of the network (SHA-256 hex digest).
+
+        Covers the full observable structure — name, PI/PO names, the
+        fanin literals of every AND in construction order, and the PO
+        literals — so two AIGs share a hash iff they are structurally
+        identical.  Used as the cache key for optimized networks in
+        :mod:`repro.core.artifacts`.
+        """
+        import hashlib
+        import struct
+
+        h = hashlib.sha256()
+        h.update(self.name.encode())
+        h.update(b"\0pis\0")
+        for pi_name in self.pi_names:
+            h.update(pi_name.encode() + b"\0")
+        h.update(b"\0ands\0")
+        n = len(self._fanin0)
+        h.update(struct.pack(f"<{n}q", *self._fanin0))
+        h.update(struct.pack(f"<{n}q", *self._fanin1))
+        h.update(bytes(self._is_pi))
+        h.update(b"\0pos\0")
+        h.update(struct.pack(f"<{len(self.pos)}q", *self.pos))
+        for po_name in self.po_names:
+            h.update(po_name.encode() + b"\0")
+        return h.hexdigest()
+
     def levels(self) -> list[int]:
         """Level of every node (PIs at 0)."""
         level = [0] * self.num_nodes

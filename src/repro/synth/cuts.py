@@ -10,7 +10,7 @@ bounds the quadratic blow-up of exhaustive enumeration.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .. import obs
 from .aig import AIG, lit_is_compl, lit_var

@@ -171,8 +171,6 @@ def mfs(
         new_table, support = improved
         if len(support) < k:
             # Project the table onto the surviving inputs.
-            from .truth import tt_cofactor
-
             kept = list(support)
             projected = 0
             for i in range(1 << len(kept)):

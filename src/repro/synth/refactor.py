@@ -10,7 +10,7 @@ logic synthesis.
 
 from __future__ import annotations
 
-from .aig import AIG, CONST0, lit_not, lit_var
+from .aig import AIG, CONST0, lit_var
 from .cuts import Cut, cut_cone_nodes, enumerate_cuts, mffc_size
 from .isop import build_function
 

@@ -18,10 +18,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .. import obs
-from .aig import AIG, CONST0, lit_is_compl, lit_not, lit_var, make_lit
+from .aig import AIG, CONST0, lit_not, lit_var
 from .cuts import Cut, cut_cone_nodes, enumerate_cuts, mffc_size
 from .isop import build_function
-from .truth import npn_canon, tt_mask, tt_support
+from .truth import npn_canon, tt_mask
 
 
 @dataclass

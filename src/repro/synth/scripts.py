@@ -17,7 +17,6 @@ from dataclasses import dataclass, field
 
 from .. import obs
 from .aig import AIG
-from .activity import simulated_activities
 from .balance import balance
 from .choices import compute_choices
 from .lutmap import map_luts
@@ -141,8 +140,6 @@ def power_aware_restructure(
     activities = None
     if power_aware:
         with obs.span("synth.activity"):
-            base = choices.aig if choices is not None else aig
-            aig_act = simulated_activities(base, vectors=256)
             # Approximate LUT-leaf activities via a fresh simulation of
             # the LUT network itself.
             import random

@@ -23,7 +23,6 @@ def tt_var(index: int, n: int) -> int:
     """Truth table of input variable ``index`` among ``n`` inputs."""
     if not 0 <= index < n:
         raise ValueError(f"variable {index} out of range for {n} inputs")
-    block = 1 << index
     pattern = 0
     for i in range(1 << n):
         if (i >> index) & 1:

@@ -1,0 +1,18 @@
+"""Shared fixtures.
+
+Every test runs against a fresh in-memory artifact cache so cached
+stage outputs cannot leak between tests: whether synthesis actually
+executes (and emits its spans/counters) must depend only on the test
+itself, not on suite ordering.  Tests that exercise cache behavior
+build their own :class:`ArtifactCache` explicitly.
+"""
+
+import pytest
+
+from repro.core import ArtifactCache, using_cache
+
+
+@pytest.fixture(autouse=True)
+def _fresh_artifact_cache():
+    with using_cache(ArtifactCache()):
+        yield

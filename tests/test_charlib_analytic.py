@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.charlib import AnalyticCharacterizer, characterize_library
-from repro.pdk import cryo5_technology, standard_cell_catalog
+from repro.pdk import cryo5_technology
 from repro.pdk.catalog import (
     make_aoi,
     make_buf,

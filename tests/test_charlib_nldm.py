@@ -1,6 +1,5 @@
 """Tests for NLDM tables and library structures."""
 
-import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 

@@ -5,7 +5,7 @@ import pytest
 
 from repro.charlib import characterize_library, parse_liberty, write_liberty
 from repro.pdk import cryo5_technology
-from repro.pdk.catalog import make_dff, make_dffs, make_latch
+from repro.pdk.catalog import make_dff, make_latch
 
 TECH = cryo5_technology()
 

@@ -1,0 +1,214 @@
+"""Tests for the content-addressed artifact cache layer."""
+
+import pytest
+
+from repro.benchgen import build_circuit
+from repro.charlib import characterize_library, default_library, write_liberty
+from repro.core import (
+    ArtifactCache,
+    DesignContext,
+    cache_key,
+    config_digest,
+    default_cache,
+    run_scenarios,
+    set_default_cache,
+    using_cache,
+)
+from repro.mapping.cost import p_a_d, p_d_a
+from repro.pdk import cryo5_technology
+from repro.sta.timing import SignoffConfig
+
+
+@pytest.fixture(scope="module")
+def library():
+    return default_library(10.0)
+
+
+class TestDigests:
+    def test_plain_values_stable(self):
+        assert config_digest((1, "a", 2.5)) == config_digest((1, "a", 2.5))
+        assert config_digest((1, "a")) != config_digest((1, "b"))
+
+    def test_type_tagged(self):
+        # 1 and 1.0 and "1" must not collide.
+        assert config_digest(1) != config_digest(1.0)
+        assert config_digest(1) != config_digest("1")
+
+    def test_dict_order_independent(self):
+        assert config_digest({"a": 1, "b": 2}) == config_digest({"b": 2, "a": 1})
+
+    def test_dataclass_digest(self):
+        assert config_digest(SignoffConfig()) == config_digest(SignoffConfig())
+        assert config_digest(SignoffConfig()) != config_digest(
+            SignoffConfig(input_slew=2e-11)
+        )
+        assert config_digest(p_a_d()) != config_digest(p_d_a())
+
+    def test_rejects_opaque_objects(self):
+        with pytest.raises(TypeError):
+            config_digest(object())
+
+
+class TestStructuralHash:
+    def test_stable_and_content_addressed(self):
+        a = build_circuit("ctrl", "small")
+        b = build_circuit("ctrl", "small")
+        assert a.structural_hash() == b.structural_hash()
+
+    def test_mutation_changes_hash(self):
+        aig = build_circuit("ctrl", "small")
+        before = aig.structural_hash()
+        aig.add_po(aig.add_and(2, 4), "extra")
+        assert aig.structural_hash() != before
+
+    def test_distinct_circuits_distinct_hashes(self):
+        assert (
+            build_circuit("ctrl", "small").structural_hash()
+            != build_circuit("dec", "small").structural_hash()
+        )
+
+
+class TestLibraryFingerprint:
+    def test_memoized_and_stable(self, library):
+        assert library.fingerprint() == library.fingerprint()
+
+    def test_distinct_corners_distinct_fingerprints(self):
+        assert default_library(10.0).fingerprint() != default_library(300.0).fingerprint()
+
+
+class TestArtifactCacheMemory:
+    def test_get_or_compute_hits(self):
+        cache = ArtifactCache()
+        calls = []
+        key = cache_key("test", 1, "x")
+        first = cache.get_or_compute(key, lambda: calls.append(1) or {"v": 42})
+        second = cache.get_or_compute(key, lambda: calls.append(1) or {"v": 43})
+        assert first is second
+        assert len(calls) == 1
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_lru_bound(self):
+        cache = ArtifactCache(max_memory_entries=4)
+        for i in range(10):
+            cache.put(f"k:{i}", i)
+        assert cache.stats()["memory_entries"] == 4
+        assert cache.get("k:0") is None
+        assert cache.get("k:9") == 9
+
+    def test_default_cache_swap(self):
+        original = default_cache()
+        fresh = ArtifactCache()
+        with using_cache(fresh):
+            assert default_cache() is fresh
+        assert default_cache() is original
+        set_default_cache(original)
+
+
+class TestDiskBackend:
+    def test_round_trip(self, tmp_path):
+        cache = ArtifactCache(cache_dir=tmp_path)
+        cache.put("k:1", {"a": [1, 2, 3]})
+        # A second cache over the same directory simulates a restart.
+        rehydrated = ArtifactCache(cache_dir=tmp_path)
+        assert rehydrated.get("k:1") == {"a": [1, 2, 3]}
+        assert rehydrated.stats()["disk_hits"] == 1
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        cache = ArtifactCache(cache_dir=tmp_path)
+        cache.put("k:1", 123)
+        for path in tmp_path.glob("*.pkl"):
+            path.write_bytes(b"not a pickle")
+        fresh = ArtifactCache(cache_dir=tmp_path)
+        assert fresh.get("k:1") is None
+
+    def test_memory_only_put_skips_disk(self, tmp_path):
+        cache = ArtifactCache(cache_dir=tmp_path)
+        cache.put("k:1", 1, persist=False)
+        assert list(tmp_path.glob("*.pkl")) == []
+
+    def test_library_round_trips_losslessly(self, tmp_path):
+        """A characterized library survives the disk tier byte-for-byte."""
+        tech = cryo5_technology()
+        from repro.pdk.catalog import standard_cell_catalog
+
+        cells = standard_cell_catalog()[:12]
+        disk = ArtifactCache(cache_dir=tmp_path)
+        original = characterize_library(tech, 10.0, cells=cells, cache=disk)
+        # Fresh cache over the same directory: must load, not recompute.
+        rehydrated_cache = ArtifactCache(cache_dir=tmp_path)
+        loaded = characterize_library(tech, 10.0, cells=cells, cache=rehydrated_cache)
+        assert loaded is not original
+        assert loaded.fingerprint() == original.fingerprint()
+        assert write_liberty(loaded) == write_liberty(original)
+        assert rehydrated_cache.stats()["disk_hits"] == 1
+
+
+class TestCacheKeyScheme:
+    def test_same_inputs_same_flow_result(self, library):
+        aig = build_circuit("ctrl", "small")
+        cache = ArtifactCache()
+        ctx = DesignContext.from_library(library, cache=cache)
+        first = run_scenarios(aig, context=ctx, vectors=64)
+        warm = cache.stats()
+        second = run_scenarios(aig, context=ctx, vectors=64)
+        assert cache.stats()["misses"] == warm["misses"]  # no recompute
+        assert cache.stats()["hits"] > warm["hits"]
+        for scenario in first:
+            assert first[scenario].to_dict() == second[scenario].to_dict()
+
+    def test_mutated_aig_distinct_key(self, library):
+        cache = ArtifactCache()
+        ctx = DesignContext.from_library(library, cache=cache)
+        aig = build_circuit("ctrl", "small")
+        run_scenarios(aig, context=ctx, vectors=64)
+        misses = cache.stats()["misses"]
+        mutated = build_circuit("ctrl", "small")
+        mutated.add_po(mutated.add_and(2, 4), "extra")
+        run_scenarios(mutated, context=ctx, vectors=64)
+        assert cache.stats()["misses"] > misses
+
+    def test_distinct_temperature_shares_stage12_not_map(self):
+        cache = ArtifactCache()
+        aig = build_circuit("ctrl", "small")
+        cold = DesignContext.from_library(default_library(10.0), cache=cache)
+        warm = DesignContext.from_library(default_library(300.0), cache=cache)
+        run_scenarios(aig, context=cold, vectors=64)
+        stats_after_cold = cache.stats()
+        run_scenarios(aig, context=warm, vectors=64)
+        # Stages 1-2 are technology-independent -> pure hits; mapping
+        # must recompute against the 300 K library -> new misses.
+        assert cache.stats()["misses"] > stats_after_cold["misses"]
+        assert cache.stats()["hits"] > stats_after_cold["hits"]
+
+    def test_distinct_policy_distinct_map_key(self, library):
+        from repro.core import CryoSynthesisFlow
+
+        cache = ArtifactCache()
+        ctx = DesignContext.from_library(library, cache=cache)
+        aig = build_circuit("ctrl", "small")
+        baseline = CryoSynthesisFlow(scenario="baseline", context=ctx)
+        optimized = baseline.optimize(aig)
+        baseline.map(optimized)
+        misses = cache.stats()["misses"]
+        CryoSynthesisFlow(scenario="p_d_a", context=ctx).map(optimized)
+        assert cache.stats()["misses"] == misses + 1  # only the map stage
+
+
+class TestViewSharing:
+    def test_view_built_once_per_context(self, library):
+        cache = ArtifactCache()
+        ctx = DesignContext.from_library(library, cache=cache)
+        assert ctx.view is ctx.view
+
+    def test_view_shared_across_scenarios(self, library):
+        from repro.core import CryoSynthesisFlow
+
+        cache = ArtifactCache()
+        ctx = DesignContext.from_library(library, cache=cache)
+        flows = [
+            CryoSynthesisFlow(scenario=s, context=ctx)
+            for s in ("baseline", "p_a_d", "p_d_a")
+        ]
+        views = {id(flow.context.view) for flow in flows}
+        assert len(views) == 1

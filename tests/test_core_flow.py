@@ -101,3 +101,29 @@ class TestFigure2abHarness:
         energy10 = data["energy"][10.0]
         assert energy10.median < energy300.median
         assert energy10.median > 0.8 * energy300.median
+
+
+class TestOptimizationTrace:
+    def test_run_records_stage_prefixed_trace(self, library):
+        aig = build_circuit("ctrl", "small")
+        result = CryoSynthesisFlow(library, "p_d_a").run(aig)
+        assert result.opt_trace
+        stages = {label.split("/", 1)[0] for label, _, _ in result.opt_trace}
+        assert stages == {"c2rs", "power"}
+        for _, ands, depth in result.opt_trace:
+            assert ands > 0 and depth > 0
+
+    def test_trace_surfaces_in_to_dict(self, library):
+        aig = build_circuit("ctrl", "small")
+        result = CryoSynthesisFlow(library, "baseline").run(aig)
+        dumped = result.to_dict()
+        assert dumped["optimization_trace"]
+        step = dumped["optimization_trace"][0]
+        assert set(step) == {"pass", "ands", "depth"}
+
+    def test_skip_stage2_trace_is_stage1_only(self, library):
+        aig = build_circuit("ctrl", "small")
+        flow = CryoSynthesisFlow(library, "baseline", skip_stage2=True)
+        result = flow.run(aig)
+        stages = {label.split("/", 1)[0] for label, _, _ in result.opt_trace}
+        assert stages == {"c2rs"}

@@ -5,7 +5,6 @@ import pytest
 from repro.charlib import characterize_library
 from repro.device import CryoFinFET, default_nfet_5nm, default_pfet_5nm
 from repro.device.corners import (
-    Corner,
     corner_technology,
     make_corner,
     skew_device,

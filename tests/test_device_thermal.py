@@ -1,6 +1,5 @@
 """Unit tests for the cryogenic thermal-physics primitives."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

@@ -7,9 +7,7 @@ import pytest
 from repro.charlib import default_library
 from repro.mapping import (
     CostPolicy,
-    MappedNetlist,
     TechLibraryView,
-    TechnologyMapper,
     all_orderings,
     baseline_power_aware,
     map_to_gates,

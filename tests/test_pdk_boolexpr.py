@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.pdk import And, Lit, Not, Or, and_all, or_all, truth_table
+from repro.pdk import Lit, and_all, or_all, truth_table
 
 
 class TestEvaluation:

@@ -10,7 +10,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.io import parse_ascii, parse_binary, write_ascii, write_binary
 from repro.synth import AIG, balance, lit_not, rewrite
-from repro.synth.truth import tt_mask
 
 
 def build_random_aig(seed: int, n_pis: int, n_ops: int) -> AIG:
@@ -81,8 +80,6 @@ def test_liberty_function_string_round_trip(f):
     """Expression -> liberty string -> parse -> same truth table."""
     from repro.charlib import parse_function
     from repro.pdk.boolexpr import truth_table
-    from repro.synth import build_function
-    from repro.synth.aig import AIG as MiniAig
 
     # Build a structural expression for f via the AIG factoring path,
     # then render its liberty string through a cell template.

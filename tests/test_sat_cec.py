@@ -52,9 +52,8 @@ class TestEncoder:
         solver = Solver()
         encoder = AIGEncoder(solver)
         pis = [solver.new_var(), solver.new_var()]
-        m1 = encoder.encode(xor_network(), pis)
-        m2 = encoder.encode(xor_via_demorgan(), pis)
-        l1 = encoder.literal(m1, xor_network().pos[0])
+        encoder.encode(xor_network(), pis)
+        encoder.encode(xor_via_demorgan(), pis)
         # Encodings over shared inputs cannot disagree.
         # (Miter check done through check_equivalence below; here we
         # just confirm the shared encoding is consistent.)

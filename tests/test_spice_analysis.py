@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.spice import DC, Circuit, Simulator, crossing_time, ramp, supply_energy
+from repro.spice import DC, Circuit, Simulator, crossing_time, supply_energy
 from repro.spice.analysis import propagation_delay, transition_time
 from repro.spice.engine import TransientResult
 

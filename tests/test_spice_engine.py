@@ -1,6 +1,5 @@
 """Tests for the nodal-analysis simulator against analytic solutions."""
 
-import math
 
 import numpy as np
 import pytest

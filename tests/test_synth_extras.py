@@ -6,9 +6,8 @@ import random
 import pytest
 
 from repro.benchgen import WordBuilder
-from repro.synth import AIG, LUTNetwork, ScriptReport, compress2rs, lit_not, map_luts
+from repro.synth import AIG, LUTNetwork, ScriptReport, compress2rs
 from repro.synth.cuts import cut_function, enumerate_cuts
-from repro.synth.lutnet import LUT
 
 
 class TestCutFunction:

@@ -8,7 +8,7 @@ import random
 
 import pytest
 
-from repro.sat import assert_equivalent, check_equivalence
+from repro.sat import assert_equivalent
 from repro.synth import (
     AIG,
     balance,
