@@ -33,6 +33,7 @@ from ..device.bsimcmg import CryoFinFET
 from ..pdk.boolexpr import And, Expr, Lit, Or
 from ..pdk.cells import CellTemplate, Stage
 from ..pdk.technology import Technology
+from ..resilience import faults
 from .nldm import LibertyCell, NLDMTable, TimingArc
 
 LN2 = math.log(2.0)
@@ -453,7 +454,7 @@ class AnalyticCharacterizer:
                             if d > best_delay:
                                 best_delay, best_slew, best_energy = d, s, e
                         if kind == "delay":
-                            return best_delay
+                            return faults.corrupt_value("charlib.measure", best_delay)
                         if kind == "slew":
                             return best_slew
                         return best_energy

@@ -13,15 +13,18 @@ restarts, where a warm cache skips characterization entirely
 
 from __future__ import annotations
 
+import dataclasses
+import math
 from functools import lru_cache
 from typing import Sequence
 
 from .. import obs
+from ..resilience import faults
 from ..pdk.catalog import standard_cell_catalog
 from ..pdk.cells import CellTemplate
 from ..pdk.technology import Technology, cryo5_technology
 from .analytic import AnalyticCharacterizer
-from .nldm import Library
+from .nldm import Library, LibertyCell, NLDMTable
 from .spice_char import SpiceCharacterizer
 
 BACKENDS = ("analytic", "spice")
@@ -59,6 +62,73 @@ def _characterization_key(
         loads,
         name,
     )
+
+
+def _sanitize_table(table: NLDMTable) -> tuple[NLDMTable, int]:
+    """Repair non-finite table entries with the worst finite value.
+
+    Downstream consumers (interpolation, STA, the Liberty writer)
+    assume finite tables; a NaN from a corrupted measurement would
+    otherwise poison every lookup that touches its grid cell.  Using
+    the table's *worst* (largest) finite value keeps the repair
+    conservative for delay/slew/power alike.  Returns the repaired
+    table and the number of points touched (0 -> the original table).
+    """
+    flat = [v for row in table.values for v in row]
+    if all(math.isfinite(v) for v in flat):
+        return table, 0
+    finite = [v for v in flat if math.isfinite(v)]
+    worst = max(finite) if finite else 0.0
+    repaired = 0
+    rows = []
+    for row in table.values:
+        new_row = []
+        for v in row:
+            if math.isfinite(v):
+                new_row.append(v)
+            else:
+                new_row.append(worst)
+                repaired += 1
+        rows.append(tuple(new_row))
+    return NLDMTable(table.slews, table.loads, tuple(rows)), repaired
+
+
+_ARC_TABLE_FIELDS = (
+    "cell_rise",
+    "cell_fall",
+    "rise_transition",
+    "fall_transition",
+    "rise_power",
+    "fall_power",
+)
+
+
+def _sanitize_cell(cell: LibertyCell) -> LibertyCell:
+    """Repair non-finite NLDM points in place of failing the build.
+
+    Any arc with repaired points is recorded in
+    :attr:`LibertyCell.degraded_arcs` so the degradation is visible in
+    flow results, the Liberty output, and ``--strict`` runs.
+    """
+    degraded = list(cell.degraded_arcs)
+    for i, arc in enumerate(cell.arcs):
+        replacements: dict[str, NLDMTable] = {}
+        repaired_points = 0
+        for field in _ARC_TABLE_FIELDS:
+            table, repaired = _sanitize_table(getattr(arc, field))
+            if repaired:
+                replacements[field] = table
+                repaired_points += repaired
+        if not replacements:
+            continue
+        cell.arcs[i] = dataclasses.replace(arc, **replacements)
+        obs.count("charlib.sanitized_points", repaired_points)
+        key = f"{arc.related_pin}->{arc.output_pin}"
+        if key not in degraded:
+            obs.count("charlib.arc.degraded")
+            degraded.append(key)
+    cell.degraded_arcs = tuple(degraded)
+    return cell
 
 
 def characterize_library(
@@ -104,11 +174,13 @@ def characterize_library(
         ) as sp:
             for cell in cells:
                 with obs.span("charlib.cell", cell=cell.name):
-                    result = characterizer.characterize_cell(cell, slews, loads)
+                    result = _sanitize_cell(
+                        characterizer.characterize_cell(cell, slews, loads)
+                    )
                     obs.count("charlib.cells")
                     obs.count("charlib.arcs", len(result.arcs))
                 library.add(result)
-            sp.set(cells=len(library))
+            sp.set(cells=len(library), degraded_arcs=len(library.degraded_arcs()))
         return library
 
     if cache is False:
@@ -118,7 +190,9 @@ def characterize_library(
 
         cache = default_cache()
     key = _characterization_key(tech, temperature_k, cells, backend, slews, loads, name)
-    return cache.get_or_compute(key, build)
+    # Degraded libraries (fault-injection runs, flaky transients) must
+    # never poison a shared cache with fallback-quality tables.
+    return cache.get_or_compute(key, build, cache_if=lambda lib: not lib.is_degraded)
 
 
 @lru_cache(maxsize=8)
@@ -134,7 +208,14 @@ def default_library(temperature_k: float, cache=None) -> Library:
     guarantee that repeated calls return the *same object*; an
     explicit ``cache`` routes through it directly (e.g. a warm disk
     cache loads the corner instead of recharacterizing it).
+
+    While a fault-injection plan is active the memo is bypassed in
+    both directions: the faulted run must not be served a healthy
+    memoized library (hiding the injected degradation), and a degraded
+    library must never be memoized for later healthy runs.
     """
     if cache is not None:
         return characterize_library(cryo5_technology(), temperature_k, cache=cache)
+    if faults.active_plan() is not None:
+        return characterize_library(cryo5_technology(), temperature_k, cache=False)
     return _default_library_memo(temperature_k)

@@ -92,6 +92,9 @@ def write_liberty(library: Library) -> str:
 
 def _write_cell(cell: LibertyCell) -> list[str]:
     lines = [f"  cell ({cell.name}) {{"]
+    if cell.degraded_arcs:
+        arcs = ", ".join(cell.degraded_arcs)
+        lines.append(f"    /* degraded arcs (analytic fallback): {arcs} */")
     lines.append(f"    area : {cell.area:.6g};")
     if cell.footprint:
         lines.append(f'    cell_footprint : "{cell.footprint}";')

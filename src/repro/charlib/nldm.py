@@ -149,6 +149,10 @@ class LibertyCell:
     is_sequential: bool = False
     clock_pin: str | None = None
     footprint: str = ""
+    #: Arcs (``"A->Y"``) whose tables came from a fallback path —
+    #: analytic stand-ins for failed SPICE transients, or sanitized
+    #: non-finite measurements.  See ``docs/ROBUSTNESS.md``.
+    degraded_arcs: tuple[str, ...] = ()
 
     def constraint(self, constrained_pin: str, timing_type: str) -> ConstraintArc:
         for arc in self.constraints:
@@ -251,6 +255,7 @@ class Library:
                 sorted(cell.input_caps.items()),
                 sorted(cell.leakage_by_state.items()),
                 cell.is_sequential, cell.clock_pin, cell.footprint,
+                cell.degraded_arcs,
             )
             for arc in cell.arcs:
                 feed(arc.related_pin, arc.output_pin, arc.timing_sense, arc.timing_type)
@@ -265,6 +270,18 @@ class Library:
         digest = h.hexdigest()
         self.__dict__["_fingerprint"] = digest
         return digest
+
+    def degraded_arcs(self) -> list[str]:
+        """Qualified (``"CELL:A->Y"``) degraded arcs, sorted by cell."""
+        out: list[str] = []
+        for name in sorted(self.cells):
+            out.extend(f"{name}:{arc}" for arc in self.cells[name].degraded_arcs)
+        return out
+
+    @property
+    def is_degraded(self) -> bool:
+        """True when any cell carries fallback-quality arcs."""
+        return any(cell.degraded_arcs for cell in self.cells.values())
 
     def __getitem__(self, name: str) -> LibertyCell:
         return self.cells[name]

@@ -16,11 +16,15 @@ backend provides:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
+from .. import obs
 from ..pdk.cells import CellTemplate
 from ..pdk.technology import Technology
-from ..spice.engine import Simulator
+from ..resilience import faults
+from ..resilience.errors import MeasurementError
+from ..spice.engine import ConvergenceError, Simulator
 from ..spice.analysis import propagation_delay, supply_energy, transition_time
 from ..spice.waveforms import DC, ramp
 from .nldm import LibertyCell, NLDMTable, TimingArc
@@ -103,6 +107,13 @@ class SpiceCharacterizer:
         output_rising = wave[-1] > wave[0]
         out_slew = transition_time(result, output, vdd, rising=output_rising, after=t_edge * 0.5)
         energy = supply_energy(result, "vdd_supply", vdd, t_start=t_edge * 0.5)
+        delay = faults.corrupt_value("charlib.measure", delay)
+        if not all(math.isfinite(v) for v in (delay, out_slew, energy)):
+            raise MeasurementError(
+                f"{cell.name}: non-finite measurement on arc {pin}->{output} "
+                f"(delay={delay!r}, slew={out_slew!r}, energy={energy!r})",
+                site="charlib.measure",
+            )
         return ArcMeasurement(delay=delay, output_slew=out_slew, energy=energy)
 
     # ------------------------------------------------------------------
@@ -119,6 +130,12 @@ class SpiceCharacterizer:
         Sequential cells are delegated to the analytic backend — their
         feedback loops need initialization sequences that are out of
         scope for the reference backend.
+
+        Graceful degradation: if an arc's transients fail even after
+        the Newton retry ladder (or a measurement comes back
+        non-finite), that arc falls back to its analytic tables and is
+        recorded in :attr:`LibertyCell.degraded_arcs` rather than
+        aborting the whole library.
         """
         if cell.is_sequential:
             return self._analytic.characterize_cell(cell, slews, loads)
@@ -140,48 +157,65 @@ class SpiceCharacterizer:
             footprint=cell.footprint,
         )
 
+        degraded: list[str] = []
         for template_arc in analytic_cell.arcs:
             pin, out = template_arc.related_pin, template_arc.output_pin
-            rise_d, fall_d, rise_s, fall_s, rise_e, fall_e = ([] for _ in range(6))
-            for slew in slews:
-                rd_row, fd_row, rs_row, fs_row, re_row, fe_row = ([] for _ in range(6))
-                for load in loads:
-                    rising_out = self._measure_for_output_dir(
-                        cell, pin, out, True, slew, load, template_arc.timing_sense
-                    )
-                    falling_out = self._measure_for_output_dir(
-                        cell, pin, out, False, slew, load, template_arc.timing_sense
-                    )
-                    rd_row.append(rising_out.delay)
-                    rs_row.append(rising_out.output_slew)
-                    re_row.append(max(rising_out.energy, 0.0))
-                    fd_row.append(falling_out.delay)
-                    fs_row.append(falling_out.output_slew)
-                    fe_row.append(max(falling_out.energy, 0.0))
-                rise_d.append(tuple(rd_row))
-                fall_d.append(tuple(fd_row))
-                rise_s.append(tuple(rs_row))
-                fall_s.append(tuple(fs_row))
-                rise_e.append(tuple(re_row))
-                fall_e.append(tuple(fe_row))
-
-            def table(rows):
-                return NLDMTable(tuple(slews), tuple(loads), tuple(rows))
-
-            result.arcs.append(
-                TimingArc(
-                    related_pin=pin,
-                    output_pin=out,
-                    timing_sense=template_arc.timing_sense,
-                    cell_rise=table(rise_d),
-                    cell_fall=table(fall_d),
-                    rise_transition=table(rise_s),
-                    fall_transition=table(fall_s),
-                    rise_power=table(rise_e),
-                    fall_power=table(fall_e),
-                )
-            )
+            try:
+                arc = self._characterize_arc(cell, template_arc, slews, loads)
+            except (ConvergenceError, MeasurementError):
+                obs.count("charlib.arc.degraded")
+                degraded.append(f"{pin}->{out}")
+                arc = template_arc  # analytic fallback tables
+            result.arcs.append(arc)
+        result.degraded_arcs = tuple(degraded)
         return result
+
+    def _characterize_arc(
+        self,
+        cell: CellTemplate,
+        template_arc: TimingArc,
+        slews: tuple[float, ...],
+        loads: tuple[float, ...],
+    ) -> TimingArc:
+        """Measure one arc's full (slew x load) grid by transients."""
+        pin, out = template_arc.related_pin, template_arc.output_pin
+        rise_d, fall_d, rise_s, fall_s, rise_e, fall_e = ([] for _ in range(6))
+        for slew in slews:
+            rd_row, fd_row, rs_row, fs_row, re_row, fe_row = ([] for _ in range(6))
+            for load in loads:
+                rising_out = self._measure_for_output_dir(
+                    cell, pin, out, True, slew, load, template_arc.timing_sense
+                )
+                falling_out = self._measure_for_output_dir(
+                    cell, pin, out, False, slew, load, template_arc.timing_sense
+                )
+                rd_row.append(rising_out.delay)
+                rs_row.append(rising_out.output_slew)
+                re_row.append(max(rising_out.energy, 0.0))
+                fd_row.append(falling_out.delay)
+                fs_row.append(falling_out.output_slew)
+                fe_row.append(max(falling_out.energy, 0.0))
+            rise_d.append(tuple(rd_row))
+            fall_d.append(tuple(fd_row))
+            rise_s.append(tuple(rs_row))
+            fall_s.append(tuple(fs_row))
+            rise_e.append(tuple(re_row))
+            fall_e.append(tuple(fe_row))
+
+        def table(rows):
+            return NLDMTable(tuple(slews), tuple(loads), tuple(rows))
+
+        return TimingArc(
+            related_pin=pin,
+            output_pin=out,
+            timing_sense=template_arc.timing_sense,
+            cell_rise=table(rise_d),
+            cell_fall=table(fall_d),
+            rise_transition=table(rise_s),
+            fall_transition=table(fall_s),
+            rise_power=table(rise_e),
+            fall_power=table(fall_e),
+        )
 
     def _measure_for_output_dir(
         self,

@@ -22,6 +22,11 @@ on-disk content-addressed cache, default ``~/.cache/repro``) and
 ``evaluate``/``compare`` take ``--jobs N`` for parallel experiment
 fan-out; see ``docs/ARCHITECTURE.md``.
 
+``synthesize`` and ``evaluate`` additionally accept ``--strict``
+(degraded results exit 2 instead of warning) and ``--faults PLAN`` (a
+deterministic fault-injection plan, overriding ``$REPRO_FAULTS``); see
+``docs/ROBUSTNESS.md``.
+
 Run ``python -m repro <subcommand> --help`` for the options.
 """
 
@@ -54,6 +59,38 @@ def _tracing(args: argparse.Namespace):
 
 
 @contextlib.contextmanager
+def _faulting(args: argparse.Namespace):
+    """Install an explicit fault plan when ``--faults`` asks for one.
+
+    Without the flag, a plan in :envvar:`REPRO_FAULTS` still applies —
+    this only handles the explicit override.
+    """
+    plan_text = getattr(args, "faults", None)
+    if not plan_text:
+        yield
+        return
+    from .resilience import injecting, parse_plan
+
+    with injecting(parse_plan(plan_text)):
+        yield
+
+
+def _degraded_summary(degraded: list[str], strict: bool) -> int:
+    """Print the degraded-arc report; return the run's exit code."""
+    if not degraded:
+        return 0
+    print(
+        f"degraded: {len(degraded)} arc(s) fell back to analytic tables: "
+        + ", ".join(degraded),
+        file=sys.stderr,
+    )
+    if strict:
+        print("repro: error: degraded results under --strict", file=sys.stderr)
+        return 2
+    return 0
+
+
+@contextlib.contextmanager
 def _caching(args: argparse.Namespace):
     """Install a disk-backed artifact cache when ``--cache-dir`` asks."""
     cache_dir = getattr(args, "cache_dir", None)
@@ -71,6 +108,20 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
                         help="write a JSONL trace of the run")
     parser.add_argument("--profile", action="store_true",
                         help="print a span-tree profile after the run")
+
+
+def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit 2 when any result is degraded (analytic-fallback "
+             "arcs) instead of completing with a warning",
+    )
+    parser.add_argument(
+        "--faults", metavar="PLAN",
+        help="deterministic fault-injection plan (overrides "
+             "$REPRO_FAULTS), e.g. 'seed=7;spice.newton:0.1'; "
+             "see docs/ROBUSTNESS.md",
+    )
 
 
 def _add_cache_flag(parser: argparse.ArgumentParser) -> None:
@@ -148,7 +199,7 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
 
         Path(args.json).write_text(json.dumps(result.to_dict(), indent=2) + "\n")
         print(f"wrote {args.json}")
-    return 0
+    return _degraded_summary(list(result.degraded), args.strict)
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
@@ -162,6 +213,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     print(header)
     print("-" * len(header))
     dump: dict[str, dict[str, dict]] = {}
+    degraded: list[str] = []
     for source in args.circuits:
         aig = _load_circuit(source, args.preset)
         results = run_scenarios(
@@ -170,6 +222,9 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         dump[aig.name] = {}
         for scenario, result in results.items():
             dump[aig.name][scenario] = result.to_dict()
+            for arc in result.degraded:
+                if arc not in degraded:
+                    degraded.append(arc)
             print(
                 f"{aig.name:12s} {scenario:10s} {result.num_gates:>7}"
                 f" {result.area:10.3f} {result.critical_delay * 1e12:10.1f}"
@@ -180,7 +235,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
         Path(args.json).write_text(json.dumps(dump, indent=2) + "\n")
         print(f"wrote {args.json}")
-    return 0
+    return _degraded_summary(degraded, args.strict)
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -301,6 +356,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", "-j", help="JSON result (FlowResult.to_dict) output path")
     _add_obs_flags(p)
     _add_cache_flag(p)
+    _add_resilience_flags(p)
     p.set_defaults(func=_cmd_synthesize)
 
     p = sub.add_parser("evaluate", help="all scenarios on circuits (fair clock)")
@@ -313,6 +369,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", "-j", help="JSON results output path")
     _add_obs_flags(p)
     _add_cache_flag(p)
+    _add_resilience_flags(p)
     p.set_defaults(func=_cmd_evaluate)
 
     p = sub.add_parser("compare", help="Fig. 3: scenarios on EPFL circuits")
@@ -353,7 +410,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        with _tracing(args), _caching(args):
+        with _tracing(args), _caching(args), _faulting(args):
             return args.func(args)
     except KeyboardInterrupt:
         return 130

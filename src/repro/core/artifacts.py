@@ -42,8 +42,38 @@ from pathlib import Path
 from typing import Any, Callable, Iterator
 
 from .. import obs
+from ..resilience import faults
+from ..resilience.errors import CacheCorruptionError
 
 _MISSING = object()
+
+#: Disk-entry header: magic + format version.  Bump on layout changes
+#: so stale entries from older builds quarantine cleanly.
+_MAGIC = b"RPRAC2\0"
+_DIGEST_LEN = 32  # sha256
+
+
+def _encode_entry(value: Any) -> bytes:
+    """Serialize a cache value with an integrity checksum."""
+    payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    return _MAGIC + hashlib.sha256(payload).digest() + payload
+
+
+def _decode_entry(data: bytes) -> Any:
+    """Inverse of :func:`_encode_entry`; raises on any corruption."""
+    header = len(_MAGIC) + _DIGEST_LEN
+    if len(data) < header:
+        raise CacheCorruptionError("truncated cache entry")
+    if not data.startswith(_MAGIC):
+        raise CacheCorruptionError("unrecognized cache entry header")
+    digest = data[len(_MAGIC):header]
+    payload = data[header:]
+    if hashlib.sha256(payload).digest() != digest:
+        raise CacheCorruptionError("cache entry checksum mismatch")
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:
+        raise CacheCorruptionError(f"cache entry does not unpickle: {exc}") from exc
 
 
 # ----------------------------------------------------------------------
@@ -111,9 +141,12 @@ class ArtifactCache:
 
     The memory tier is a bounded LRU keyed by full cache keys.  When
     ``cache_dir`` is set, values whose ``put``/``get_or_compute`` call
-    allows persistence are also pickled to
-    ``<cache_dir>/<sha256(key)>.pkl`` and survive process restarts;
-    unreadable or corrupt entries degrade to misses.
+    allows persistence are also pickled (with a sha256 integrity
+    checksum) to ``<cache_dir>/<sha256(key)>.pkl`` and survive process
+    restarts.  Unreadable, truncated, or checksum-failing entries
+    never crash a lookup: the file is quarantined (renamed to
+    ``*.corrupt``), the ``cache.corrupt`` counter fires, and the
+    lookup degrades to a miss.
     """
 
     def __init__(
@@ -129,6 +162,7 @@ class ArtifactCache:
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
+        self.corrupt = 0
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
 
@@ -147,6 +181,14 @@ class ArtifactCache:
         while len(self._memory) > self.max_memory_entries:
             self._memory.popitem(last=False)
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt disk entry aside so it is never re-read."""
+        with self._lock:
+            self.corrupt += 1
+        obs.count("cache.corrupt")
+        with contextlib.suppress(OSError):
+            os.replace(path, path.with_suffix(".corrupt"))
+
     def _lookup(self, key: str, persist: bool) -> Any:
         """Return the cached value or ``_MISSING`` (no counters)."""
         with self._lock:
@@ -157,9 +199,11 @@ class ArtifactCache:
             path = self._disk_path(key)
             if path.exists():
                 try:
-                    with path.open("rb") as fh:
-                        value = pickle.load(fh)
-                except Exception:
+                    value = _decode_entry(path.read_bytes())
+                except (OSError, CacheCorruptionError):
+                    # Truncated write, bit rot, stale format, or an
+                    # unpicklable payload: quarantine and miss.
+                    self._quarantine(path)
                     return _MISSING
                 with self._lock:
                     self._remember(key, value)
@@ -182,27 +226,40 @@ class ArtifactCache:
             path = self._disk_path(key)
             tmp = path.with_suffix(f".tmp{os.getpid()}")
             try:
-                with tmp.open("wb") as fh:
-                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                data = faults.corrupt_bytes("cache.disk", _encode_entry(value))
+                tmp.write_bytes(data)
                 os.replace(tmp, path)
             except Exception:
                 with contextlib.suppress(OSError):
                     tmp.unlink()
 
     def get_or_compute(
-        self, key: str, compute: Callable[[], Any], persist: bool = True
+        self,
+        key: str,
+        compute: Callable[[], Any],
+        persist: bool = True,
+        cache_if: Callable[[Any], bool] | None = None,
     ) -> Any:
         """Return the cached value for ``key``, computing it on a miss.
 
         Concurrent callers of the same key are serialized so the value
         is computed exactly once; counters ``cache.hit``/``cache.miss``
-        (and per-kind variants) record the outcome.
+        (and per-kind variants) record the outcome.  ``cache_if``
+        vetoes storing a freshly computed value (used to keep
+        degraded-mode results out of the cache — see
+        ``docs/ROBUSTNESS.md``).
         """
-        value, _ = self.get_or_compute_flagged(key, compute, persist=persist)
+        value, _ = self.get_or_compute_flagged(
+            key, compute, persist=persist, cache_if=cache_if
+        )
         return value
 
     def get_or_compute_flagged(
-        self, key: str, compute: Callable[[], Any], persist: bool = True
+        self,
+        key: str,
+        compute: Callable[[], Any],
+        persist: bool = True,
+        cache_if: Callable[[Any], bool] | None = None,
     ) -> tuple[Any, bool]:
         """Like :meth:`get_or_compute` but also reports hit/miss."""
         with self._lock:
@@ -214,7 +271,11 @@ class ArtifactCache:
                 return value, True
             self._note(key, hit=False)
             value = compute()
-            self.put(key, value, persist=persist)
+            if cache_if is None or cache_if(value):
+                self.put(key, value, persist=persist)
+            else:
+                obs.count("cache.uncacheable")
+                obs.count(f"cache.uncacheable.{self._kind(key)}")
         with self._lock:
             self._key_locks.pop(key, None)
         return value, False
@@ -234,9 +295,10 @@ class ArtifactCache:
         with self._lock:
             self._memory.clear()
         if disk and self.cache_dir is not None:
-            for path in self.cache_dir.glob("*.pkl"):
-                with contextlib.suppress(OSError):
-                    path.unlink()
+            for pattern in ("*.pkl", "*.corrupt"):
+                for path in self.cache_dir.glob(pattern):
+                    with contextlib.suppress(OSError):
+                        path.unlink()
 
     def stats(self) -> dict[str, int]:
         with self._lock:
@@ -244,6 +306,7 @@ class ArtifactCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "disk_hits": self.disk_hits,
+                "corrupt": self.corrupt,
                 "memory_entries": len(self._memory),
             }
 

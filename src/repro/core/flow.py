@@ -73,6 +73,14 @@ class FlowResult:
     #: Per-pass size/depth trajectory of stages 1–2 (``stage/pass``
     #: labels), surfaced in :meth:`to_dict` for ``--json`` output.
     opt_trace: tuple[TraceStep, ...] | None = None
+    #: Qualified ``"CELL:A->Y"`` arcs of the library this run mapped
+    #: against that carry fallback-quality tables (see
+    #: ``docs/ROBUSTNESS.md``).  Empty on healthy runs.
+    degraded: tuple[str, ...] = ()
+
+    @property
+    def is_degraded(self) -> bool:
+        return bool(self.degraded)
 
     @property
     def total_power(self) -> float:
@@ -105,6 +113,9 @@ class FlowResult:
                 {"pass": label, "ands": ands, "depth": depth}
                 for label, ands, depth in self.opt_trace
             ]
+        # Only on degraded runs, so healthy --json output is unchanged.
+        if self.degraded:
+            out["degraded"] = list(self.degraded)
         return out
 
 
@@ -285,6 +296,7 @@ class CryoSynthesisFlow:
             area=netlist.total_area(self.library),
             num_gates=netlist.num_gates,
             opt_trace=trace,
+            degraded=tuple(self.library.degraded_arcs()),
         )
 
     def signoff_power(
@@ -345,12 +357,15 @@ def run_scenarios(
         with obs.span("flow.scenario", circuit=aig.name, scenario=scenario):
             return flows[scenario].run(aig)
 
-    results = dict(zip(scenarios, obs.parallel_map(run_one, scenarios, jobs)))
+    labels = [f"{aig.name}/{scenario}" for scenario in scenarios]
+    results = dict(
+        zip(scenarios, obs.parallel_map(run_one, scenarios, jobs, labels=labels))
+    )
     slowest = max(result.critical_delay for result in results.values())
     clock_period = max(slowest * clock_margin, 1e-12)
 
     def signoff_one(scenario: str) -> None:
         flows[scenario].signoff_power(results[scenario], clock_period, vectors=vectors)
 
-    obs.parallel_map(signoff_one, scenarios, jobs)
+    obs.parallel_map(signoff_one, scenarios, jobs, labels=labels)
     return results

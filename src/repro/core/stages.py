@@ -24,10 +24,15 @@ cache emits the ``cache.hit``/``cache.miss`` counters; see
 
 from __future__ import annotations
 
+import contextvars
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Sequence
 
 from .. import obs
+from ..resilience.errors import StageTimeoutError
 from .context import DesignContext
 
 #: Signature of a stage body: ``(context, inputs) -> output``.
@@ -55,16 +60,57 @@ class Stage:
     compute: StageFn
     cache_key: KeyFn | None = None
     persist: bool = True
+    #: Wall-clock budget for one execution of this stage [s].  ``None``
+    #: means unbounded.  On expiry the runner raises
+    #: :class:`repro.resilience.errors.StageTimeoutError`; the stage's
+    #: worker thread is abandoned (it cannot be killed), so timeouts
+    #: are a last-resort guard against hung stages, not flow control.
+    timeout_s: float | None = None
+
+
+def _run_bounded(stage: Stage, fn: Callable[[], Any], budget_s: float) -> Any:
+    """Run a stage body on a worker thread with a wall-clock budget.
+
+    The worker inherits the caller's :mod:`contextvars` context so the
+    stage's spans land in the surrounding trace.  A timed-out worker
+    thread cannot be killed — it is abandoned to finish in the
+    background while the flow fails with :class:`StageTimeoutError`
+    (the same caveat as ``parallel_map``'s ``timeout_s``).
+    """
+    context = contextvars.copy_context()
+    pool = ThreadPoolExecutor(max_workers=1)
+    try:
+        future = pool.submit(context.run, fn)
+        try:
+            return future.result(timeout=budget_s)
+        except _FuturesTimeout:
+            obs.count("stage.timeout")
+            obs.count(f"stage.timeout.{stage.name}")
+            raise StageTimeoutError(
+                f"stage {stage.name!r} exceeded its {budget_s:g}s budget",
+                site=f"stage.{stage.name}",
+                timeout_s=budget_s,
+            ) from None
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
 
 
 class FlowRunner:
-    """Execute a stage list over a shared artifact namespace."""
+    """Execute a stage list over a shared artifact namespace.
+
+    ``deadline_s`` bounds the *whole* run: before each stage starts,
+    the runner checks the remaining budget and fails with
+    :class:`StageTimeoutError` rather than starting a stage it cannot
+    afford.  Per-stage ``timeout_s`` budgets additionally bound each
+    individual execution (clipped to the remaining deadline).
+    """
 
     def __init__(
         self,
         context: DesignContext,
         stages: Sequence[Stage],
         span_prefix: str = "stage",
+        deadline_s: float | None = None,
     ):
         names = [stage.name for stage in stages]
         if len(set(names)) != len(names):
@@ -72,6 +118,25 @@ class FlowRunner:
         self.context = context
         self.stages = tuple(stages)
         self.span_prefix = span_prefix
+        self.deadline_s = deadline_s
+
+    def _stage_budget(self, stage: Stage, deadline: float | None) -> float | None:
+        """Tightest applicable budget for one stage execution [s]."""
+        budgets = []
+        if stage.timeout_s is not None:
+            budgets.append(stage.timeout_s)
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0.0:
+                obs.count("stage.deadline_exceeded")
+                raise StageTimeoutError(
+                    f"flow deadline of {self.deadline_s:g}s exhausted before "
+                    f"stage {stage.name!r}",
+                    site=f"stage.{stage.name}",
+                    timeout_s=self.deadline_s,
+                )
+            budgets.append(remaining)
+        return min(budgets) if budgets else None
 
     def run(self, **initial: Any) -> dict[str, Any]:
         """Run every stage in order; returns the artifact namespace.
@@ -79,8 +144,13 @@ class FlowRunner:
         ``initial`` seeds the namespace (e.g. ``aig=...``).  Each
         cacheable stage is looked up before being computed; the
         returned dict maps artifact names (plus the initial seeds) to
-        values.
+        values.  Any stage failure is annotated in place with a
+        ``stage`` attribute naming the failing stage and counted as
+        ``stage.error.<name>`` before it propagates.
         """
+        deadline = (
+            None if self.deadline_s is None else time.monotonic() + self.deadline_s
+        )
         artifacts: dict[str, Any] = dict(initial)
         for stage in self.stages:
             missing = [name for name in stage.inputs if name not in artifacts]
@@ -90,17 +160,38 @@ class FlowRunner:
                     f"have {sorted(artifacts)}"
                 )
             inputs = {name: artifacts[name] for name in stage.inputs}
-            with obs.span(f"{self.span_prefix}.{stage.name}") as sp:
-                if stage.cache_key is None:
-                    sp.set(cache="uncached")
-                    value = stage.compute(self.context, inputs)
-                else:
-                    key = stage.cache_key(self.context, inputs)
-                    value, hit = self.context.cache.get_or_compute_flagged(
-                        key,
-                        lambda: stage.compute(self.context, inputs),
-                        persist=stage.persist,
-                    )
-                    sp.set(cache="hit" if hit else "miss")
+            try:
+                with obs.span(f"{self.span_prefix}.{stage.name}") as sp:
+                    budget = self._stage_budget(stage, deadline)
+                    if stage.cache_key is None:
+                        sp.set(cache="uncached")
+                        value = self._execute(
+                            stage, lambda: stage.compute(self.context, inputs), budget
+                        )
+                    else:
+                        key = stage.cache_key(self.context, inputs)
+
+                        def lookup():
+                            return self.context.cache.get_or_compute_flagged(
+                                key,
+                                lambda: stage.compute(self.context, inputs),
+                                persist=stage.persist,
+                            )
+
+                        value, hit = self._execute(stage, lookup, budget)
+                        sp.set(cache="hit" if hit else "miss")
+            except StageTimeoutError:
+                raise
+            except Exception as exc:
+                exc.stage = stage.name
+                if hasattr(exc, "add_note"):  # Python >= 3.11
+                    exc.add_note(f"while running flow stage {stage.name!r}")
+                obs.count(f"stage.error.{stage.name}")
+                raise
             artifacts[stage.output] = value
         return artifacts
+
+    def _execute(self, stage: Stage, fn: Callable[[], Any], budget: float | None):
+        if budget is None:
+            return fn()
+        return _run_bounded(stage, fn, budget)

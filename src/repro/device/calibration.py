@@ -20,6 +20,8 @@ import numpy as np
 from scipy.optimize import least_squares
 
 from .. import obs
+from ..resilience import faults
+from ..resilience.errors import CalibrationError
 from .bsimcmg import CryoFinFET, FinFETParams
 from .measurement import SweepResult
 
@@ -39,6 +41,12 @@ FIT_PARAMETERS: dict[str, tuple[float, float]] = {
 
 #: Currents below this are treated as instrument floor during fitting [A].
 FIT_CURRENT_FLOOR: float = 3.0e-12
+
+#: Replacement residual for non-finite entries [decades].  Larger than
+#: any physical log-current mismatch, so the optimizer is steered hard
+#: away from parameter regions that produce NaN/inf currents instead
+#: of crashing inside scipy.
+RESIDUAL_CEILING: float = 12.0
 
 
 @dataclass(frozen=True)
@@ -90,7 +98,10 @@ def calibrate(
         the technology).
     """
     if not sweeps:
-        raise ValueError("need at least one measurement sweep to calibrate")
+        raise CalibrationError(
+            "need at least one measurement sweep to calibrate",
+            site="calibration",
+        )
     names = list(FIT_PARAMETERS)
     x0 = _pack(initial, names)
     lower = np.array([FIT_PARAMETERS[n][0] for n in names]) * np.abs(x0)
@@ -107,6 +118,15 @@ def calibrate(
             )
             res.append(_clipped_log_current(np.asarray(model_ids)) - target)
         stacked = np.concatenate(res)
+        if faults.should_fire("calibration.residual"):
+            stacked = stacked.copy()
+            stacked[0] = float("nan")
+        bad = ~np.isfinite(stacked)
+        if bad.any():
+            # scipy's trust-region step would crash on NaN/inf; clamp
+            # to the ceiling so the optimizer backs away instead.
+            stacked = np.where(bad, RESIDUAL_CEILING, stacked)
+            obs.count("resilience.sanitized.calibration", int(bad.sum()))
         if obs.current_tracer() is not None:
             obs.count("calibration.residual_evals")
             obs.observe(
@@ -133,10 +153,17 @@ def calibrate(
         )
         offset += n
 
-    obs.gauge("calibration.rms_log_error", float(np.sqrt(np.mean(final_residuals**2))))
+    rms = float(np.sqrt(np.mean(final_residuals**2)))
+    if not np.isfinite(rms):
+        raise CalibrationError(
+            f"extraction produced a non-finite residual (rms={rms!r}); "
+            "the fitted parameters are unusable",
+            site="calibration",
+        )
+    obs.gauge("calibration.rms_log_error", rms)
     return CalibrationResult(
         params=fitted,
-        rms_log_error=float(np.sqrt(np.mean(final_residuals**2))),
+        rms_log_error=rms,
         max_log_error=float(np.max(np.abs(final_residuals))),
         per_sweep_rms=per_sweep,
         n_points=len(final_residuals),

@@ -8,15 +8,45 @@ the same trace, correctly parented under the span that was open at
 submission time.  Results preserve input order regardless of
 completion order, which is what keeps ``jobs=N`` runs byte-identical
 to serial ones.
+
+Failure semantics (see ``docs/ROBUSTNESS.md``):
+
+* every task failure is annotated in place with ``task_index`` and
+  ``task_label`` attributes (and an ``add_note`` on Python >= 3.11)
+  before it propagates, so a worker traceback names the task;
+* ``on_error="fail_fast"`` (default) cancels queued sibling tasks on
+  the first failure, *drains* already-running ones (the pool is shut
+  down with ``wait=True`` — no thread is abandoned mid-task), then
+  re-raises the original exception;
+* ``on_error="collect"`` runs every task to completion and raises one
+  :class:`repro.resilience.errors.ParallelExecutionError` aggregating
+  all failures;
+* ``timeout_s`` bounds the whole fan-out; on expiry remaining tasks
+  are cancelled and a
+  :class:`repro.resilience.errors.TimeoutExceeded` is raised (running
+  tasks are abandoned to finish in the background — the one case the
+  pool does not drain).
+
+The ``parallel.worker`` fault-injection site
+(:mod:`repro.resilience.faults`) can force a task failure to exercise
+these paths deterministically.
 """
 
 from __future__ import annotations
 
 import contextvars
-from typing import Callable, Iterable, List, TypeVar
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from typing import Callable, Iterable, List, Sequence, TypeVar, Union
+
+from .tracer import count
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Per-task labels: a ready-made sequence or a function of the item.
+Labels = Union[Sequence[str], Callable[[T], str], None]
 
 
 def effective_jobs(jobs: int | None) -> int:
@@ -24,26 +54,134 @@ def effective_jobs(jobs: int | None) -> int:
     return max(1, jobs or 1)
 
 
+def _label_for(labels: Labels, fn: Callable, item, index: int) -> str:
+    if labels is None:
+        return f"{getattr(fn, '__name__', 'task')}[{index}]"
+    if callable(labels):
+        return str(labels(item))
+    return str(labels[index])
+
+
+def _annotate(exc: BaseException, label: str, index: int) -> BaseException:
+    """Attach the failing task's identity to its exception."""
+    exc.task_index = index
+    exc.task_label = label
+    if hasattr(exc, "add_note"):  # Python >= 3.11
+        exc.add_note(f"parallel_map task {index} ({label}) failed")
+    return exc
+
+
+def _run_one(fn: Callable[[T], R], item: T, label: str) -> R:
+    # Lazy import: obs must stay importable without triggering the
+    # resilience package (which itself imports obs).
+    from ..resilience import faults
+
+    if faults.should_fire("parallel.worker"):
+        from ..resilience.errors import InjectedFaultError
+
+        raise InjectedFaultError(
+            f"injected worker fault in {label}", site="parallel.worker"
+        )
+    return fn(item)
+
+
 def parallel_map(
-    fn: Callable[[T], R], items: Iterable[T], jobs: int | None = 1
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    jobs: int | None = 1,
+    *,
+    labels: Labels = None,
+    on_error: str = "fail_fast",
+    timeout_s: float | None = None,
 ) -> List[R]:
     """Map ``fn`` over ``items``, optionally across worker threads.
 
-    With ``jobs <= 1`` (or a single item) this is a plain list
-    comprehension — no pool, no context copies, identical stack
-    traces.  Otherwise tasks run on up to ``jobs`` threads, each
-    inside a fresh copy of the caller's :mod:`contextvars` context;
-    the result list is ordered by input position and the first worker
-    exception propagates to the caller.
+    With ``jobs <= 1`` (or a single item) tasks run inline — no pool,
+    no context copies.  Otherwise tasks run on up to ``jobs`` threads,
+    each inside a fresh copy of the caller's :mod:`contextvars`
+    context; the result list is ordered by input position.
+
+    ``labels`` names tasks for error annotation (a sequence aligned
+    with ``items`` or a callable of the item); ``on_error`` selects
+    fail-fast or collect-errors semantics and ``timeout_s`` bounds the
+    whole fan-out (see the module docstring).
     """
+    if on_error not in ("fail_fast", "collect"):
+        raise ValueError(f"on_error must be 'fail_fast' or 'collect', not {on_error!r}")
     items = list(items)
     jobs = effective_jobs(jobs)
     if jobs <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
-    from concurrent.futures import ThreadPoolExecutor
+        return _serial_map(fn, items, labels, on_error)
 
-    with ThreadPoolExecutor(max_workers=min(jobs, len(items))) as pool:
-        futures = [
-            pool.submit(contextvars.copy_context().run, fn, item) for item in items
-        ]
-        return [future.result() for future in futures]
+    deadline = None if timeout_s is None else time.monotonic() + timeout_s
+    results: List[R] = [None] * len(items)  # type: ignore[list-item]
+    errors: list[tuple[int, str, Exception]] = []
+    pool = ThreadPoolExecutor(max_workers=min(jobs, len(items)))
+    drain = True
+    try:
+        tasks = []
+        for index, item in enumerate(items):
+            label = _label_for(labels, fn, item, index)
+            context = contextvars.copy_context()
+            tasks.append((pool.submit(context.run, _run_one, fn, item, label), label))
+        for index, (future, label) in enumerate(tasks):
+            budget = None if deadline is None else max(0.0, deadline - time.monotonic())
+            try:
+                results[index] = future.result(timeout=budget)
+            except _FuturesTimeout:
+                from ..resilience.errors import TimeoutExceeded
+
+                # Cannot drain: the expired task may never finish.
+                drain = False
+                count("parallel.timeout")
+                raise TimeoutExceeded(
+                    f"parallel_map deadline of {timeout_s:g}s exceeded while "
+                    f"waiting for task {index} ({label})",
+                    site="parallel",
+                    timeout_s=timeout_s,
+                ) from None
+            except Exception as exc:
+                _annotate(exc, label, index)
+                count("parallel.task_failed")
+                if on_error == "fail_fast":
+                    raise
+                errors.append((index, label, exc))
+    finally:
+        # fail_fast: queued tasks are cancelled, in-flight ones drain.
+        pool.shutdown(wait=drain, cancel_futures=True)
+    if errors:
+        from ..resilience.errors import ParallelExecutionError
+
+        raise ParallelExecutionError(
+            f"{len(errors)} of {len(items)} parallel tasks failed: "
+            + ", ".join(label for _, label, _ in errors),
+            errors=errors,
+        )
+    return results
+
+
+def _serial_map(
+    fn: Callable[[T], R], items: list[T], labels: Labels, on_error: str
+) -> List[R]:
+    results: List[R] = []
+    errors: list[tuple[int, str, Exception]] = []
+    for index, item in enumerate(items):
+        label = _label_for(labels, fn, item, index)
+        try:
+            results.append(_run_one(fn, item, label))
+        except Exception as exc:
+            _annotate(exc, label, index)
+            count("parallel.task_failed")
+            if on_error == "fail_fast":
+                raise
+            errors.append((index, label, exc))
+            results.append(None)  # type: ignore[arg-type]
+    if errors:
+        from ..resilience.errors import ParallelExecutionError
+
+        raise ParallelExecutionError(
+            f"{len(errors)} of {len(items)} tasks failed: "
+            + ", ".join(label for _, label, _ in errors),
+            errors=errors,
+        )
+    return results

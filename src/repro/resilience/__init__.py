@@ -1,0 +1,66 @@
+"""Fault tolerance layer: error taxonomy, retry ladders, degradation,
+and deterministic fault injection (``repro.resilience``).
+
+Three pieces, adopted across the pipeline:
+
+* :mod:`repro.resilience.errors` — the structured exception taxonomy
+  (``transient`` / ``permanent`` / ``degraded``) every layer raises;
+* :mod:`repro.resilience.retry` — generic retry ladders with
+  ``resilience.retry.*`` counters (the Newton solver's
+  damping/gmin/time-step ladder is the canonical user);
+* :mod:`repro.resilience.faults` — a seedable, deterministic fault
+  injection harness (``REPRO_FAULTS`` / :class:`FaultPlan`) that can
+  force every failure the recovery paths handle.
+
+See ``docs/ROBUSTNESS.md`` for the full taxonomy, the retry rungs,
+degraded-mode semantics, and the fault-injection cookbook.
+"""
+
+from . import faults
+from .errors import (
+    DEGRADED,
+    PERMANENT,
+    TRANSIENT,
+    CacheCorruptionError,
+    CalibrationError,
+    DegradedError,
+    InjectedFaultError,
+    MeasurementError,
+    ParallelExecutionError,
+    PermanentError,
+    ReproError,
+    StageTimeoutError,
+    TimeoutExceeded,
+    TransientError,
+    classify,
+    is_transient,
+)
+from .faults import ENV_VAR, FaultPlan, FaultSpec, injecting, install, parse_plan
+from .retry import run_ladder
+
+__all__ = [
+    "TRANSIENT",
+    "PERMANENT",
+    "DEGRADED",
+    "ReproError",
+    "TransientError",
+    "PermanentError",
+    "DegradedError",
+    "CacheCorruptionError",
+    "CalibrationError",
+    "InjectedFaultError",
+    "MeasurementError",
+    "ParallelExecutionError",
+    "StageTimeoutError",
+    "TimeoutExceeded",
+    "classify",
+    "is_transient",
+    "faults",
+    "ENV_VAR",
+    "FaultPlan",
+    "FaultSpec",
+    "injecting",
+    "install",
+    "parse_plan",
+    "run_ladder",
+]

@@ -1,0 +1,64 @@
+"""Retry ladders: progressively relaxed re-attempts of a transient
+failure, with per-rung observability.
+
+A *ladder* is an ordered sequence of rungs, each describing one
+attempt's parameters — rung 0 is always the nominal configuration, so
+a run that never fails is bit-identical to a run without the ladder.
+On a retryable failure the next rung is tried; the counters let a
+``--profile`` run show exactly how hard the pipeline had to work:
+
+* ``resilience.retry`` / ``resilience.retry.<site>`` — one per
+  re-attempt;
+* ``resilience.retry.<site>.rung<i>`` — the rung that was attempted;
+* ``resilience.recovered.<site>`` — a retry eventually succeeded;
+* ``resilience.exhausted.<site>`` — every rung failed (the last
+  error is re-raised).
+
+The canonical user is the Newton solver
+(:data:`repro.spice.engine.NEWTON_LADDER`: damping relaxation, a
+gmin-style conductance floor, a larger iteration budget); the helper
+is generic so other subsystems can adopt the same discipline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence, TypeVar
+
+from .. import obs
+from .errors import TransientError
+
+R = TypeVar("R")
+
+
+def run_ladder(
+    site: str,
+    rungs: Sequence[Any],
+    attempt: Callable[[int, Any], R],
+    *,
+    retry_on: type[BaseException] | tuple[type[BaseException], ...] = TransientError,
+) -> R:
+    """Run ``attempt(index, rung)`` over ``rungs`` until one succeeds.
+
+    Failures matching ``retry_on`` advance to the next rung; any other
+    exception propagates immediately.  When every rung fails, the last
+    error is re-raised after counting ``resilience.exhausted.<site>``.
+    """
+    if not rungs:
+        raise ValueError(f"retry ladder for {site!r} needs at least one rung")
+    last: BaseException | None = None
+    for index, rung in enumerate(rungs):
+        if index:
+            obs.count("resilience.retry")
+            obs.count(f"resilience.retry.{site}")
+            obs.count(f"resilience.retry.{site}.rung{index}")
+        try:
+            result = attempt(index, rung)
+        except retry_on as exc:
+            last = exc
+            continue
+        if index:
+            obs.count(f"resilience.recovered.{site}")
+        return result
+    obs.count(f"resilience.exhausted.{site}")
+    assert last is not None
+    raise last

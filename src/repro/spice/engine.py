@@ -26,6 +26,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from .. import obs
+from ..resilience import faults
+from ..resilience.errors import TransientError
+from ..resilience.retry import run_ladder
 from .netlist import GROUND, Circuit
 
 #: Conductance from every node to ground, for matrix conditioning.
@@ -41,8 +44,46 @@ MAX_NEWTON: int = 200
 MAX_STEP: float = 0.2
 
 
-class ConvergenceError(RuntimeError):
-    """Raised when Newton iteration fails to converge."""
+class ConvergenceError(TransientError, RuntimeError):
+    """Raised when Newton iteration fails to converge.
+
+    A :class:`repro.resilience.errors.TransientError`: the retry
+    ladder (:data:`NEWTON_LADDER`) re-solves with relaxed parameters
+    before the error is allowed to escape.  Still a ``RuntimeError``
+    for pre-taxonomy callers.
+    """
+
+
+@dataclass(frozen=True)
+class NewtonSettings:
+    """One rung of the Newton retry ladder.
+
+    The defaults are the nominal solver constants, so rung 0 of
+    :data:`NEWTON_LADDER` reproduces the unladdered solver exactly —
+    a run that never fails is bit-identical to one without the ladder.
+    """
+
+    max_step: float = MAX_STEP
+    gmin: float = GMIN
+    vtol: float = VTOL
+    max_iter: int = MAX_NEWTON
+
+
+#: Default retry ladder for a non-converging Newton solve: nominal
+#: first, then progressively heavier damping, a raised gmin-style
+#: conductance floor, and a last-resort rung combining both with a
+#: doubled iteration budget (the relaxations production SPICE engines
+#: apply on ``.option gmin``/source stepping failures).
+NEWTON_LADDER: tuple[NewtonSettings, ...] = (
+    NewtonSettings(),
+    NewtonSettings(max_step=MAX_STEP / 4.0),
+    NewtonSettings(max_step=MAX_STEP / 4.0, gmin=1e-9),
+    NewtonSettings(max_step=MAX_STEP / 10.0, gmin=1e-6, max_iter=2 * MAX_NEWTON),
+)
+
+#: Maximum recursive time-step halvings when a transient step fails
+#: on every ladder rung (the "finer time step" recovery).
+MAX_STEP_REFINEMENTS: int = 3
 
 
 @dataclass
@@ -117,11 +158,19 @@ class Simulator:
     how a characterization run invokes SPICE once per corner.
     """
 
-    def __init__(self, circuit: Circuit, temperature_k: float = 300.0):
+    def __init__(
+        self,
+        circuit: Circuit,
+        temperature_k: float = 300.0,
+        ladder: tuple[NewtonSettings, ...] | None = None,
+    ):
         self.circuit = circuit
         self.temperature_k = temperature_k
         self.system = _build_system(circuit)
         self._caps = self._collect_capacitors()
+        #: Retry ladder applied to every Newton solve; rung 0 must be
+        #: the nominal settings.  Override for tests or stiff circuits.
+        self.ladder = ladder if ladder is not None else NEWTON_LADDER
 
     # ------------------------------------------------------------------
     def _collect_capacitors(self) -> list[tuple[int, int, float]]:
@@ -148,18 +197,19 @@ class Simulator:
         t: float,
         jac: np.ndarray,
         res: np.ndarray,
+        gmin: float = GMIN,
     ) -> None:
-        """Stamp resistors, sources, FinFETs and GMIN at state ``x``."""
+        """Stamp resistors, sources, FinFETs and gmin at state ``x``."""
         sys = self.system
         nn = sys.n_nodes
 
         def v_of(i: int) -> float:
             return 0.0 if i < 0 else float(x[i])
 
-        # GMIN to ground.
+        # gmin to ground (raised by retry-ladder rungs for conditioning).
         for i in range(nn):
-            jac[i, i] += GMIN
-            res[i] += GMIN * x[i]
+            jac[i, i] += gmin
+            res[i] += gmin * x[i]
 
         for r in self.circuit.resistors:
             a, b = sys.idx(r.node_a), sys.idx(r.node_b)
@@ -260,15 +310,22 @@ class Simulator:
         t: float,
         geq: float = 0.0,
         cap_history: np.ndarray | None = None,
+        settings: NewtonSettings = NewtonSettings(),
+        attempt: int = 0,
     ) -> np.ndarray:
+        if faults.should_fire("spice.newton", attempt=attempt):
+            obs.count("spice.newton.nonconverged")
+            raise ConvergenceError(
+                f"injected Newton non-convergence at t={t}", site="spice.newton"
+            )
         sys = self.system
         x = x0.copy()
         if cap_history is None:
             cap_history = np.zeros(len(self._caps))
-        for iteration in range(MAX_NEWTON):
+        for iteration in range(settings.max_iter):
             jac = np.zeros((sys.size, sys.size))
             res = np.zeros(sys.size)
-            self._stamp_static(x, t, jac, res)
+            self._stamp_static(x, t, jac, res, gmin=settings.gmin)
             if geq > 0.0:
                 self._stamp_caps_companion(x, jac, res, geq, cap_history)
             else:
@@ -278,19 +335,46 @@ class Simulator:
                 delta = np.linalg.solve(jac, -res)
             except np.linalg.LinAlgError as exc:
                 obs.count("spice.newton.singular")
-                raise ConvergenceError(f"singular MNA matrix at t={t}: {exc}") from exc
+                raise ConvergenceError(
+                    f"singular MNA matrix at t={t}: {exc}", site="spice.newton"
+                ) from exc
             # Damp node-voltage updates only.
             v_part = delta[: sys.n_nodes]
             max_dv = float(np.max(np.abs(v_part))) if sys.n_nodes else 0.0
-            if max_dv > MAX_STEP:
-                delta = delta * (MAX_STEP / max_dv)
+            if max_dv > settings.max_step:
+                delta = delta * (settings.max_step / max_dv)
             x = x + delta
-            if max_dv < VTOL:
+            if max_dv < settings.vtol:
                 obs.count("spice.newton.solves")
                 obs.count("spice.newton.iterations", iteration + 1)
                 return x
         obs.count("spice.newton.nonconverged")
-        raise ConvergenceError(f"Newton failed to converge at t={t}")
+        raise ConvergenceError(
+            f"Newton failed to converge at t={t}", site="spice.newton"
+        )
+
+    def _solve(
+        self,
+        x0: np.ndarray,
+        t: float,
+        geq: float = 0.0,
+        cap_history: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """One Newton solve behind the retry ladder.
+
+        Rung 0 is the nominal solver; on :class:`ConvergenceError` the
+        remaining rungs of :attr:`ladder` re-solve with progressively
+        relaxed damping / gmin / iteration budget, emitting
+        ``resilience.retry.spice.newton`` counters per rung.
+        """
+        return run_ladder(
+            "spice.newton",
+            self.ladder,
+            lambda rung, settings: self._newton(
+                x0, t, geq, cap_history, settings, attempt=rung
+            ),
+            retry_on=ConvergenceError,
+        )
 
     # ------------------------------------------------------------------
     # Public analyses
@@ -303,7 +387,7 @@ class Simulator:
             for node, value in initial.items():
                 if node != GROUND and node in sys.node_index:
                     x0[sys.node_index[node]] = value
-        x = self._newton(x0, t=0.0)
+        x = self._solve(x0, t=0.0)
         voltages = {name: float(x[i]) for name, i in sys.node_index.items()}
         currents = {
             src.name: float(x[sys.n_nodes + k]) for k, src in enumerate(self.circuit.vsources)
@@ -382,37 +466,14 @@ class Simulator:
         volts[:, 0] = x[: sys.n_nodes]
         src_currents[:, 0] = x[sys.n_nodes :]
 
-        def v_of(state: np.ndarray, i: int) -> float:
-            return 0.0 if i < 0 else float(state[i])
-
         # Capacitor currents at the previous accepted point (0 at DC).
         i_cap_prev = np.zeros(len(self._caps))
 
         for step in range(1, n_steps):
-            h = times[step] - times[step - 1]
             use_trap = step > 1
-            if use_trap:
-                geq = 2.0 / h
-                history = np.array(
-                    [
-                        -geq * c * (v_of(x, a) - v_of(x, b)) - i_cap_prev[j]
-                        for j, (a, b, c) in enumerate(self._caps)
-                    ]
-                )
-            else:
-                geq = 1.0 / h
-                history = np.array(
-                    [
-                        -geq * c * (v_of(x, a) - v_of(x, b))
-                        for j, (a, b, c) in enumerate(self._caps)
-                    ]
-                )
-            x_new = self._newton(x, t=float(times[step]), geq=geq, cap_history=history)
-            # Record the capacitor currents at the new point.
-            for j, (a, b, c) in enumerate(self._caps):
-                g = geq * c
-                i_cap_prev[j] = g * (v_of(x_new, a) - v_of(x_new, b)) + history[j]
-            x = x_new
+            x, i_cap_prev = self._advance_step(
+                x, i_cap_prev, float(times[step - 1]), float(times[step]), use_trap
+            )
             volts[:, step] = x[: sys.n_nodes]
             src_currents[:, step] = x[sys.n_nodes :]
 
@@ -423,3 +484,60 @@ class Simulator:
                 src.name: src_currents[k] for k, src in enumerate(self.circuit.vsources)
             },
         )
+
+    def _advance_step(
+        self,
+        x: np.ndarray,
+        i_cap_prev: np.ndarray,
+        t0: float,
+        t1: float,
+        use_trap: bool,
+        depth: int = 0,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Advance the transient state from ``t0`` to ``t1``.
+
+        Returns the accepted state and the capacitor currents at the
+        new point.  If the Newton ladder fails on the full step, the
+        interval is halved (up to :data:`MAX_STEP_REFINEMENTS` deep)
+        and re-integrated — the "finer time step" rung of the
+        transient recovery ladder.
+        """
+
+        def v_of(state: np.ndarray, i: int) -> float:
+            return 0.0 if i < 0 else float(state[i])
+
+        h = t1 - t0
+        if use_trap:
+            geq = 2.0 / h
+            history = np.array(
+                [
+                    -geq * c * (v_of(x, a) - v_of(x, b)) - i_cap_prev[j]
+                    for j, (a, b, c) in enumerate(self._caps)
+                ]
+            )
+        else:
+            geq = 1.0 / h
+            history = np.array(
+                [
+                    -geq * c * (v_of(x, a) - v_of(x, b))
+                    for j, (a, b, c) in enumerate(self._caps)
+                ]
+            )
+        try:
+            x_new = self._solve(x, t=t1, geq=geq, cap_history=history)
+        except ConvergenceError:
+            if depth >= MAX_STEP_REFINEMENTS:
+                raise
+            obs.count("resilience.retry.spice.timestep")
+            t_mid = 0.5 * (t0 + t1)
+            x_mid, i_cap_mid = self._advance_step(
+                x, i_cap_prev, t0, t_mid, use_trap, depth + 1
+            )
+            # The midpoint is an accepted solution, so the second half
+            # always has trapezoidal history available.
+            return self._advance_step(x_mid, i_cap_mid, t_mid, t1, True, depth + 1)
+        i_cap_new = i_cap_prev.copy()
+        for j, (a, b, c) in enumerate(self._caps):
+            g = geq * c
+            i_cap_new[j] = g * (v_of(x_new, a) - v_of(x_new, b)) + history[j]
+        return x_new, i_cap_new

@@ -176,6 +176,7 @@ class TestEvaluateAndCache:
         assert entry["power"]["total_w"] > 0
         assert entry["optimization_trace"]  # satellite: trajectory in --json
 
+    @pytest.mark.no_chaos  # byte-identity across jobs counts on no injection
     def test_evaluate_jobs_matches_serial(self, tmp_path):
         import json
 
@@ -191,6 +192,7 @@ class TestEvaluateAndCache:
         ]) == 0
         assert json.loads(serial.read_text()) == json.loads(threaded.read_text())
 
+    @pytest.mark.no_chaos  # injected cache corruption / degraded vetoes break warm hits
     def test_warm_disk_cache_skips_synthesis_and_charlib(self, tmp_path, capsys):
         """Second run against the same --cache-dir must be all cache
         hits: no characterization, no stage-1/2 synthesis, no mapping."""
@@ -224,3 +226,72 @@ class TestEvaluateAndCache:
         assert args.cache_dir == "~/.cache/repro"
         args = build_parser().parse_args(["evaluate", "ctrl"])
         assert args.cache_dir is None
+
+
+class TestResilienceFlags:
+    FAULTS = "seed=7;charlib.measure:0.001"
+
+    def test_faulted_evaluate_completes_and_reports_degraded(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "eval.json"
+        code = main([
+            "evaluate", "ctrl", "--preset", "small", "--vectors", "64",
+            "--jobs", "4", "--faults", self.FAULTS, "--json", str(out),
+        ])
+        assert code == 0  # degraded, but not strict -> success
+        captured = capsys.readouterr()
+        assert "degraded:" in captured.err
+        data = json.loads(out.read_text())
+        # All scenarios completed and report the degraded arcs.
+        for scenario in ("baseline", "p_a_d", "p_d_a"):
+            entry = data["ctrl"][scenario]
+            assert entry["power"]["total_w"] > 0
+            assert entry["degraded"]
+
+    def test_strict_turns_degraded_into_exit_2(self, capsys):
+        code = main([
+            "evaluate", "ctrl", "--preset", "small", "--vectors", "64",
+            "--strict", "--faults", self.FAULTS,
+        ])
+        assert code == 2
+        assert "--strict" in capsys.readouterr().err
+
+    def test_strict_without_degradation_is_exit_0(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)  # healthy-path test
+        assert main([
+            "evaluate", "ctrl", "--preset", "small", "--vectors", "64",
+            "--strict",
+        ]) == 0
+        assert "degraded" not in capsys.readouterr().err
+
+    def test_synthesize_strict_degraded_exits_2(self, capsys):
+        code = main([
+            "synthesize", "ctrl", "--preset", "small",
+            "--strict", "--faults", self.FAULTS,
+        ])
+        assert code == 2
+
+    def test_no_faults_json_identical_to_unflagged(self, tmp_path, monkeypatch):
+        """An empty --faults plan must not perturb results at all."""
+        import json
+
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)  # healthy-path test
+
+        plain = tmp_path / "plain.json"
+        flagged = tmp_path / "flagged.json"
+        assert main([
+            "evaluate", "ctrl", "--preset", "small", "--vectors", "64",
+            "--json", str(plain),
+        ]) == 0
+        assert main([
+            "evaluate", "ctrl", "--preset", "small", "--vectors", "64",
+            "--faults", "seed=99", "--json", str(flagged),
+        ]) == 0
+        assert json.loads(plain.read_text()) == json.loads(flagged.read_text())
+
+    def test_bad_fault_plan_is_one_line_error(self, capsys):
+        assert main([
+            "evaluate", "ctrl", "--preset", "small", "--faults", "s:2.0",
+        ]) == 2
+        assert "repro: error:" in capsys.readouterr().err

@@ -122,11 +122,105 @@ class TestDiskBackend:
         fresh = ArtifactCache(cache_dir=tmp_path)
         assert fresh.get("k:1") is None
 
+    def test_corrupt_entry_quarantined_and_counted(self, tmp_path):
+        from repro import obs
+
+        cache = ArtifactCache(cache_dir=tmp_path)
+        cache.put("k:1", 123)
+        for path in tmp_path.glob("*.pkl"):
+            path.write_bytes(b"garbage")
+        fresh = ArtifactCache(cache_dir=tmp_path)
+        with obs.Tracer() as tracer:
+            assert fresh.get("k:1") is None
+        assert tracer.counters["cache.corrupt"] == 1
+        assert fresh.stats()["corrupt"] == 1
+        # The bad file is renamed aside, not re-read forever.
+        assert list(tmp_path.glob("*.pkl")) == []
+        assert len(list(tmp_path.glob("*.corrupt"))) == 1
+        # The next get_or_compute recomputes and repopulates disk.
+        assert fresh.get_or_compute("k:1", lambda: 456) == 456
+        assert len(list(tmp_path.glob("*.pkl"))) == 1
+
+    def test_truncated_entry_degrades_to_miss(self, tmp_path):
+        cache = ArtifactCache(cache_dir=tmp_path)
+        cache.put("k:1", list(range(1000)))
+        for path in tmp_path.glob("*.pkl"):
+            data = path.read_bytes()
+            path.write_bytes(data[: len(data) // 2])
+        fresh = ArtifactCache(cache_dir=tmp_path)
+        assert fresh.get("k:1") is None
+        assert fresh.stats()["corrupt"] == 1
+
+    def test_bitflip_fails_checksum(self, tmp_path):
+        cache = ArtifactCache(cache_dir=tmp_path)
+        cache.put("k:1", {"x": 1})
+        for path in tmp_path.glob("*.pkl"):
+            data = bytearray(path.read_bytes())
+            data[-1] ^= 0xFF
+            path.write_bytes(bytes(data))
+        fresh = ArtifactCache(cache_dir=tmp_path)
+        assert fresh.get("k:1") is None
+
+    def test_injected_disk_corruption_recovers(self, tmp_path):
+        """The cache.disk fault site truncates a write; a rehydrating
+        cache must treat it as a miss and recompute."""
+        from repro.resilience import FaultPlan, FaultSpec, injecting
+
+        cache = ArtifactCache(cache_dir=tmp_path)
+        with injecting(FaultPlan([FaultSpec("cache.disk", first_n=1)])):
+            cache.put("k:1", [1, 2, 3])
+        fresh = ArtifactCache(cache_dir=tmp_path)
+        assert fresh.get("k:1") is None
+        assert fresh.get_or_compute("k:1", lambda: [1, 2, 3]) == [1, 2, 3]
+
+    def test_clear_disk_removes_quarantined_files(self, tmp_path):
+        cache = ArtifactCache(cache_dir=tmp_path)
+        cache.put("k:1", 1)
+        for path in tmp_path.glob("*.pkl"):
+            path.write_bytes(b"bad")
+        ArtifactCache(cache_dir=tmp_path).get("k:1")
+        assert list(tmp_path.glob("*.corrupt"))
+        cache.clear(disk=True)
+        assert list(tmp_path.glob("*")) == []
+
+
+class TestCacheVeto:
+    def test_cache_if_false_skips_store(self):
+        from repro import obs
+
+        cache = ArtifactCache()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return "degraded-result"
+
+        with obs.Tracer() as tracer:
+            first = cache.get_or_compute("k:1", compute, cache_if=lambda v: False)
+            second = cache.get_or_compute("k:1", compute, cache_if=lambda v: False)
+        assert first == second == "degraded-result"
+        assert len(calls) == 2  # vetoed -> recomputed
+        assert tracer.counters["cache.uncacheable"] == 2
+        assert tracer.counters["cache.uncacheable.k"] == 2
+
+    def test_cache_if_true_stores_normally(self):
+        cache = ArtifactCache()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return "healthy"
+
+        cache.get_or_compute("k:1", compute, cache_if=lambda v: True)
+        cache.get_or_compute("k:1", compute, cache_if=lambda v: True)
+        assert len(calls) == 1
+
     def test_memory_only_put_skips_disk(self, tmp_path):
         cache = ArtifactCache(cache_dir=tmp_path)
         cache.put("k:1", 1, persist=False)
         assert list(tmp_path.glob("*.pkl")) == []
 
+    @pytest.mark.no_chaos  # injected disk corruption / degraded vetoes break the round trip
     def test_library_round_trips_losslessly(self, tmp_path):
         """A characterized library survives the disk tier byte-for-byte."""
         tech = cryo5_technology()

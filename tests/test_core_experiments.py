@@ -13,6 +13,7 @@ from repro.core.experiments import Figure3Row, PowerShareRow
 
 
 class TestDefaultLibraryCache:
+    @pytest.mark.no_chaos  # the memo is deliberately bypassed while a fault plan is active
     def test_same_object_returned(self):
         a = default_library(10.0)
         b = default_library(10.0)

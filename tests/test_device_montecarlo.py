@@ -83,6 +83,7 @@ class TestCellMonteCarlo:
         cold = mc_cell_delay(make_inv(1), 10.0, n_samples=16)
         assert cold.mean == pytest.approx(warm.mean, rel=0.25)
 
+    @pytest.mark.no_chaos  # per-site fire counters advance between runs, breaking replay
     def test_reproducible(self):
         a = mc_cell_delay(make_inv(1), 10.0, n_samples=8, seed=3)
         b = mc_cell_delay(make_inv(1), 10.0, n_samples=8, seed=3)

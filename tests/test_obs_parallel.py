@@ -39,6 +39,121 @@ class TestParallelMap:
         assert obs.effective_jobs(0) == 1
         assert obs.effective_jobs(4) == 4
 
+    def test_bad_on_error_rejected(self):
+        with pytest.raises(ValueError):
+            obs.parallel_map(lambda x: x, [1], on_error="retry")
+
+
+class TestFailureSemantics:
+    @staticmethod
+    def _boom(x):
+        if x % 2:
+            raise RuntimeError(f"task {x} failed")
+        return x * 10
+
+    @pytest.mark.parametrize("jobs", [1, 3])
+    def test_exception_annotated_with_index_and_label(self, jobs):
+        with pytest.raises(RuntimeError) as info:
+            obs.parallel_map(self._boom, [0, 1, 2], jobs=jobs)
+        assert info.value.task_index == 1
+        assert info.value.task_label == "_boom[1]"
+
+    @pytest.mark.parametrize("jobs", [1, 3])
+    def test_label_sequence_and_callable(self, jobs):
+        with pytest.raises(RuntimeError) as info:
+            obs.parallel_map(
+                self._boom, [0, 1], jobs=jobs, labels=["even", "odd"]
+            )
+        assert info.value.task_label == "odd"
+        with pytest.raises(RuntimeError) as info:
+            obs.parallel_map(
+                self._boom, [0, 1], jobs=jobs, labels=lambda x: f"item-{x}"
+            )
+        assert info.value.task_label == "item-1"
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_collect_policy_aggregates_all_failures(self, jobs):
+        from repro.resilience import ParallelExecutionError
+
+        with pytest.raises(ParallelExecutionError) as info:
+            obs.parallel_map(self._boom, [0, 1, 2, 3], jobs=jobs, on_error="collect")
+        agg = info.value
+        assert [index for index, _, _ in agg.errors] == [1, 3]
+        assert all(isinstance(e, RuntimeError) for _, _, e in agg.errors)
+
+    @pytest.mark.parametrize("jobs", [1, 3])
+    def test_task_failed_counter(self, jobs):
+        with obs.Tracer() as tracer:
+            with pytest.raises(RuntimeError):
+                obs.parallel_map(self._boom, [0, 1], jobs=jobs)
+        assert tracer.counters["parallel.task_failed"] == 1
+
+    def test_fail_fast_drains_running_siblings(self):
+        """fail_fast shuts the pool down with wait=True: started tasks
+        run to completion, so no worker is abandoned mid-task."""
+        import threading
+
+        started = threading.Event()
+        finished = []
+
+        def task(x):
+            if x == 0:
+                started.wait(2.0)
+                raise RuntimeError("fast failure")
+            started.set()
+            import time
+
+            time.sleep(0.05)
+            finished.append(x)
+            return x
+
+        with pytest.raises(RuntimeError):
+            obs.parallel_map(task, [0, 1], jobs=2)
+        assert finished == [1]
+
+    def test_timeout_raises_timeout_exceeded(self):
+        import time
+
+        from repro.resilience import TimeoutExceeded
+
+        def slow(x):
+            time.sleep(x)
+            return x
+
+        with obs.Tracer() as tracer:
+            with pytest.raises(TimeoutExceeded) as info:
+                obs.parallel_map(slow, [0.0, 5.0], jobs=2, timeout_s=0.1)
+        assert info.value.timeout_s == 0.1
+        assert tracer.counters["parallel.timeout"] == 1
+
+    def test_injected_worker_fault(self):
+        from repro.resilience import (
+            FaultPlan,
+            FaultSpec,
+            InjectedFaultError,
+            injecting,
+        )
+
+        plan = FaultPlan([FaultSpec("parallel.worker", first_n=1)])
+        with injecting(plan):
+            with pytest.raises(InjectedFaultError) as info:
+                obs.parallel_map(lambda x: x, [1, 2, 3], jobs=3)
+        assert info.value.task_index == 0
+
+    def test_injected_fault_with_collect_still_returns_siblings(self):
+        from repro.resilience import (
+            FaultPlan,
+            FaultSpec,
+            ParallelExecutionError,
+            injecting,
+        )
+
+        plan = FaultPlan([FaultSpec("parallel.worker", first_n=1)])
+        with injecting(plan):
+            with pytest.raises(ParallelExecutionError) as info:
+                obs.parallel_map(lambda x: x * 2, [1, 2, 3], jobs=3, on_error="collect")
+        assert len(info.value.errors) == 1
+
     def test_spans_survive_workers(self):
         def work(name):
             with obs.span(f"task.{name}"):
@@ -57,6 +172,9 @@ class TestParallelMap:
         assert tracer.counters["tasks.done"] == 3
 
 
+# Serial-vs-threaded equality counts on identical site-check sequences;
+# ambient injection assigns fire counters by worker interleaving instead.
+@pytest.mark.no_chaos
 class TestParallelDeterminism:
     def test_run_scenarios_jobs_invariant(self):
         aig = build_circuit("ctrl", "small")

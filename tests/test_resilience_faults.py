@@ -1,0 +1,152 @@
+"""Fault-injection harness: determinism, parsing, and activation."""
+
+import math
+
+import pytest
+
+from repro import obs
+from repro.resilience import FaultPlan, FaultSpec, faults, injecting, parse_plan
+
+
+class TestDeterminism:
+    def test_same_seed_same_firing_sequence(self):
+        def sequence(seed):
+            plan = FaultPlan([FaultSpec("s", probability=0.3)], seed=seed)
+            return [plan.should_fire("s") for _ in range(200)]
+
+        assert sequence(7) == sequence(7)
+        assert sequence(7) != sequence(8)
+
+    def test_sites_independent(self):
+        """Interleaving checks of another site must not shift a site's draws."""
+        alone = FaultPlan(
+            [FaultSpec("a", probability=0.3)], seed=1
+        )
+        solo = [alone.should_fire("a") for _ in range(50)]
+        mixed_plan = FaultPlan(
+            [FaultSpec("a", probability=0.3), FaultSpec("b", probability=0.5)], seed=1
+        )
+        mixed = []
+        for _ in range(50):
+            mixed_plan.should_fire("b")
+            mixed.append(mixed_plan.should_fire("a"))
+        assert solo == mixed
+
+    def test_probability_rate_roughly_matches(self):
+        plan = FaultPlan([FaultSpec("s", probability=0.2)], seed=42)
+        fired = sum(plan.should_fire("s") for _ in range(2000))
+        assert 300 < fired < 500  # 0.2 +- generous tolerance
+
+    def test_unknown_site_never_fires(self):
+        plan = FaultPlan([FaultSpec("s", probability=1.0)], seed=0)
+        assert not plan.should_fire("other")
+
+
+class TestSpecSemantics:
+    def test_first_n_rigs_exactly_n_failures(self):
+        plan = FaultPlan([FaultSpec("s", first_n=3)], seed=0)
+        assert [plan.should_fire("s") for _ in range(5)] == [
+            True, True, True, False, False,
+        ]
+
+    def test_max_fires_caps_total(self):
+        plan = FaultPlan([FaultSpec("s", probability=1.0, max_fires=2)], seed=0)
+        assert sum(plan.should_fire("s") for _ in range(10)) == 2
+
+    def test_depth_controls_retry_attempts(self):
+        # depth=2: first two attempts (rungs 0 and 1) fail, rung 2 succeeds.
+        plan = FaultPlan([FaultSpec("s", first_n=1, depth=2)], seed=0)
+        assert plan.should_fire("s", attempt=0)
+        assert plan.should_fire("s", attempt=1)
+        assert not plan.should_fire("s", attempt=2)
+
+    def test_fires_accounting_and_counters(self):
+        plan = FaultPlan([FaultSpec("s", first_n=2)], seed=0)
+        with obs.Tracer() as tracer:
+            for _ in range(4):
+                plan.should_fire("s")
+        assert plan.fires() == {"s": 2}
+        assert tracer.counters["faults.injected"] == 2
+        assert tracer.counters["faults.injected.s"] == 2
+
+
+class TestParsing:
+    def test_full_plan(self):
+        plan = parse_plan(
+            "seed=2023; spice.newton:0.1:depth=2, cache.disk:first=1:max=3"
+        )
+        assert plan.seed == 2023
+        newton = plan.specs["spice.newton"]
+        assert newton.probability == 0.1
+        assert newton.depth == 2
+        disk = plan.specs["cache.disk"]
+        assert disk.probability == 0.0
+        assert disk.first_n == 1
+        assert disk.max_fires == 3
+
+    def test_empty_plan(self):
+        plan = parse_plan("")
+        assert plan.specs == {}
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            parse_plan("s:1.5")
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ValueError):
+            parse_plan("speed=3")
+
+
+class TestActivation:
+    def test_no_plan_is_inert(self):
+        assert not faults.should_fire("spice.newton")
+        assert faults.corrupt_value("charlib.measure", 1.25) == 1.25
+        assert faults.corrupt_bytes("cache.disk", b"abcd") == b"abcd"
+
+    def test_injecting_scopes_the_plan(self):
+        plan = FaultPlan([FaultSpec("s", first_n=1)], seed=0)
+        with injecting(plan):
+            assert faults.active_plan() is plan
+            assert faults.should_fire("s")
+        assert faults.active_plan() is not plan
+        assert not faults.should_fire("s")
+
+    def test_injecting_nests(self):
+        outer = FaultPlan([FaultSpec("a", first_n=1)])
+        inner = FaultPlan([FaultSpec("b", first_n=1)])
+        with injecting(outer):
+            with injecting(inner):
+                assert faults.active_plan() is inner
+            assert faults.active_plan() is outer
+
+    def test_env_var_plan(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "s:first=1")
+        plan = faults.active_plan()
+        assert plan is not None
+        assert plan.specs["s"].first_n == 1
+        # Cached: same string -> same plan object (counters persist).
+        assert faults.active_plan() is plan
+        monkeypatch.setenv(faults.ENV_VAR, "s:first=2")
+        assert faults.active_plan().specs["s"].first_n == 2
+        monkeypatch.delenv(faults.ENV_VAR)
+        assert faults.active_plan() is None
+
+    def test_explicit_plan_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "env.site:1.0")
+        explicit = FaultPlan([FaultSpec("x", first_n=1)])
+        with injecting(explicit):
+            assert faults.active_plan() is explicit
+
+
+class TestCorruptionHelpers:
+    def test_corrupt_value_nans(self):
+        plan = FaultPlan([FaultSpec("s", first_n=1)])
+        with injecting(plan):
+            assert math.isnan(faults.corrupt_value("s", 3.0))
+            assert faults.corrupt_value("s", 3.0) == 3.0
+
+    def test_corrupt_bytes_truncates(self):
+        plan = FaultPlan([FaultSpec("s", first_n=1)])
+        with injecting(plan):
+            assert faults.corrupt_bytes("s", b"abcdef") == b"abc"
+            assert faults.corrupt_bytes("s", b"abcdef") == b"abcdef"
