@@ -19,7 +19,9 @@ from functools import lru_cache
 from typing import Sequence
 
 from .. import obs
-from ..resilience import faults
+from ..resilience import faults, guards
+from ..resilience.errors import GuardViolation
+from ..resilience.isolation import task_heartbeat
 from ..pdk.catalog import standard_cell_catalog
 from ..pdk.cells import CellTemplate
 from ..pdk.technology import Technology, cryo5_technology
@@ -173,6 +175,10 @@ def characterize_library(
             "charlib.library", backend=backend, temperature_k=temperature_k
         ) as sp:
             for cell in cells:
+                # Liveness mark for the isolation watchdog: inside a
+                # worker subprocess each characterized cell counts as
+                # progress; elsewhere this is a no-op.
+                task_heartbeat()
                 with obs.span("charlib.cell", cell=cell.name):
                     result = _sanitize_cell(
                         characterizer.characterize_cell(cell, slews, loads)
@@ -181,6 +187,21 @@ def characterize_library(
                     obs.count("charlib.arcs", len(result.arcs))
                 library.add(result)
             sp.set(cells=len(library), degraded_arcs=len(library.degraded_arcs()))
+        if guards.mode() != "off":
+            violations = guards.check_library_invariants(library)
+            if violations:
+                obs.count("guard.violation")
+                obs.count("guard.violation.charlib")
+                if guards.mode() == "enforce":
+                    # Raised inside build(): the broken library never
+                    # reaches the cache.
+                    raise GuardViolation(
+                        f"characterized library {library.name!r} violates "
+                        f"structural invariants: " + "; ".join(violations[:5]),
+                        site="guard.charlib",
+                        stage="charlib",
+                        violations=violations,
+                    )
         return library
 
     if cache is False:

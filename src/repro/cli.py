@@ -27,6 +27,16 @@ fan-out; see ``docs/ARCHITECTURE.md``.
 deterministic fault-injection plan, overriding ``$REPRO_FAULTS``); see
 ``docs/ROBUSTNESS.md``.
 
+Crash safety (``docs/ROBUSTNESS.md``): ``synthesize`` and ``evaluate``
+accept ``--journal PATH`` (record a write-ahead run journal; implies a
+disk cache at ``PATH.cache`` unless ``--cache-dir``/``REPRO_CACHE_DIR``
+says otherwise) and ``--resume PATH`` (replay completed work from an
+interrupted run's journal — the resumed run's ``--json`` output is
+byte-identical to an uninterrupted one).  ``--isolate process`` moves
+the ``--jobs`` fan-out into supervised worker subprocesses with a
+hang/memory watchdog.  SIGINT/SIGTERM flush the journal and trace
+sinks, print the resume command, and exit 130.
+
 Run ``python -m repro <subcommand> --help`` for the options.
 """
 
@@ -34,8 +44,13 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import os
+import signal
 import sys
 from pathlib import Path
+
+#: Resume command for the active journaled run, printed on interrupt.
+_RESUME_HINT: str | None = None
 
 
 @contextlib.contextmanager
@@ -90,6 +105,82 @@ def _degraded_summary(degraded: list[str], strict: bool) -> int:
     return 0
 
 
+def _journal_config(args: argparse.Namespace) -> dict:
+    """The run configuration a journal is bound to.
+
+    Everything that determines the *results* goes in (command,
+    circuits, scenario, corner, signoff knobs); knobs that only change
+    *how* the run executes (jobs, isolation, tracing, output paths,
+    strictness) stay out, so a resume may legitimately use different
+    parallelism than the interrupted run.
+    """
+    excluded = {
+        "func", "journal", "resume", "trace", "profile", "cache_dir",
+        "faults", "jobs", "isolate", "json", "output", "report", "strict",
+    }
+    return {
+        key: value
+        for key, value in sorted(vars(args).items())
+        if key not in excluded and not key.startswith("_")
+    }
+
+
+def _resume_hint(argv: list[str], journal_path: str) -> str:
+    """The command line that resumes this run after an interrupt."""
+    import shlex
+
+    kept: list[str] = []
+    skip = False
+    for token in argv:
+        if skip:
+            skip = False
+            continue
+        if token in ("--journal", "--resume"):
+            skip = True
+            continue
+        if token.startswith("--journal=") or token.startswith("--resume="):
+            continue
+        kept.append(token)
+    return shlex.join(["repro", *kept, "--resume", journal_path])
+
+
+@contextlib.contextmanager
+def _journaling(args: argparse.Namespace, argv: list[str]):
+    """Open the run journal when ``--journal``/``--resume`` ask for one.
+
+    Must enter *before* :func:`_caching`: a journal without an explicit
+    cache directory implies one at ``<journal>.cache`` (resume replays
+    completed work from the disk cache, so a purely in-memory cache
+    would make every journal record useless after the process dies).
+    """
+    global _RESUME_HINT
+    journal_path = getattr(args, "resume", None) or getattr(args, "journal", None)
+    if not journal_path:
+        args._journal = None
+        yield
+        return
+    from .resilience.journal import RunJournal
+
+    if not getattr(args, "cache_dir", None) and not os.environ.get("REPRO_CACHE_DIR"):
+        args.cache_dir = f"{journal_path}.cache"
+    config = _journal_config(args)
+    if getattr(args, "resume", None):
+        journal = RunJournal.resume(journal_path, config)
+        print(
+            f"resuming from {journal_path} "
+            f"({len(journal.completed_scenarios())} scenario(s) journaled)",
+            file=sys.stderr,
+        )
+    else:
+        journal = RunJournal.create(journal_path, config)
+    args._journal = journal
+    _RESUME_HINT = _resume_hint(argv, str(journal_path))
+    try:
+        yield
+    finally:
+        journal.close()
+
+
 @contextlib.contextmanager
 def _caching(args: argparse.Namespace):
     """Install a disk-backed artifact cache when ``--cache-dir`` asks."""
@@ -133,6 +224,43 @@ def _add_cache_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_journal_flags(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--journal", metavar="PATH",
+        help="record a crash-safe write-ahead run journal (implies "
+             "--cache-dir PATH.cache unless a cache dir is configured)",
+    )
+    group.add_argument(
+        "--resume", metavar="PATH",
+        help="resume an interrupted run from its journal, replaying "
+             "completed work from the artifact cache",
+    )
+    parser.add_argument(
+        "--isolate", choices=["thread", "process"], default="thread",
+        help="isolation tier for the --jobs fan-out: 'process' runs "
+             "each worker as a supervised subprocess with a "
+             "hang/memory watchdog (see docs/ROBUSTNESS.md)",
+    )
+
+
+def _guard_violation_exit(exc, json_path: str | None) -> int:
+    """Report a :class:`GuardViolation` (quarantined artifact) run."""
+    if json_path:
+        import json
+
+        Path(json_path).write_text(
+            json.dumps(
+                {"error": str(exc), "guard_violations": list(exc.violations)},
+                indent=2,
+            )
+            + "\n"
+        )
+        print(f"wrote {json_path}", file=sys.stderr)
+    print(f"repro: error: {exc}", file=sys.stderr)
+    return 2
+
+
 def _cmd_characterize(args: argparse.Namespace) -> int:
     from .charlib import characterize_library, write_liberty
     from .pdk import cryo5_technology
@@ -169,19 +297,30 @@ def _load_circuit(source: str, preset: str):
 
 
 def _cmd_synthesize(args: argparse.Namespace) -> int:
-    from .charlib import default_library
-    from .core import CryoSynthesisFlow
+    from .core import DesignContext, run_scenarios
     from .io import write_verilog
+    from .resilience import GuardViolation
     from .sta import full_signoff
 
     aig = _load_circuit(args.circuit, args.preset)
-    library = default_library(args.temperature)
-    flow = CryoSynthesisFlow(library, args.scenario)
+    context = DesignContext.default(args.temperature)
     print(f"synthesizing {aig.name}: {aig.num_pis} PIs, {aig.num_pos} POs, "
           f"{aig.num_ands} AIG nodes, scenario={args.scenario}, "
           f"T={args.temperature:g} K")
-    result = flow.run(aig)
-    flow.signoff_power(result, clock_period=result.critical_delay * 1.1)
+    # Through run_scenarios (journal + isolation aware); one scenario
+    # keeps the historical clock rule: own delay * the 1.1 margin.
+    try:
+        results = run_scenarios(
+            aig,
+            context=context,
+            scenarios=[args.scenario],
+            jobs=args.jobs,
+            isolate=args.isolate,
+            journal=args._journal,
+        )
+    except GuardViolation as exc:
+        return _guard_violation_exit(exc, args.json)
+    result = results[args.scenario]
     print(f"mapped: {result.num_gates} gates, {result.area:.3f} um2, "
           f"delay {result.critical_delay * 1e12:.2f} ps, "
           f"power {result.total_power * 1e6:.2f} uW")
@@ -191,7 +330,7 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
         out.write_text(write_verilog(result.netlist))
         print(f"wrote {out}")
     if args.report:
-        report = full_signoff(result.netlist, library)
+        report = full_signoff(result.netlist, context.library)
         Path(args.report).write_text(report)
         print(f"wrote {args.report}")
     if args.json:
@@ -204,6 +343,7 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     from .core import DesignContext, run_scenarios
+    from .resilience import GuardViolation
 
     context = DesignContext.default(args.temperature)
     header = (
@@ -216,9 +356,17 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     degraded: list[str] = []
     for source in args.circuits:
         aig = _load_circuit(source, args.preset)
-        results = run_scenarios(
-            aig, context=context, vectors=args.vectors, jobs=args.jobs
-        )
+        try:
+            results = run_scenarios(
+                aig,
+                context=context,
+                vectors=args.vectors,
+                jobs=args.jobs,
+                isolate=args.isolate,
+                journal=args._journal,
+            )
+        except GuardViolation as exc:
+            return _guard_violation_exit(exc, args.json)
         dump[aig.name] = {}
         for scenario, result in results.items():
             dump[aig.name][scenario] = result.to_dict()
@@ -354,9 +502,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", "-o", help="mapped Verilog output path")
     p.add_argument("--report", "-r", help="signoff report output path")
     p.add_argument("--json", "-j", help="JSON result (FlowResult.to_dict) output path")
+    p.add_argument("--jobs", "-J", type=int, default=1,
+                   help="workers for the scenario fan-out")
     _add_obs_flags(p)
     _add_cache_flag(p)
     _add_resilience_flags(p)
+    _add_journal_flags(p)
     p.set_defaults(func=_cmd_synthesize)
 
     p = sub.add_parser("evaluate", help="all scenarios on circuits (fair clock)")
@@ -370,6 +521,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_flags(p)
     _add_cache_flag(p)
     _add_resilience_flags(p)
+    _add_journal_flags(p)
     p.set_defaults(func=_cmd_evaluate)
 
     p = sub.add_parser("compare", help="Fig. 3: scenarios on EPFL circuits")
@@ -406,24 +558,42 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _sigterm_to_interrupt(signum, frame):
+    raise KeyboardInterrupt
+
+
 def main(argv: list[str] | None = None) -> int:
+    global _RESUME_HINT
+    _RESUME_HINT = None
+    argv = sys.argv[1:] if argv is None else list(argv)
     parser = build_parser()
     args = parser.parse_args(argv)
+    previous_term = None
+    with contextlib.suppress(ValueError, OSError, AttributeError):
+        # Graceful shutdown on SIGTERM too (only from the main thread):
+        # unwind the context stack so the journal and trace sinks flush.
+        previous_term = signal.signal(signal.SIGTERM, _sigterm_to_interrupt)
     try:
-        with _tracing(args), _caching(args), _faulting(args):
+        with _tracing(args), _journaling(args, argv), _caching(args), \
+                _faulting(args):
             return args.func(args)
     except KeyboardInterrupt:
+        print("repro: interrupted", file=sys.stderr)
+        if _RESUME_HINT:
+            print(f"resume with: {_RESUME_HINT}", file=sys.stderr)
         return 130
     except BrokenPipeError:
         # Downstream pager/head closed the pipe; suppress the shutdown
         # flush complaint and exit with the conventional SIGPIPE code.
-        import os
-
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 141
     except Exception as exc:  # surfaced as a one-liner, not a traceback
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if previous_term is not None:
+            with contextlib.suppress(ValueError, OSError):
+                signal.signal(signal.SIGTERM, previous_term)
 
 
 if __name__ == "__main__":

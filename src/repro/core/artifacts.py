@@ -47,6 +47,17 @@ from ..resilience.errors import CacheCorruptionError
 
 _MISSING = object()
 
+
+def _env_float(name: str) -> float | None:
+    """Parse an optional numeric environment knob (invalid -> None)."""
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        return None
+
 #: Disk-entry header: magic + format version.  Bump on layout changes
 #: so stale entries from older builds quarantine cleanly.
 _MAGIC = b"RPRAC2\0"
@@ -147,22 +158,44 @@ class ArtifactCache:
     never crash a lookup: the file is quarantined (renamed to
     ``*.corrupt``), the ``cache.corrupt`` counter fires, and the
     lookup degrades to a miss.
+
+    The disk tier is bounded: ``max_disk_mb`` (default from
+    ``REPRO_CACHE_MAX_MB``; unset = unbounded) caps the total size of
+    ``*.pkl`` entries — after every write, least-recently-used entries
+    (by mtime, refreshed on disk hits) are evicted until the tier
+    fits, counting ``cache.evict``.  Quarantined ``*.corrupt`` files
+    are likewise capped at ``max_corrupt_entries`` newest files
+    (``REPRO_CACHE_MAX_CORRUPT``, default 16) so a flaky disk cannot
+    fill the cache directory with forensic copies; drops count
+    ``cache.corrupt_evicted``.
     """
 
     def __init__(
         self,
         cache_dir: str | os.PathLike | None = None,
         max_memory_entries: int = 256,
+        max_disk_mb: float | None = None,
+        max_corrupt_entries: int | None = None,
     ):
         self.cache_dir = Path(cache_dir).expanduser() if cache_dir else None
         self.max_memory_entries = max_memory_entries
+        self.max_disk_mb = (
+            _env_float("REPRO_CACHE_MAX_MB") if max_disk_mb is None else max_disk_mb
+        )
+        if max_corrupt_entries is None:
+            env = _env_float("REPRO_CACHE_MAX_CORRUPT")
+            max_corrupt_entries = 16 if env is None else int(env)
+        self.max_corrupt_entries = max_corrupt_entries
         self._memory: OrderedDict[str, Any] = OrderedDict()
         self._lock = threading.Lock()
+        self._disk_lock = threading.Lock()
         self._key_locks: dict[str, threading.Lock] = {}
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
         self.corrupt = 0
+        self.evicted = 0
+        self.corrupt_evicted = 0
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
 
@@ -188,6 +221,57 @@ class ArtifactCache:
         obs.count("cache.corrupt")
         with contextlib.suppress(OSError):
             os.replace(path, path.with_suffix(".corrupt"))
+        self._trim_corrupt()
+
+    def _trim_corrupt(self) -> None:
+        """Keep only the newest ``max_corrupt_entries`` quarantined files."""
+        if self.cache_dir is None or self.max_corrupt_entries is None:
+            return
+        with self._disk_lock:
+            entries = []
+            for path in self.cache_dir.glob("*.corrupt"):
+                with contextlib.suppress(OSError):
+                    entries.append((path.stat().st_mtime, path))
+            entries.sort(reverse=True)  # newest first
+            for _, path in entries[self.max_corrupt_entries:]:
+                with contextlib.suppress(OSError):
+                    path.unlink()
+                    with self._lock:
+                        self.corrupt_evicted += 1
+                    obs.count("cache.corrupt_evicted")
+
+    def _enforce_disk_cap(self, keep: Path | None = None) -> None:
+        """Evict least-recently-used ``*.pkl`` entries over the size cap.
+
+        Recency is mtime: refreshed by :meth:`_lookup` on every disk
+        hit, so hot entries survive.  ``keep`` (the entry just
+        written) is never evicted even when it alone exceeds the cap —
+        evicting the value the caller is about to rely on would turn
+        every oversized artifact into a permanent miss.
+        """
+        if self.cache_dir is None or self.max_disk_mb is None:
+            return
+        budget = self.max_disk_mb * 1024 * 1024
+        with self._disk_lock:
+            entries = []
+            total = 0
+            for path in self.cache_dir.glob("*.pkl"):
+                with contextlib.suppress(OSError):
+                    st = path.stat()
+                    entries.append((st.st_mtime, st.st_size, path))
+                    total += st.st_size
+            entries.sort()  # oldest (least recently used) first
+            for _, size, path in entries:
+                if total <= budget:
+                    break
+                if keep is not None and path == keep:
+                    continue
+                with contextlib.suppress(OSError):
+                    path.unlink()
+                    total -= size
+                    with self._lock:
+                        self.evicted += 1
+                    obs.count("cache.evict")
 
     def _lookup(self, key: str, persist: bool) -> Any:
         """Return the cached value or ``_MISSING`` (no counters)."""
@@ -205,6 +289,9 @@ class ArtifactCache:
                     # unpicklable payload: quarantine and miss.
                     self._quarantine(path)
                     return _MISSING
+                # Refresh mtime so LRU disk eviction sees this entry as hot.
+                with contextlib.suppress(OSError):
+                    os.utime(path)
                 with self._lock:
                     self._remember(key, value)
                     self.disk_hits += 1
@@ -232,6 +319,8 @@ class ArtifactCache:
             except Exception:
                 with contextlib.suppress(OSError):
                     tmp.unlink()
+            else:
+                self._enforce_disk_cap(keep=path)
 
     def get_or_compute(
         self,
@@ -307,6 +396,8 @@ class ArtifactCache:
                 "misses": self.misses,
                 "disk_hits": self.disk_hits,
                 "corrupt": self.corrupt,
+                "evicted": self.evicted,
+                "corrupt_evicted": self.corrupt_evicted,
                 "memory_entries": len(self._memory),
             }
 

@@ -107,5 +107,19 @@ class DesignContext:
         """Cache key scoped to this context's library and signoff."""
         return cache_key(kind, self.library_fingerprint, self.signoff_digest(), *parts)
 
+    def scenario_key(self, aig: Any, scenario: str, *parts: Any) -> str:
+        """Cache key for one fully signed-off scenario result.
+
+        This is the unit of the crash-safe run journal (see
+        :mod:`repro.resilience.journal`): ``run_scenarios`` stores the
+        final :class:`repro.core.flow.FlowResult` under this key and
+        journals ``(key, digest)`` so an interrupted sweep can replay
+        completed scenarios from the cache on ``--resume``.  The key
+        must capture everything the result depends on — callers pass
+        the scenario *set* (the fair-clock rule couples scenarios) and
+        every signoff knob as ``parts``.
+        """
+        return self.stage_key("scenario.result", aig, scenario, *parts)
+
     def with_signoff(self, signoff: SignoffConfig) -> "DesignContext":
         return replace(self, signoff=signoff)

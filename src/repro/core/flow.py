@@ -38,11 +38,13 @@ from ..charlib.nldm import Library
 from ..mapping.cost import CostPolicy, baseline_power_aware, p_a_d, p_d_a
 from ..mapping.netlist import MappedNetlist
 from ..mapping.techmap import TechnologyMapper
+from ..resilience.guards import netlist_guard, synthesis_guard
+from ..resilience.journal import RunJournal, artifact_digest
 from ..sta.power import PowerAnalyzer, PowerReport
 from ..sta.timing import SignoffConfig, StaticTimingAnalyzer
 from ..synth.aig import AIG
 from ..synth.scripts import ScriptReport, compress2rs, power_aware_restructure
-from .artifacts import cache_key
+from .artifacts import ArtifactCache, cache_key
 from .context import DesignContext
 from .stages import FlowRunner, Stage
 
@@ -77,6 +79,11 @@ class FlowResult:
     #: against that carry fallback-quality tables (see
     #: ``docs/ROBUSTNESS.md``).  Empty on healthy runs.
     degraded: tuple[str, ...] = ()
+    #: ``"stage: violation"`` entries from stage-boundary guards that
+    #: ran in ``REPRO_GUARDS=warn`` mode (in the default ``enforce``
+    #: mode a violation raises instead).  Empty on healthy runs; a
+    #: non-empty value also vetoes scenario-result caching/journaling.
+    guard_violations: tuple[str, ...] = ()
 
     @property
     def is_degraded(self) -> bool:
@@ -116,6 +123,8 @@ class FlowResult:
         # Only on degraded runs, so healthy --json output is unchanged.
         if self.degraded:
             out["degraded"] = list(self.degraded)
+        if self.guard_violations:
+            out["guard_violations"] = list(self.guard_violations)
         return out
 
 
@@ -142,6 +151,7 @@ class CryoSynthesisFlow:
         signoff: SignoffConfig | None = None,
         skip_stage2: bool = False,
         context: DesignContext | None = None,
+        journal: RunJournal | None = None,
     ):
         if scenario not in SCENARIOS:
             raise ValueError(f"unknown scenario {scenario!r}; choose from {sorted(SCENARIOS)}")
@@ -159,6 +169,7 @@ class CryoSynthesisFlow:
         self.use_choices = use_choices
         self.signoff = context.signoff
         self.skip_stage2 = skip_stage2
+        self.journal = journal
 
     # ------------------------------------------------------------------
     @property
@@ -185,6 +196,9 @@ class CryoSynthesisFlow:
             # Technology-independent: keyed by the input network alone,
             # so the result is shared across temperatures and policies.
             cache_key=lambda ctx, ins: cache_key("stage1.c2rs", ins["aig"]),
+            guard=lambda ctx, ins, value: synthesis_guard(
+                "c2rs", ins["aig"], value[0]
+            ),
         )
 
     def _stage2(self) -> Stage:
@@ -212,6 +226,9 @@ class CryoSynthesisFlow:
             # the old hand-rolled ``optimized_cache``).
             cache_key=lambda ctx, ins: cache_key(
                 "stage2.power", ins["stage1"][0], self.k_lut, mode, self.use_choices
+            ),
+            guard=lambda ctx, ins, value: synthesis_guard(
+                "power_restructure", ins["stage1"][0], value[0]
             ),
         )
 
@@ -243,6 +260,7 @@ class CryoSynthesisFlow:
             cache_key=lambda ctx, ins: cache_key(
                 "map", ins["optimized"][0], ctx.library_fingerprint, self.policy
             ),
+            guard=lambda ctx, ins, value: netlist_guard(ctx.library, value),
         )
 
     def _sta_stage(self) -> Stage:
@@ -270,21 +288,28 @@ class CryoSynthesisFlow:
         if not self.skip_stage2:
             stages.append(self._stage2())
         stages.append(self._select())
-        artifacts = FlowRunner(self.context, stages, span_prefix="flow").run(aig=aig)
-        return artifacts["optimized"][0]
+        runner = FlowRunner(
+            self.context, stages, span_prefix="flow", journal=self.journal
+        )
+        return runner.run(aig=aig)["optimized"][0]
 
     def map(self, aig: AIG) -> MappedNetlist:
         """Stage 3: technology mapping under the scenario's policy."""
-        runner = FlowRunner(self.context, [self._map_stage()], span_prefix="flow")
+        runner = FlowRunner(
+            self.context, [self._map_stage()], span_prefix="flow",
+            journal=self.journal,
+        )
         return runner.run(optimized=(aig, ()))["netlist"]
 
     def run(self, aig: AIG) -> FlowResult:
         """Full pipeline on one circuit (power signoff done separately
         because the clock period depends on the sibling variants)."""
         with obs.span("flow.run", circuit=aig.name, scenario=self.scenario):
-            artifacts = FlowRunner(
-                self.context, self.synthesis_stages(), span_prefix="flow"
-            ).run(aig=aig)
+            runner = FlowRunner(
+                self.context, self.synthesis_stages(), span_prefix="flow",
+                journal=self.journal,
+            )
+            artifacts = runner.run(aig=aig)
         optimized, trace = artifacts["optimized"]
         netlist = artifacts["netlist"]
         return FlowResult(
@@ -297,6 +322,7 @@ class CryoSynthesisFlow:
             num_gates=netlist.num_gates,
             opt_trace=trace,
             degraded=tuple(self.library.degraded_arcs()),
+            guard_violations=tuple(runner.guard_violations),
         )
 
     def signoff_power(
@@ -317,6 +343,27 @@ class CryoSynthesisFlow:
         return result.power
 
 
+def _scenario_task(payload: tuple) -> FlowResult:
+    """Worker-side synthesis of one scenario (``isolate="process"``).
+
+    Module-level so it pickles across the spawn boundary; the worker
+    rebuilds its own :class:`DesignContext` (sharing the parent's disk
+    cache directory, if any) because neither contexts nor flows
+    survive pickling of their thread locks.  Signoff stays in the
+    parent — the fair clock period couples the scenarios.
+    """
+    aig, library, scenario, use_choices, signoff, seed, cache_dir = payload
+    context = DesignContext.from_library(
+        library,
+        signoff=signoff,
+        seed=seed,
+        cache=ArtifactCache(cache_dir=cache_dir),
+    )
+    flow = CryoSynthesisFlow(scenario=scenario, use_choices=use_choices, context=context)
+    with obs.span("flow.scenario", circuit=aig.name, scenario=scenario):
+        return flow.run(aig)
+
+
 def run_scenarios(
     aig: AIG,
     library: Library | None = None,
@@ -326,6 +373,8 @@ def run_scenarios(
     use_choices: bool = True,
     context: DesignContext | None = None,
     jobs: int = 1,
+    isolate: str = "thread",
+    journal: RunJournal | None = None,
 ) -> dict[str, FlowResult]:
     """Run all scenarios on one circuit with the fair-power rule.
 
@@ -339,33 +388,109 @@ def run_scenarios(
     stage-2 power mode — the content-addressed generalization of the
     old per-call ``optimized_cache``.  With ``jobs > 1`` the scenario
     runs (and their signoffs) fan out over worker threads with
-    deterministic, scenario-ordered results.
+    deterministic, scenario-ordered results; ``isolate="process"``
+    moves the synthesis fan-out into supervised worker subprocesses
+    (:mod:`repro.resilience.isolation`).
+
+    Crash safety: with a ``journal``, every fully signed-off scenario
+    commits a ``scenario`` record carrying its cache key and result
+    digest.  On resume the journal is consulted first — a scenario
+    whose journaled digest still matches the cached artifact is
+    *replayed* without recomputation, which is what makes a
+    ``kill -9``'d sweep resumable to byte-identical output.  Degraded
+    or guard-flagged results are never cached or journaled.
     """
     if context is None:
         if library is None:
             raise ValueError("provide a characterized library or a DesignContext")
         context = DesignContext.from_library(library)
     scenarios = scenarios or list(SCENARIOS)
-    flows = {
-        scenario: CryoSynthesisFlow(
-            scenario=scenario, use_choices=use_choices, context=context
+    keys = {
+        scenario: context.scenario_key(
+            aig, scenario, tuple(scenarios), use_choices, vectors, clock_margin
         )
         for scenario in scenarios
     }
 
-    def run_one(scenario: str) -> FlowResult:
-        with obs.span("flow.scenario", circuit=aig.name, scenario=scenario):
-            return flows[scenario].run(aig)
+    results: dict[str, FlowResult] = {}
+    if journal is not None:
+        completed = journal.completed_scenarios()
+        for scenario in scenarios:
+            digest = completed.get(keys[scenario])
+            if digest is None:
+                continue
+            value = context.cache.get(keys[scenario])
+            if value is not None and artifact_digest(value) == digest:
+                results[scenario] = value
+                obs.count("journal.replayed")
+            else:
+                # Journal and cache disagree (evicted, corrupted, or a
+                # different cache dir): recompute conservatively.
+                obs.count("journal.replay_miss")
+    fresh = [s for s in scenarios if s not in results]
 
-    labels = [f"{aig.name}/{scenario}" for scenario in scenarios]
-    results = dict(
-        zip(scenarios, obs.parallel_map(run_one, scenarios, jobs, labels=labels))
-    )
+    # Journaling stage records from subprocess workers is impossible
+    # (the journal's stream lives in the parent); scenario records
+    # below still cover the resume contract.
+    flows = {
+        scenario: CryoSynthesisFlow(
+            scenario=scenario,
+            use_choices=use_choices,
+            context=context,
+            journal=journal if isolate == "thread" else None,
+        )
+        for scenario in fresh
+    }
+    labels = [f"{aig.name}/{scenario}" for scenario in fresh]
+    if fresh:
+        if isolate == "process":
+            cache_dir = context.cache.cache_dir
+            payloads = [
+                (
+                    aig,
+                    context.library,
+                    scenario,
+                    use_choices,
+                    context.signoff,
+                    context.seed,
+                    str(cache_dir) if cache_dir is not None else None,
+                )
+                for scenario in fresh
+            ]
+            outs = obs.parallel_map(
+                _scenario_task, payloads, jobs, labels=labels, isolate="process"
+            )
+        else:
+
+            def run_one(scenario: str) -> FlowResult:
+                with obs.span("flow.scenario", circuit=aig.name, scenario=scenario):
+                    return flows[scenario].run(aig)
+
+            outs = obs.parallel_map(run_one, fresh, jobs, labels=labels)
+        results.update(zip(fresh, outs))
+
     slowest = max(result.critical_delay for result in results.values())
     clock_period = max(slowest * clock_margin, 1e-12)
 
     def signoff_one(scenario: str) -> None:
-        flows[scenario].signoff_power(results[scenario], clock_period, vectors=vectors)
+        flow = flows.get(scenario) or CryoSynthesisFlow(
+            scenario=scenario, use_choices=use_choices, context=context
+        )
+        flow.signoff_power(results[scenario], clock_period, vectors=vectors)
 
-    obs.parallel_map(signoff_one, scenarios, jobs, labels=labels)
-    return results
+    obs.parallel_map(signoff_one, fresh, jobs, labels=labels)
+
+    for scenario in fresh:
+        result = results[scenario]
+        if result.is_degraded or result.guard_violations:
+            continue  # reduced-fidelity results never enter the ledger
+        context.cache.put(keys[scenario], result)
+        if journal is not None:
+            journal.record(
+                "scenario",
+                circuit=aig.name,
+                scenario=scenario,
+                key=keys[scenario],
+                digest=artifact_digest(result),
+            )
+    return {scenario: results[scenario] for scenario in scenarios}

@@ -32,13 +32,16 @@ from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Sequence
 
 from .. import obs
-from ..resilience.errors import StageTimeoutError
+from ..resilience import guards
+from ..resilience.errors import GuardViolation, StageTimeoutError
 from .context import DesignContext
 
 #: Signature of a stage body: ``(context, inputs) -> output``.
 StageFn = Callable[[DesignContext, Mapping[str, Any]], Any]
 #: Signature of a stage cache-key builder: ``(context, inputs) -> key``.
 KeyFn = Callable[[DesignContext, Mapping[str, Any]], str]
+#: Signature of a stage guard: ``(context, inputs, output) -> violations``.
+GuardFn = Callable[[DesignContext, Mapping[str, Any], Any], "list[str]"]
 
 
 @dataclass(frozen=True)
@@ -66,6 +69,14 @@ class Stage:
     #: worker thread is abandoned (it cannot be killed), so timeouts
     #: are a last-resort guard against hung stages, not flow control.
     timeout_s: float | None = None
+    #: Stage-boundary invariant check (see
+    #: :mod:`repro.resilience.guards`).  Runs on every cache *miss*,
+    #: after ``compute`` but before the value is stored: any violation
+    #: vetoes caching (the wrong artifact is quarantined, never
+    #: shared), and in ``REPRO_GUARDS=enforce`` mode (the default)
+    #: additionally raises :class:`GuardViolation`.  Cache hits are
+    #: trusted — they were guarded when first computed.
+    guard: GuardFn | None = None
 
 
 def _run_bounded(stage: Stage, fn: Callable[[], Any], budget_s: float) -> Any:
@@ -103,6 +114,13 @@ class FlowRunner:
     :class:`StageTimeoutError` rather than starting a stage it cannot
     afford.  Per-stage ``timeout_s`` budgets additionally bound each
     individual execution (clipped to the remaining deadline).
+
+    ``journal`` is an optional :class:`repro.resilience.journal.RunJournal`;
+    when given, every cacheable stage completion commits a ``stage``
+    record (cache key, result digest, hit/miss) and every guard
+    rejection commits a ``guard_violation`` record.  Violations that
+    do not raise (``REPRO_GUARDS=warn``) accumulate in
+    :attr:`guard_violations` for the caller to surface.
     """
 
     def __init__(
@@ -111,6 +129,7 @@ class FlowRunner:
         stages: Sequence[Stage],
         span_prefix: str = "stage",
         deadline_s: float | None = None,
+        journal=None,
     ):
         names = [stage.name for stage in stages]
         if len(set(names)) != len(names):
@@ -119,6 +138,9 @@ class FlowRunner:
         self.stages = tuple(stages)
         self.span_prefix = span_prefix
         self.deadline_s = deadline_s
+        self.journal = journal
+        #: ``"stage: violation"`` strings from guards that did not raise.
+        self.guard_violations: list[str] = []
 
     def _stage_budget(self, stage: Stage, deadline: float | None) -> float | None:
         """Tightest applicable budget for one stage execution [s]."""
@@ -165,9 +187,13 @@ class FlowRunner:
                     budget = self._stage_budget(stage, deadline)
                     if stage.cache_key is None:
                         sp.set(cache="uncached")
-                        value = self._execute(
-                            stage, lambda: stage.compute(self.context, inputs), budget
-                        )
+
+                        def compute_guarded():
+                            value = stage.compute(self.context, inputs)
+                            self._apply_guard(stage, inputs, value)
+                            return value
+
+                        value = self._execute(stage, compute_guarded, budget)
                     else:
                         key = stage.cache_key(self.context, inputs)
 
@@ -176,10 +202,14 @@ class FlowRunner:
                                 key,
                                 lambda: stage.compute(self.context, inputs),
                                 persist=stage.persist,
+                                cache_if=lambda v: self._apply_guard(
+                                    stage, inputs, v
+                                ),
                             )
 
                         value, hit = self._execute(stage, lookup, budget)
                         sp.set(cache="hit" if hit else "miss")
+                        self._journal_stage(stage, key, value, hit)
             except StageTimeoutError:
                 raise
             except Exception as exc:
@@ -195,3 +225,46 @@ class FlowRunner:
         if budget is None:
             return fn()
         return _run_bounded(stage, fn, budget)
+
+    def _apply_guard(self, stage: Stage, inputs: Mapping[str, Any], value: Any) -> bool:
+        """Check a freshly computed artifact; True means cacheable.
+
+        Runs as the cache's ``cache_if`` predicate, so a violating
+        artifact is quarantined (never stored) regardless of mode; in
+        ``enforce`` mode the raise additionally fails the stage.
+        """
+        if stage.guard is None or guards.mode() == "off":
+            return True
+        violations = stage.guard(self.context, inputs, value)
+        if not violations:
+            return True
+        obs.count("guard.violation")
+        obs.count(f"guard.violation.{stage.name}")
+        entries = [f"{stage.name}: {v}" for v in violations]
+        self.guard_violations.extend(entries)
+        if self.journal is not None:
+            self.journal.record(
+                "guard_violation", stage=stage.name, violations=entries
+            )
+        if guards.mode() == "enforce":
+            raise GuardViolation(
+                f"stage {stage.name!r} produced an invalid artifact: "
+                + "; ".join(violations),
+                site=f"guard.{stage.name}",
+                stage=stage.name,
+                violations=entries,
+            )
+        return False
+
+    def _journal_stage(self, stage: Stage, key: str, value: Any, hit: bool) -> None:
+        if self.journal is None:
+            return
+        from ..resilience.journal import artifact_digest
+
+        try:
+            digest = artifact_digest(value)
+        except Exception:
+            digest = None  # unpicklable stage output: record without digest
+        self.journal.record(
+            "stage", name=stage.name, key=key, digest=digest, cache_hit=hit
+        )

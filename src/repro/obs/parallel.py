@@ -93,6 +93,7 @@ def parallel_map(
     labels: Labels = None,
     on_error: str = "fail_fast",
     timeout_s: float | None = None,
+    isolate: str = "thread",
 ) -> List[R]:
     """Map ``fn`` over ``items``, optionally across worker threads.
 
@@ -105,10 +106,31 @@ def parallel_map(
     with ``items`` or a callable of the item); ``on_error`` selects
     fail-fast or collect-errors semantics and ``timeout_s`` bounds the
     whole fan-out (see the module docstring).
+
+    ``isolate="process"`` delegates to
+    :func:`repro.resilience.isolation.process_map`: each worker is a
+    supervised subprocess with heartbeats, a stall/memory watchdog,
+    and crash restart.  The contract is the same (ordered results,
+    identical failure semantics) but ``fn`` and all values must
+    pickle, and ``timeout_s`` becomes the *per-task* stall budget
+    rather than a whole-fan-out deadline.
     """
     if on_error not in ("fail_fast", "collect"):
         raise ValueError(f"on_error must be 'fail_fast' or 'collect', not {on_error!r}")
+    if isolate not in ("thread", "process"):
+        raise ValueError(f"isolate must be 'thread' or 'process', not {isolate!r}")
     items = list(items)
+    if isolate == "process":
+        from ..resilience.isolation import process_map
+
+        return process_map(
+            fn,
+            items,
+            effective_jobs(jobs),
+            labels=[_label_for(labels, fn, item, i) for i, item in enumerate(items)],
+            on_error=on_error,
+            task_timeout_s=timeout_s,
+        )
     jobs = effective_jobs(jobs)
     if jobs <= 1 or len(items) <= 1:
         return _serial_map(fn, items, labels, on_error)

@@ -1,7 +1,8 @@
 """Fault tolerance layer: error taxonomy, retry ladders, degradation,
-and deterministic fault injection (``repro.resilience``).
+deterministic fault injection, crash-safe journaling, subprocess
+isolation, and stage-boundary guards (``repro.resilience``).
 
-Three pieces, adopted across the pipeline:
+Six pieces, adopted across the pipeline:
 
 * :mod:`repro.resilience.errors` — the structured exception taxonomy
   (``transient`` / ``permanent`` / ``degraded``) every layer raises;
@@ -10,13 +11,23 @@ Three pieces, adopted across the pipeline:
   damping/gmin/time-step ladder is the canonical user);
 * :mod:`repro.resilience.faults` — a seedable, deterministic fault
   injection harness (``REPRO_FAULTS`` / :class:`FaultPlan`) that can
-  force every failure the recovery paths handle.
+  force every failure the recovery paths handle;
+* :mod:`repro.resilience.journal` — the write-ahead run journal
+  (``--journal`` / ``--resume`` on the CLI) that makes a ``kill -9``'d
+  sweep resumable to byte-identical output;
+* :mod:`repro.resilience.isolation` — supervised worker subprocesses
+  with heartbeats, a stall/memory watchdog, and crash restart
+  (``parallel_map(..., isolate="process")``);
+* :mod:`repro.resilience.guards` — stage-boundary invariant checks
+  (bounded CEC plus AIG/library/netlist structural invariants) that
+  quarantine wrong artifacts before they can enter the cache.
 
 See ``docs/ROBUSTNESS.md`` for the full taxonomy, the retry rungs,
-degraded-mode semantics, and the fault-injection cookbook.
+degraded-mode semantics, the fault-injection cookbook, the journal
+format, and guard semantics.
 """
 
-from . import faults
+from . import faults, guards
 from .errors import (
     DEGRADED,
     PERMANENT,
@@ -24,7 +35,11 @@ from .errors import (
     CacheCorruptionError,
     CalibrationError,
     DegradedError,
+    GuardViolation,
+    InjectedCrashError,
     InjectedFaultError,
+    JournalError,
+    JournalMismatchError,
     MeasurementError,
     ParallelExecutionError,
     PermanentError,
@@ -32,10 +47,15 @@ from .errors import (
     StageTimeoutError,
     TimeoutExceeded,
     TransientError,
+    WorkerCrashError,
+    WorkerHungError,
+    WorkerMemoryError,
     classify,
     is_transient,
 )
 from .faults import ENV_VAR, FaultPlan, FaultSpec, injecting, install, parse_plan
+from .isolation import process_map, task_heartbeat
+from .journal import RunJournal, artifact_digest, config_fingerprint, load_records
 from .retry import run_ladder
 
 __all__ = [
@@ -48,19 +68,33 @@ __all__ = [
     "DegradedError",
     "CacheCorruptionError",
     "CalibrationError",
+    "GuardViolation",
+    "InjectedCrashError",
     "InjectedFaultError",
+    "JournalError",
+    "JournalMismatchError",
     "MeasurementError",
     "ParallelExecutionError",
     "StageTimeoutError",
     "TimeoutExceeded",
+    "WorkerCrashError",
+    "WorkerHungError",
+    "WorkerMemoryError",
     "classify",
     "is_transient",
     "faults",
+    "guards",
     "ENV_VAR",
     "FaultPlan",
     "FaultSpec",
     "injecting",
     "install",
     "parse_plan",
+    "process_map",
+    "task_heartbeat",
+    "RunJournal",
+    "artifact_digest",
+    "config_fingerprint",
+    "load_records",
     "run_ladder",
 ]

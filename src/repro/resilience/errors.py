@@ -110,6 +110,65 @@ class StageTimeoutError(TimeoutExceeded):
     deadline (see :class:`repro.core.stages.FlowRunner`)."""
 
 
+class InjectedCrashError(PermanentError):
+    """Simulated process death injected at the ``journal.crash`` site.
+
+    Raised *after* a journal record has been committed (written,
+    flushed, and fsync'd), so tests can model ``kill -9`` landing
+    between any two records of a sweep and then exercise the resume
+    path.  Permanent: nothing in-process should retry past a simulated
+    death."""
+
+
+class WorkerCrashError(TransientError):
+    """An isolated worker subprocess died before returning a result.
+
+    Transient: the supervisor restarts the worker and the task is
+    eligible for re-dispatch (and the caller's retry ladder may try
+    again)."""
+
+
+class WorkerHungError(WorkerCrashError):
+    """The watchdog killed a worker that stopped making progress
+    (no heartbeat within the task's stall budget)."""
+
+
+class WorkerMemoryError(WorkerCrashError):
+    """The watchdog killed a worker whose resident set exceeded the
+    configured memory cap."""
+
+
+class GuardViolation(PermanentError):
+    """A stage-boundary invariant guard rejected an artifact.
+
+    The offending artifact is quarantined — it never enters the
+    artifact cache — and ``violations`` carries every individual
+    failed check.  Permanent: recomputing the same stage with the same
+    inputs would produce the same wrong artifact.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *args,
+        site: str | None = None,
+        stage: str | None = None,
+        violations: tuple[str, ...] | list[str] = (),
+    ):
+        super().__init__(message, *args, site=site)
+        self.stage = stage
+        self.violations = tuple(violations)
+
+
+class JournalError(PermanentError):
+    """A run journal is unreadable or structurally invalid."""
+
+
+class JournalMismatchError(JournalError):
+    """A ``--resume`` journal was recorded by an incompatible run
+    (different configuration digest or a newer journal format)."""
+
+
 class CalibrationError(ReproError, ValueError):
     """Compact-model calibration cannot proceed or diverged.
 

@@ -16,7 +16,10 @@ Sites instrumented across the pipeline:
 ``charlib.measure``         a characterization measurement becomes NaN
 ``cache.disk``              a disk cache entry is truncated on write
 ``parallel.worker``         a ``parallel_map`` task raises ``InjectedFaultError``
+``parallel.hang``           an isolated worker subprocess stops making progress
 ``calibration.residual``    a calibration residual becomes NaN
+``journal.crash``           simulated process death after a journal commit
+``synth.miscompile``        a synthesis script emits a functionally wrong AIG
 ==========================  ==================================================
 
 Activation, in priority order:
@@ -32,9 +35,9 @@ Plan syntax (env var or ``--faults``)::
 
 Entries are ``;``- or ``,``-separated.  ``seed=N`` seeds the draws;
 every other entry is ``site:spec[:spec...]`` where a bare float is a
-per-check fire probability and ``first=N`` / ``depth=N`` / ``max=N``
-set :class:`FaultSpec` fields.  See ``docs/ROBUSTNESS.md`` for the
-cookbook.
+per-check fire probability and ``first=N`` / ``depth=N`` / ``max=N`` /
+``after=N`` set :class:`FaultSpec` fields.  See ``docs/ROBUSTNESS.md``
+for the cookbook.
 """
 
 from __future__ import annotations
@@ -59,7 +62,10 @@ KNOWN_SITES = (
     "charlib.measure",
     "cache.disk",
     "parallel.worker",
+    "parallel.hang",
     "calibration.residual",
+    "journal.crash",
+    "synth.miscompile",
 )
 
 
@@ -68,12 +74,16 @@ class FaultSpec:
     """Injection behavior for one site.
 
     ``probability`` fires each first-attempt check independently;
-    ``first_n`` additionally fires the first N checks unconditionally
-    (rigged, fully deterministic failures for tests).  ``depth``
-    controls retry checks: once a solve's first attempt is afflicted,
-    retry attempts keep failing while ``attempt < depth`` — a ladder
-    with R rungs recovers iff ``depth <= R - 1``.  ``max_fires`` caps
-    the total number of first-attempt fires.
+    ``first_n`` additionally fires the first N eligible checks
+    unconditionally (rigged, fully deterministic failures for tests).
+    ``after`` delays eligibility: the first ``after`` checks of the
+    site never fire, so a fault can be aimed at a precise point of a
+    deterministic sequence (e.g. "die after the third journal
+    record").  ``depth`` controls retry checks: once a solve's first
+    attempt is afflicted, retry attempts keep failing while
+    ``attempt < depth`` — a ladder with R rungs recovers iff
+    ``depth <= R - 1``.  ``max_fires`` caps the total number of
+    first-attempt fires.
     """
 
     site: str
@@ -81,6 +91,7 @@ class FaultSpec:
     first_n: int = 0
     depth: int = 1
     max_fires: int | None = None
+    after: int = 0
 
 
 class FaultPlan:
@@ -117,9 +128,13 @@ class FaultPlan:
                 fired = self._fires.get(site, 0)
                 if spec.max_fires is not None and fired >= spec.max_fires:
                     return False
-                fire = n < spec.first_n or (
-                    spec.probability > 0.0
-                    and _draw(self.seed, site, n) < spec.probability
+                eligible = n >= spec.after
+                fire = eligible and (
+                    (n - spec.after) < spec.first_n
+                    or (
+                        spec.probability > 0.0
+                        and _draw(self.seed, site, n) < spec.probability
+                    )
                 )
                 if fire:
                     self._fires[site] = fired + 1
@@ -162,7 +177,7 @@ def parse_plan(text: str) -> FaultPlan:
             seed = int(value)
             continue
         site, *tokens = (tok.strip() for tok in part.split(":"))
-        probability, first_n, depth, max_fires = 0.0, 0, 1, None
+        probability, first_n, depth, max_fires, after = 0.0, 0, 1, None, 0
         for token in tokens:
             if token.startswith("first="):
                 first_n = int(token[len("first="):])
@@ -170,6 +185,8 @@ def parse_plan(text: str) -> FaultPlan:
                 depth = int(token[len("depth="):])
             elif token.startswith("max="):
                 max_fires = int(token[len("max="):])
+            elif token.startswith("after="):
+                after = int(token[len("after="):])
             else:
                 probability = float(token)
         if not 0.0 <= probability <= 1.0:
@@ -181,6 +198,7 @@ def parse_plan(text: str) -> FaultPlan:
                 first_n=first_n,
                 depth=depth,
                 max_fires=max_fires,
+                after=after,
             )
         )
     return FaultPlan(specs, seed=seed)

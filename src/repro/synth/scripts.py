@@ -42,6 +42,25 @@ class ScriptReport:
         return self.steps[-1][1] if self.steps else 0
 
 
+def _maybe_miscompile(aig: AIG) -> AIG:
+    """``synth.miscompile`` fault site: emit a functionally wrong AIG.
+
+    Exercises the stage-boundary CEC guard end-to-end: when the site
+    fires, the returned network has its first output's polarity
+    flipped — structurally pristine (every structural invariant still
+    holds) but functionally different, exactly the class of bug only
+    an equivalence check catches.
+    """
+    from ..resilience import faults
+    from .aig import lit_not
+
+    if not aig.pos or not faults.should_fire("synth.miscompile"):
+        return aig
+    wrong = aig.cleanup()
+    wrong.pos[0] = lit_not(wrong.pos[0])
+    return wrong
+
+
 def _run_sequence(script: str, aig: AIG, sequence, report: ScriptReport) -> AIG:
     """Run a pass sequence with the monotone guard, tracing each step.
 
@@ -62,7 +81,7 @@ def _run_sequence(script: str, aig: AIG, sequence, report: ScriptReport) -> AIG:
                 obs.count("synth.pass_rejected")
             sp.set(nodes_out=current.num_ands)
         report.record(label, current)
-    return current
+    return _maybe_miscompile(current)
 
 
 def compress2rs(aig: AIG, report: ScriptReport | None = None) -> AIG:
@@ -158,5 +177,5 @@ def power_aware_restructure(
     report.record("strash", result)
     if result.num_ands > aig.num_ands * 1.3:
         # LUT round-trip can inflate weak structures; keep the input.
-        return aig.cleanup()
-    return result
+        return _maybe_miscompile(aig.cleanup())
+    return _maybe_miscompile(result)

@@ -295,3 +295,128 @@ class TestResilienceFlags:
             "evaluate", "ctrl", "--preset", "small", "--faults", "s:2.0",
         ]) == 2
         assert "repro: error:" in capsys.readouterr().err
+
+
+class TestCrashSafety:
+    """--journal / --resume / --isolate and interrupt handling (ISSUE 4)."""
+
+    @pytest.mark.no_chaos  # byte-identity counts on no injection
+    def test_journal_then_resume_byte_identical(self, tmp_path, capsys):
+        journal = tmp_path / "run.jsonl"
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        base = ["evaluate", "ctrl", "--preset", "small", "--vectors", "64"]
+        assert main([*base, "--journal", str(journal), "--json", str(first)]) == 0
+        capsys.readouterr()
+        assert main([*base, "--resume", str(journal), "--json", str(second)]) == 0
+        assert "resuming from" in capsys.readouterr().err
+        assert first.read_bytes() == second.read_bytes()
+        # The journal holds one committed record per scenario.
+        from repro.resilience import load_records
+
+        records, _ = load_records(journal)
+        scenario_records = [r for r in records if r["kind"] == "scenario"]
+        assert {r["scenario"] for r in scenario_records} == {
+            "baseline", "p_a_d", "p_d_a",
+        }
+
+    def test_journal_sets_sidecar_cache_dir(self, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        assert main([
+            "evaluate", "ctrl", "--preset", "small", "--vectors", "64",
+            "--journal", str(journal),
+        ]) == 0
+        assert (tmp_path / "run.jsonl.cache").is_dir()
+
+    def test_resume_missing_journal_exits_2(self, capsys):
+        assert main([
+            "evaluate", "ctrl", "--preset", "small",
+            "--resume", "/no/such/journal.jsonl",
+        ]) == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+    def test_resume_with_different_config_exits_2(self, tmp_path, capsys):
+        journal = tmp_path / "run.jsonl"
+        assert main([
+            "evaluate", "ctrl", "--preset", "small", "--vectors", "64",
+            "--journal", str(journal),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "evaluate", "dec", "--preset", "small", "--vectors", "64",
+            "--resume", str(journal),
+        ]) == 2
+        assert "configuration" in capsys.readouterr().err
+
+    def test_journal_and_resume_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([
+                "evaluate", "ctrl", "--journal", "a", "--resume", "b",
+            ])
+
+    def test_guard_violation_reported_in_json(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "result.json"
+        assert main([
+            "synthesize", "ctrl", "--preset", "small",
+            "--faults", "synth.miscompile:first=1",
+            "--json", str(out),
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "guard" in err.lower()
+        data = json.loads(out.read_text())
+        assert data["guard_violations"]
+        assert any("cec" in v for v in data["guard_violations"])
+
+    def test_interrupt_prints_resume_hint_and_exits_130(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import repro.core
+
+        def boom(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(repro.core, "run_scenarios", boom)
+        journal = tmp_path / "run.jsonl"
+        assert main([
+            "evaluate", "ctrl", "--preset", "small",
+            "--journal", str(journal),
+        ]) == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "--resume" in err
+        assert str(journal) in err
+        # The journal was flushed with its header despite the interrupt.
+        from repro.resilience import load_records
+
+        records, _ = load_records(journal)
+        assert records and records[0]["kind"] == "run_start"
+
+    def test_interrupt_without_journal_has_no_hint(self, capsys, monkeypatch):
+        import repro.core
+
+        def boom(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(repro.core, "run_scenarios", boom)
+        assert main(["evaluate", "ctrl", "--preset", "small"]) == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "--resume" not in err
+
+    @pytest.mark.no_chaos  # byte-identity counts on no injection
+    def test_isolate_process_matches_thread(self, tmp_path):
+        import json
+
+        threaded = tmp_path / "thread.json"
+        isolated = tmp_path / "process.json"
+        base = [
+            "evaluate", "ctrl", "--preset", "small", "--vectors", "64",
+            "--cache-dir", str(tmp_path / "cache"), "--jobs", "2",
+        ]
+        assert main([*base, "--json", str(threaded)]) == 0
+        assert main([
+            *base, "--isolate", "process", "--json", str(isolated),
+        ]) == 0
+        assert json.loads(threaded.read_text()) == json.loads(isolated.read_text())

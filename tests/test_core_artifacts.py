@@ -306,3 +306,79 @@ class TestViewSharing:
         ]
         views = {id(flow.context.view) for flow in flows}
         assert len(views) == 1
+
+
+class TestDiskBounds:
+    """LRU size cap and quarantine cap on the disk tier (ISSUE 4)."""
+
+    def _age(self, tmp_path, pattern, ages):
+        """Assign deterministic mtimes: larger age = older file."""
+        import os
+        import time
+
+        now = time.time()
+        for path, age in zip(sorted(tmp_path.glob(pattern)), ages):
+            os.utime(path, (now - age, now - age))
+
+    def test_lru_eviction_over_size_cap(self, tmp_path):
+        from repro import obs
+
+        payload = bytes(200_000)  # ~0.2 MB pickled
+        cache = ArtifactCache(cache_dir=tmp_path, max_disk_mb=0.5)
+        with obs.Tracer() as tracer:
+            cache.put("k:1", payload)
+            self._age(tmp_path, "*.pkl", [100.0])
+            cache.put("k:2", payload)
+            cache.put("k:3", payload)  # pushes total over 0.5 MB
+        remaining = len(list(tmp_path.glob("*.pkl")))
+        assert remaining == 2
+        assert cache.stats()["evicted"] == 1
+        assert tracer.counters["cache.evict"] == 1
+        # The evicted entry degrades to a clean miss in a fresh cache.
+        fresh = ArtifactCache(cache_dir=tmp_path, max_disk_mb=0.5)
+        assert fresh.get("k:1") is None
+        assert fresh.get("k:3") is not None
+
+    def test_just_written_entry_is_never_evicted(self, tmp_path):
+        cache = ArtifactCache(cache_dir=tmp_path, max_disk_mb=0.01)
+        cache.put("k:big", bytes(100_000))  # alone exceeds the cap
+        fresh = ArtifactCache(cache_dir=tmp_path, max_disk_mb=0.01)
+        assert fresh.get("k:big") is not None
+
+    def test_disk_hit_refreshes_recency(self, tmp_path):
+        payload = bytes(200_000)
+        cache = ArtifactCache(cache_dir=tmp_path, max_disk_mb=0.5)
+        cache.put("k:old", payload)
+        cache.put("k:older", payload)
+        self._age(tmp_path, "*.pkl", [50.0, 100.0])
+        # Touch k:old from a fresh instance (memory tier empty, so the
+        # read goes to disk and refreshes its mtime).
+        fresh = ArtifactCache(cache_dir=tmp_path, max_disk_mb=0.5)
+        assert fresh.get("k:old") is not None
+        fresh.put("k:new", payload)  # forces one eviction
+        survivors = ArtifactCache(cache_dir=tmp_path, max_disk_mb=0.5)
+        assert survivors.get("k:old") is not None
+        assert survivors.get("k:new") is not None
+
+    def test_corrupt_quarantine_cap(self, tmp_path):
+        from repro import obs
+
+        cache = ArtifactCache(cache_dir=tmp_path, max_corrupt_entries=2)
+        for i in range(5):
+            cache.put(f"k:{i}", i)
+        for path in tmp_path.glob("*.pkl"):
+            path.write_bytes(b"garbage")
+        fresh = ArtifactCache(cache_dir=tmp_path, max_corrupt_entries=2)
+        with obs.Tracer() as tracer:
+            for i in range(5):
+                assert fresh.get(f"k:{i}") is None
+        assert len(list(tmp_path.glob("*.corrupt"))) == 2
+        assert tracer.counters["cache.corrupt_evicted"] == 3
+        assert fresh.stats()["corrupt_evicted"] == 3
+
+    def test_env_knobs(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "12.5")
+        monkeypatch.setenv("REPRO_CACHE_MAX_CORRUPT", "3")
+        cache = ArtifactCache(cache_dir=tmp_path)
+        assert cache.max_disk_mb == 12.5
+        assert cache.max_corrupt_entries == 3

@@ -1,0 +1,223 @@
+"""Run journal: write-ahead semantics, torn tails, resume replay.
+
+The headline contract (ISSUE 4): a sweep killed mid-run and resumed
+from its journal produces a final report *byte-identical* to an
+uninterrupted run's.
+"""
+
+import json
+
+import pytest
+
+from repro.benchgen import build_circuit
+from repro.core import ArtifactCache, DesignContext, run_scenarios, using_cache
+from repro.resilience import (
+    FaultPlan,
+    FaultSpec,
+    InjectedCrashError,
+    JournalError,
+    JournalMismatchError,
+    RunJournal,
+    artifact_digest,
+    injecting,
+    load_records,
+)
+from repro.charlib.engine import default_library
+
+
+@pytest.fixture(scope="module")
+def library():
+    return default_library(10.0)
+
+
+class TestRecordRoundtrip:
+    def test_create_record_iterate(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal.create(path, {"cmd": "evaluate"}) as journal:
+            journal.record("scenario", key="k1", digest="d1")
+            journal.record("scenario", key="k2", digest="d2")
+        records = list(RunJournal.resume(path, {"cmd": "evaluate"}))
+        assert [r["kind"] for r in records] == ["run_start", "scenario", "scenario"]
+        assert records[0]["version"] == 1
+
+    def test_records_are_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal.create(path) as journal:
+            journal.record("scenario", key="k", digest="d")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert all(isinstance(json.loads(line), dict) for line in lines)
+
+    def test_completed_scenarios_maps_key_to_digest(self, tmp_path):
+        with RunJournal.create(tmp_path / "j") as journal:
+            journal.record("scenario", key="k1", digest="d1")
+            journal.record("stage", name="c2rs", key="s1", digest="x")
+            assert journal.completed_scenarios() == {"k1": "d1"}
+
+    def test_record_after_close_raises(self, tmp_path):
+        journal = RunJournal.create(tmp_path / "j")
+        journal.close()
+        with pytest.raises(JournalError):
+            journal.record("scenario", key="k", digest="d")
+
+
+class TestTornTail:
+    def test_torn_final_line_is_dropped_and_truncated(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal.create(path) as journal:
+            journal.record("scenario", key="k1", digest="d1")
+        with open(path, "a") as fh:
+            fh.write('{"kind": "scenario", "key": "k2"')  # no newline: torn
+        records, good = load_records(path)
+        assert [r["kind"] for r in records] == ["run_start", "scenario"]
+        assert good < path.stat().st_size
+        resumed = RunJournal.resume(path)
+        assert path.stat().st_size == good  # tail truncated away
+        resumed.record("scenario", key="k3", digest="d3")
+        resumed.close()
+        records, good = load_records(path)
+        assert [r.get("key") for r in records] == [None, "k1", "k3"]
+        assert good == path.stat().st_size
+
+    def test_undecodable_middle_line_stops_parsing(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text(
+            '{"kind": "run_start", "version": 1, "config": null}\n'
+            "garbage garbage\n"
+            '{"kind": "scenario", "key": "k"}\n'
+        )
+        records, good = load_records(path)
+        assert len(records) == 1  # everything after the bad line is lost
+
+
+class TestResumeValidation:
+    def test_missing_journal(self, tmp_path):
+        with pytest.raises(JournalError, match="no such journal"):
+            RunJournal.resume(tmp_path / "absent.jsonl")
+
+    def test_not_a_journal(self, tmp_path):
+        path = tmp_path / "junk"
+        path.write_text('{"kind": "scenario"}\n')
+        with pytest.raises(JournalError, match="missing header"):
+            RunJournal.resume(path)
+
+    def test_config_mismatch_refused(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        RunJournal.create(path, {"circuits": ["ctrl"]}).close()
+        with pytest.raises(JournalMismatchError, match="different run configuration"):
+            RunJournal.resume(path, {"circuits": ["adder"]})
+
+    def test_newer_format_refused(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"kind": "run_start", "version": 99, "config": null}\n')
+        with pytest.raises(JournalMismatchError, match="journal format"):
+            RunJournal.resume(path)
+
+    def test_resume_without_config_accepts_any(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        RunJournal.create(path, {"circuits": ["ctrl"]}).close()
+        assert RunJournal.resume(path).records
+
+
+class TestCrashSite:
+    def test_journal_crash_fires_after_commit(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        plan = FaultPlan([FaultSpec("journal.crash", first_n=1, after=1)], seed=0)
+        with injecting(plan):
+            journal = RunJournal.create(path)  # after=1 skips the header
+            with pytest.raises(InjectedCrashError):
+                journal.record("scenario", key="k1", digest="d1")
+            journal.close()
+        # The record the crash interrupted *was* committed first.
+        records, _ = load_records(path)
+        assert records[-1] == {"kind": "scenario", "key": "k1", "digest": "d1"}
+
+
+class TestResumeDeterminism:
+    """Kill after the first scenario; resume; outputs byte-identical."""
+
+    def _report(self, results) -> bytes:
+        return json.dumps(
+            {s: r.to_dict() for s, r in results.items()}, indent=2
+        ).encode()
+
+    def test_killed_and_resumed_sweep_matches_uninterrupted(
+        self, tmp_path, library
+    ):
+        aig = build_circuit("ctrl", "small")
+        scenarios = ["baseline", "p_d_a"]
+
+        # Reference: uninterrupted run, no journal.
+        with using_cache(ArtifactCache()):
+            context = DesignContext.from_library(library)
+            reference = self._report(
+                run_scenarios(aig, context=context, scenarios=scenarios)
+            )
+
+        # Interrupted run: die right after stage 1's journal record
+        # commits (after=1 skips the run_start header commit) — the
+        # stage output is already in the disk cache at that point.
+        cache_dir = tmp_path / "cache"
+        path = tmp_path / "run.jsonl"
+        config = {"circuits": ["ctrl"]}
+        plan = FaultPlan([FaultSpec("journal.crash", first_n=1, after=1)], seed=0)
+        with using_cache(ArtifactCache(cache_dir=cache_dir)):
+            context = DesignContext.from_library(library)
+            with injecting(plan), RunJournal.create(path, config) as journal:
+                with pytest.raises(InjectedCrashError):
+                    run_scenarios(
+                        aig, context=context, scenarios=scenarios, journal=journal
+                    )
+            committed = [r["kind"] for r in journal.records]
+            assert committed[:2] == ["run_start", "stage"]
+            assert "scenario" not in committed  # died mid-sweep
+
+        # Resume in a *fresh* cache process-alike (only the disk tier
+        # survives a real kill -9) and finish the sweep.
+        with using_cache(ArtifactCache(cache_dir=cache_dir)):
+            context = DesignContext.from_library(library)
+            with RunJournal.resume(path, config) as journal:
+                resumed = run_scenarios(
+                    aig, context=context, scenarios=scenarios, journal=journal
+                )
+            assert len(journal.completed_scenarios()) == len(scenarios)
+        assert self._report(resumed) == reference
+
+    def test_replay_skips_recomputation(self, tmp_path, library):
+        aig = build_circuit("ctrl", "small")
+        path = tmp_path / "run.jsonl"
+        with using_cache(ArtifactCache(cache_dir=tmp_path / "cache")):
+            context = DesignContext.from_library(library)
+            with RunJournal.create(path) as journal:
+                first = run_scenarios(
+                    aig, context=context, scenarios=["baseline"], journal=journal
+                )
+            with RunJournal.resume(path) as journal:
+                again = run_scenarios(
+                    aig, context=context, scenarios=["baseline"], journal=journal
+                )
+            # Replay returns the cached object, not a recomputation,
+            # and journals no duplicate scenario record.
+            assert artifact_digest(again["baseline"]) == artifact_digest(
+                first["baseline"]
+            )
+            assert len(journal.completed_scenarios()) == 1
+
+    def test_digest_mismatch_forces_recompute(self, tmp_path, library):
+        aig = build_circuit("ctrl", "small")
+        path = tmp_path / "run.jsonl"
+        with using_cache(ArtifactCache(cache_dir=tmp_path / "cache")):
+            context = DesignContext.from_library(library)
+            with RunJournal.create(path) as journal:
+                run_scenarios(
+                    aig, context=context, scenarios=["baseline"], journal=journal
+                )
+        # Same journal, different (empty) cache: digests cannot match,
+        # so the scenario recomputes instead of trusting stale records.
+        with using_cache(ArtifactCache()):
+            context = DesignContext.from_library(library)
+            with RunJournal.resume(path) as journal:
+                results = run_scenarios(
+                    aig, context=context, scenarios=["baseline"], journal=journal
+                )
+        assert results["baseline"].num_gates > 0
