@@ -25,6 +25,7 @@ from ..pdk.technology import Technology
 from ..resilience import faults
 from ..resilience.errors import MeasurementError
 from ..spice.engine import ConvergenceError, Simulator
+from ..spice.kernels import SimulatorSettings
 from ..spice.analysis import propagation_delay, supply_energy, transition_time
 from ..spice.waveforms import DC, ramp
 from .nldm import LibertyCell, NLDMTable, TimingArc
@@ -46,9 +47,18 @@ class ArcMeasurement:
 class SpiceCharacterizer:
     """Characterizes cells by transistor-level transient simulation."""
 
-    def __init__(self, tech: Technology, temperature_k: float):
+    def __init__(
+        self,
+        tech: Technology,
+        temperature_k: float,
+        settings: SimulatorSettings | None = None,
+    ):
         self.tech = tech
         self.temperature_k = temperature_k
+        #: SPICE engine settings used for every arc transient; the
+        #: default picks the kernel from :envvar:`REPRO_KERNEL`
+        #: (``vector`` unless overridden — see docs/PERFORMANCE.md).
+        self.settings = settings if settings is not None else SimulatorSettings()
         # Sense/sensitization logic is shared with the analytic backend.
         self._analytic = AnalyticCharacterizer(tech, temperature_k)
 
@@ -100,7 +110,10 @@ class SpiceCharacterizer:
         # Conservative horizon: stimulus + generous settling.
         t_stop = t_edge + full_ramp + 3e-10 + 200.0 * load
         dt = min(2e-12, full_ramp / 8.0)
-        result = Simulator(circuit, self.temperature_k).transient(t_stop, dt)
+        obs.count(f"charlib.spice.kernel.{self.settings.kernel}")
+        result = Simulator(
+            circuit, self.temperature_k, settings=self.settings
+        ).transient(t_stop, dt)
 
         delay = propagation_delay(result, pin, output, vdd, input_rising, after=t_edge * 0.5)
         wave = result.voltage(output)

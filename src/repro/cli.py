@@ -74,6 +74,30 @@ def _tracing(args: argparse.Namespace):
 
 
 @contextlib.contextmanager
+def _kernel_choice(args: argparse.Namespace):
+    """Pin the SPICE stamping kernel when ``--kernel`` asks for one.
+
+    The choice is carried in :envvar:`REPRO_KERNEL` so every
+    :class:`~repro.spice.SimulatorSettings` constructed anywhere in the
+    run (charlib SPICE backend, validation decks, worker threads) picks
+    it up without threading an argument through each layer.
+    """
+    kernel = getattr(args, "kernel", None)
+    if not kernel:
+        yield
+        return
+    previous = os.environ.get("REPRO_KERNEL")
+    os.environ["REPRO_KERNEL"] = kernel
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_KERNEL", None)
+        else:
+            os.environ["REPRO_KERNEL"] = previous
+
+
+@contextlib.contextmanager
 def _faulting(args: argparse.Namespace):
     """Install an explicit fault plan when ``--faults`` asks for one.
 
@@ -212,6 +236,15 @@ def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
         help="deterministic fault-injection plan (overrides "
              "$REPRO_FAULTS), e.g. 'seed=7;spice.newton:0.1'; "
              "see docs/ROBUSTNESS.md",
+    )
+
+
+def _add_kernel_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--kernel", choices=["vector", "scalar"], default=None,
+        help="SPICE stamping kernel: 'vector' (batched, default) or "
+             "'scalar' (per-element reference path); overrides "
+             "$REPRO_KERNEL — see docs/PERFORMANCE.md",
     )
 
 
@@ -491,6 +524,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--temperature", "-t", type=float, default=10.0)
     p.add_argument("--vdd", type=float, default=0.7)
     p.add_argument("--output", "-o", help="output .lib path")
+    _add_kernel_flag(p)
     p.set_defaults(func=_cmd_characterize)
 
     p = sub.add_parser("synthesize", help="run a circuit through the flow")
@@ -505,6 +539,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", "-J", type=int, default=1,
                    help="workers for the scenario fan-out")
     _add_obs_flags(p)
+    _add_kernel_flag(p)
     _add_cache_flag(p)
     _add_resilience_flags(p)
     _add_journal_flags(p)
@@ -519,6 +554,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker threads for scenario fan-out")
     p.add_argument("--json", "-j", help="JSON results output path")
     _add_obs_flags(p)
+    _add_kernel_flag(p)
     _add_cache_flag(p)
     _add_resilience_flags(p)
     _add_journal_flags(p)
@@ -575,7 +611,7 @@ def main(argv: list[str] | None = None) -> int:
         previous_term = signal.signal(signal.SIGTERM, _sigterm_to_interrupt)
     try:
         with _tracing(args), _journaling(args, argv), _caching(args), \
-                _faulting(args):
+                _faulting(args), _kernel_choice(args):
             return args.func(args)
     except KeyboardInterrupt:
         print("repro: interrupted", file=sys.stderr)

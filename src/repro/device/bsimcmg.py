@@ -43,6 +43,65 @@ def _softplus(x: np.ndarray | float) -> np.ndarray | float:
     return out
 
 
+def ids_core(
+    vgs: np.ndarray | float,
+    vds: np.ndarray | float,
+    *,
+    sign: np.ndarray | float,
+    vt: np.ndarray | float,
+    ideality: np.ndarray | float,
+    vth_base: np.ndarray | float,
+    dibl: np.ndarray | float,
+    i_spec: np.ndarray | float,
+    ec_l: np.ndarray | float,
+    clm: np.ndarray | float,
+    floor_mag: np.ndarray | float,
+) -> np.ndarray:
+    """The EKV drain-current core as a pure elementwise kernel.
+
+    Every parameter may be a scalar or an array broadcast against the
+    bias arrays — this single function backs both the per-device
+    :meth:`CryoFinFET.ids` evaluation (scalar parameters) and the
+    batched SPICE stamping kernel, which precomputes the
+    temperature-derived parameter arrays once per simulator and
+    evaluates all devices of a circuit in one call
+    (:meth:`CryoFinFET.kernel_params` provides the parameter tuple).
+    Keeping one formula is what makes the scalar and vector kernel
+    paths differentially comparable to ~1e-15.
+    """
+    vg = sign * np.asarray(vgs, dtype=float)
+    vd = sign * np.asarray(vds, dtype=float)
+
+    # Drain/source swap for negative vds so the model stays
+    # symmetric (SPICE convention).
+    swap = vd < 0.0
+    vd_eff = np.abs(vd)
+    vg_eff = np.where(swap, vg - vd, vg)
+
+    vth = vth_base - dibl * vd_eff
+
+    # EKV pinch-off voltage and forward/reverse currents.
+    u_f = (vg_eff - vth) / (ideality * vt)
+    u_r = u_f - vd_eff / vt
+    sp_fwd = _softplus(u_f / 2.0)
+    f_fwd = sp_fwd**2
+    f_rev = _softplus(u_r / 2.0) ** 2
+    i_core = i_spec * (f_fwd - f_rev)
+
+    # Velocity saturation: degrade with the smooth overdrive.
+    v_ov = 2.0 * ideality * vt * sp_fwd
+    i_core = i_core / (1.0 + v_ov / ec_l)
+
+    # Channel-length modulation.
+    i_core = i_core * (1.0 + clm * vd_eff)
+
+    # Leakage floor (does not freeze out at cryo).
+    floor = floor_mag * np.tanh(vd_eff / 0.05)
+    i_core = i_core + floor
+
+    return sign * np.where(swap, -i_core, i_core)
+
+
 @dataclass(frozen=True)
 class FinFETParams:
     """Parameter set of the cryogenic-aware FinFET surrogate model.
@@ -196,6 +255,32 @@ class CryoFinFET:
     # ------------------------------------------------------------------
     # Terminal current
     # ------------------------------------------------------------------
+    def kernel_params(self, temperature_k: float = T_REF) -> dict[str, float]:
+        """Temperature-resolved parameter set for :func:`ids_core`.
+
+        The batched SPICE kernel calls this once per device at
+        simulator-build time, stacks the values into arrays, and then
+        evaluates :func:`ids_core` for the whole circuit in one shot
+        per Newton iteration — the temperature-derived quantities
+        (threshold shift, band-tail thermal voltage, Matthiessen
+        mobility, velocity saturation) are never recomputed on the
+        iteration hot path.
+        """
+        p = self.params
+        mu = self.mobility(temperature_k)
+        vsat = thermal.saturation_velocity(temperature_k, p.vsat_300)
+        return {
+            "sign": 1.0 if p.polarity == "n" else -1.0,
+            "vt": self.effective_thermal_voltage(temperature_k),
+            "ideality": p.ideality,
+            "vth_base": self.threshold_voltage(temperature_k),
+            "dibl": p.dibl,
+            "i_spec": self.specific_current(temperature_k),
+            "ec_l": 2.0 * vsat / mu * p.length,
+            "clm": p.clm,
+            "floor_mag": p.ioff_floor_per_fin * p.nfin,
+        }
+
     def ids(
         self,
         vgs: np.ndarray | float,
@@ -207,45 +292,7 @@ class CryoFinFET:
         For p-devices pass the physically signed (negative) voltages;
         the returned current is negative (conventional drain current).
         """
-        p = self.params
-        vgs_arr = np.asarray(vgs, dtype=float)
-        vds_arr = np.asarray(vds, dtype=float)
-        sign = 1.0 if p.polarity == "n" else -1.0
-        vg = sign * vgs_arr
-        vd = sign * vds_arr
-
-        # Drain/source swap for negative vds so the model stays
-        # symmetric (SPICE convention).
-        swap = vd < 0.0
-        vd_eff = np.abs(vd)
-        vg_eff = np.where(swap, vg - vd, vg)
-
-        vt = self.effective_thermal_voltage(temperature_k)
-        n = p.ideality
-        vth = self.threshold_voltage(temperature_k) - p.dibl * vd_eff
-
-        # EKV pinch-off voltage and forward/reverse currents.
-        u_f = (vg_eff - vth) / (n * vt)
-        u_r = u_f - vd_eff / vt
-        f_fwd = _softplus(u_f / 2.0) ** 2
-        f_rev = _softplus(u_r / 2.0) ** 2
-        i_core = self.specific_current(temperature_k) * (f_fwd - f_rev)
-
-        # Velocity saturation: degrade with the smooth overdrive.
-        mu = self.mobility(temperature_k)
-        vsat = thermal.saturation_velocity(temperature_k, p.vsat_300)
-        ec_l = 2.0 * vsat / mu * p.length
-        v_ov = 2.0 * n * vt * _softplus(u_f / 2.0)
-        i_core = i_core / (1.0 + v_ov / ec_l)
-
-        # Channel-length modulation.
-        i_core = i_core * (1.0 + p.clm * vd_eff)
-
-        # Leakage floor (does not freeze out at cryo).
-        floor = p.ioff_floor_per_fin * p.nfin * np.tanh(vd_eff / 0.05)
-        i_core = i_core + floor
-
-        result = sign * np.where(swap, -i_core, i_core)
+        result = ids_core(vgs, vds, **self.kernel_params(temperature_k))
         if np.isscalar(vgs) and np.isscalar(vds):
             return float(result)
         return result
@@ -253,17 +300,75 @@ class CryoFinFET:
     # ------------------------------------------------------------------
     # Small-signal quantities (central differences; the model is smooth)
     # ------------------------------------------------------------------
-    def gm(self, vgs: float, vds: float, temperature_k: float = T_REF, dv: float = 1e-4) -> float:
-        """Transconductance dI_ds/dV_gs [S]."""
-        hi = self.ids(vgs + dv, vds, temperature_k)
-        lo = self.ids(vgs - dv, vds, temperature_k)
-        return float((hi - lo) / (2.0 * dv))
+    def gm(
+        self,
+        vgs: np.ndarray | float,
+        vds: np.ndarray | float,
+        temperature_k: float = T_REF,
+        dv: float = 1e-4,
+    ) -> np.ndarray | float:
+        """Transconductance dI_ds/dV_gs [S] (vectorized like :meth:`ids`)."""
+        vgs_arr = np.asarray(vgs, dtype=float)
+        hi = self.ids(vgs_arr + dv, vds, temperature_k)
+        lo = self.ids(vgs_arr - dv, vds, temperature_k)
+        result = (np.asarray(hi) - np.asarray(lo)) / (2.0 * dv)
+        if np.isscalar(vgs) and np.isscalar(vds):
+            return float(result)
+        return result
 
-    def gds(self, vgs: float, vds: float, temperature_k: float = T_REF, dv: float = 1e-4) -> float:
-        """Output conductance dI_ds/dV_ds [S]."""
-        hi = self.ids(vgs, vds + dv, temperature_k)
-        lo = self.ids(vgs, vds - dv, temperature_k)
-        return float((hi - lo) / (2.0 * dv))
+    def gds(
+        self,
+        vgs: np.ndarray | float,
+        vds: np.ndarray | float,
+        temperature_k: float = T_REF,
+        dv: float = 1e-4,
+    ) -> np.ndarray | float:
+        """Output conductance dI_ds/dV_ds [S] (vectorized like :meth:`ids`)."""
+        vds_arr = np.asarray(vds, dtype=float)
+        hi = self.ids(vgs, vds_arr + dv, temperature_k)
+        lo = self.ids(vgs, vds_arr - dv, temperature_k)
+        result = (np.asarray(hi) - np.asarray(lo)) / (2.0 * dv)
+        if np.isscalar(vgs) and np.isscalar(vds):
+            return float(result)
+        return result
+
+    def ids_gm_gds(
+        self,
+        vgs: np.ndarray | float,
+        vds: np.ndarray | float,
+        temperature_k: float = T_REF,
+        dv: float = 1e-4,
+    ) -> tuple[np.ndarray | float, np.ndarray | float, np.ndarray | float]:
+        """Batched ``(I_ds, g_m, g_ds)`` evaluation in one model call.
+
+        This is the hot-path kernel behind the vectorized SPICE stamping
+        (``REPRO_KERNEL=vector``): all five bias points of the central-
+        difference stencil for every device are concatenated into a
+        single :meth:`ids` evaluation, so the per-call numpy dispatch
+        overhead is paid once per device *group* instead of five times
+        per device.  The derivatives use the same ``dv`` stencil as
+        :meth:`gm`/:meth:`gds`, keeping the two paths differentially
+        comparable.
+        """
+        scalar_in = np.isscalar(vgs) and np.isscalar(vds)
+        vgs_arr, vds_arr = np.broadcast_arrays(
+            np.atleast_1d(np.asarray(vgs, dtype=float)),
+            np.atleast_1d(np.asarray(vds, dtype=float)),
+        )
+        n = vgs_arr.shape[0]
+        vg_stencil = np.concatenate(
+            [vgs_arr, vgs_arr + dv, vgs_arr - dv, vgs_arr, vgs_arr]
+        )
+        vd_stencil = np.concatenate(
+            [vds_arr, vds_arr, vds_arr, vds_arr + dv, vds_arr - dv]
+        )
+        i = np.asarray(self.ids(vg_stencil, vd_stencil, temperature_k))
+        ids = i[:n]
+        gm = (i[n : 2 * n] - i[2 * n : 3 * n]) / (2.0 * dv)
+        gds = (i[3 * n : 4 * n] - i[4 * n : 5 * n]) / (2.0 * dv)
+        if scalar_in:
+            return float(ids[0]), float(gm[0]), float(gds[0])
+        return ids, gm, gds
 
     # ------------------------------------------------------------------
     # Charge / capacitance

@@ -15,6 +15,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from .. import obs
 from ..pdk.technology import Technology, cryo5_technology
 from .bsimcmg import CryoFinFET, FinFETParams
 
@@ -66,20 +67,39 @@ def mc_device_metric(
     temperature: float,
     n_samples: int = 64,
     seed: int = 0,
+    jobs: int = 1,
 ) -> MonteCarloResult:
     """Monte-Carlo sweep of a scalar device metric.
 
     ``metric(device, temperature) -> float`` is evaluated on each
-    sampled :class:`CryoFinFET`.
+    sampled :class:`CryoFinFET`.  All parameter sets are drawn up
+    front from one sequential RNG stream, so the result is identical
+    for any ``jobs`` value; the metric evaluations then fan out over
+    ``jobs`` workers (:func:`repro.obs.parallel_map`).
     """
     if n_samples < 2:
         raise ValueError("need at least two samples")
     rng = np.random.default_rng(seed)
-    values = np.empty(n_samples)
-    for i in range(n_samples):
-        device = CryoFinFET(sample_params(base, rng))
-        values[i] = metric(device, temperature)
+    devices = [CryoFinFET(sample_params(base, rng)) for _ in range(n_samples)]
+    values = np.asarray(
+        obs.parallel_map(lambda dev: float(metric(dev, temperature)), devices, jobs=jobs)
+    )
     return MonteCarloResult(temperature, values)
+
+
+def _sample_technologies(
+    technology: Technology, n_samples: int, seed: int
+) -> list[Technology]:
+    """Draw ``n_samples`` perturbed technologies from one RNG stream."""
+    rng = np.random.default_rng(seed)
+    return [
+        replace(
+            technology,
+            nfet=sample_params(technology.nfet, rng),
+            pfet=sample_params(technology.pfet, rng),
+        )
+        for _ in range(n_samples)
+    ]
 
 
 def mc_cell_delay(
@@ -88,27 +108,27 @@ def mc_cell_delay(
     n_samples: int = 48,
     seed: int = 0,
     technology: Technology | None = None,
+    jobs: int = 1,
 ) -> MonteCarloResult:
     """Monte-Carlo distribution of one cell's typical delay [s].
 
     Each sample perturbs both device polarities and re-characterizes
-    the cell with the analytic backend.
+    the cell with the analytic backend; the per-sample
+    characterizations fan out over ``jobs`` workers with results
+    independent of the worker count (sampling happens up front).
     """
     from ..charlib.analytic import AnalyticCharacterizer
 
     if n_samples < 2:
         raise ValueError("need at least two samples")
     technology = technology or cryo5_technology()
-    rng = np.random.default_rng(seed)
-    values = np.empty(n_samples)
-    for i in range(n_samples):
-        tech_i = replace(
-            technology,
-            nfet=sample_params(technology.nfet, rng),
-            pfet=sample_params(technology.pfet, rng),
-        )
+
+    def one(tech_i: Technology) -> float:
         characterizer = AnalyticCharacterizer(tech_i, temperature)
-        values[i] = characterizer.characterize_cell(cell_template).typical_delay()
+        return characterizer.characterize_cell(cell_template).typical_delay()
+
+    samples = _sample_technologies(technology, n_samples, seed)
+    values = np.asarray(obs.parallel_map(one, samples, jobs=jobs))
     return MonteCarloResult(temperature, values)
 
 
@@ -118,6 +138,7 @@ def mc_cell_leakage(
     n_samples: int = 48,
     seed: int = 0,
     technology: Technology | None = None,
+    jobs: int = 1,
 ) -> MonteCarloResult:
     """Monte-Carlo distribution of one cell's average leakage [W]."""
     from ..charlib.analytic import AnalyticCharacterizer
@@ -125,14 +146,11 @@ def mc_cell_leakage(
     if n_samples < 2:
         raise ValueError("need at least two samples")
     technology = technology or cryo5_technology()
-    rng = np.random.default_rng(seed)
-    values = np.empty(n_samples)
-    for i in range(n_samples):
-        tech_i = replace(
-            technology,
-            nfet=sample_params(technology.nfet, rng),
-            pfet=sample_params(technology.pfet, rng),
-        )
+
+    def one(tech_i: Technology) -> float:
         characterizer = AnalyticCharacterizer(tech_i, temperature)
-        values[i] = characterizer.characterize_cell(cell_template).leakage_average
+        return characterizer.characterize_cell(cell_template).leakage_average
+
+    samples = _sample_technologies(technology, n_samples, seed)
+    values = np.asarray(obs.parallel_map(one, samples, jobs=jobs))
     return MonteCarloResult(temperature, values)

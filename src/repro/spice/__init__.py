@@ -8,12 +8,14 @@ the SiliconSmart-style waveform measurements.
 
 from .netlist import Circuit, GROUND
 from .engine import ConvergenceError, OperatingPoint, Simulator, TransientResult
+from .kernels import SimulatorSettings, VALID_KERNELS, default_kernel
 from .waveforms import DC, PWL, Waveform, pulse, ramp
 from .analysis import (
     crossing_time,
     propagation_delay,
     supply_energy,
     transition_time,
+    waveform_digest,
 )
 
 __all__ = [
@@ -22,7 +24,10 @@ __all__ = [
     "ConvergenceError",
     "OperatingPoint",
     "Simulator",
+    "SimulatorSettings",
     "TransientResult",
+    "VALID_KERNELS",
+    "default_kernel",
     "DC",
     "PWL",
     "Waveform",
@@ -32,4 +37,5 @@ __all__ = [
     "propagation_delay",
     "supply_energy",
     "transition_time",
+    "waveform_digest",
 ]

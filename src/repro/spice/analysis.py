@@ -3,10 +3,14 @@
 Implements the measurements SiliconSmart extracts during cell
 characterization: propagation delay (50 %-to-50 %), transition time
 (slew between the Liberty thresholds), and switching energy from the
-supply-current integral.
+supply-current integral.  Also provides :func:`waveform_digest`, the
+canonical rounded-waveform hash the kernel differential suite and the
+golden-file regressions compare.
 """
 
 from __future__ import annotations
+
+import hashlib
 
 import numpy as np
 
@@ -18,6 +22,32 @@ SLEW_HIGH: float = 0.8
 
 #: Delay measurement threshold (fraction of swing).
 DELAY_THRESHOLD: float = 0.5
+
+
+def waveform_digest(result: TransientResult, decimals: int = 9) -> str:
+    """Stable hash of a transient solution, rounded to ``decimals``.
+
+    Node waveforms and source currents are rounded (absolute decimals
+    — at the default 9 this is ~1 nV / 1 nA, three decades above the
+    scalar-vs-vector kernel disagreement) and hashed in deterministic
+    node order, so two runs agree iff every waveform agrees to the
+    rounding.  Used by ``tests/test_spice_kernels.py`` to pin the
+    vectorized kernel to the scalar reference.
+    """
+    def quantized(arr: np.ndarray, d: int) -> bytes:
+        # ``+ 0.0`` collapses IEEE negative zero: a value straddling
+        # zero's rounding cell must hash identically either side.
+        return (np.round(arr, d) + 0.0).tobytes()
+
+    h = hashlib.sha256()
+    h.update(quantized(result.time, decimals + 3))
+    for name in sorted(result.voltages):
+        h.update(name.encode())
+        h.update(quantized(result.voltages[name], decimals))
+    for name in sorted(result.source_currents):
+        h.update(name.encode())
+        h.update(quantized(result.source_currents[name], decimals))
+    return h.hexdigest()
 
 
 def crossing_time(

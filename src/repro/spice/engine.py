@@ -30,6 +30,7 @@ from ..resilience import faults
 from ..resilience.errors import TransientError
 from ..resilience.isolation import task_heartbeat
 from ..resilience.retry import run_ladder
+from .kernels import SimulatorSettings, VectorStamper
 from .netlist import GROUND, Circuit
 
 #: Conductance from every node to ground, for matrix conditioning.
@@ -164,6 +165,7 @@ class Simulator:
         circuit: Circuit,
         temperature_k: float = 300.0,
         ladder: tuple[NewtonSettings, ...] | None = None,
+        settings: SimulatorSettings | None = None,
     ):
         self.circuit = circuit
         self.temperature_k = temperature_k
@@ -172,6 +174,15 @@ class Simulator:
         #: Retry ladder applied to every Newton solve; rung 0 must be
         #: the nominal settings.  Override for tests or stiff circuits.
         self.ladder = ladder if ladder is not None else NEWTON_LADDER
+        #: Engine configuration; the ``kernel`` field selects between
+        #: the batched vector stamping path (default) and the scalar
+        #: per-element reference path (``REPRO_KERNEL=scalar``).
+        self.settings = settings if settings is not None else SimulatorSettings()
+        self._stamper = (
+            VectorStamper(circuit, self.system, temperature_k, self._caps)
+            if self.settings.kernel == "vector"
+            else None
+        )
 
     # ------------------------------------------------------------------
     def _collect_capacitors(self) -> list[tuple[int, int, float]]:
@@ -199,8 +210,15 @@ class Simulator:
         jac: np.ndarray,
         res: np.ndarray,
         gmin: float = GMIN,
+        src_values: np.ndarray | None = None,
     ) -> None:
-        """Stamp resistors, sources, FinFETs and gmin at state ``x``."""
+        """Stamp resistors, sources, FinFETs and gmin at state ``x``.
+
+        ``src_values`` carries pre-sampled source voltages for this time
+        point (the transient loop batches stimulus sampling); when absent
+        the waveforms are evaluated at ``t``.  Both kernel paths consume
+        the same pre-sampled values so they see bit-identical stimuli.
+        """
         sys = self.system
         nn = sys.n_nodes
 
@@ -243,7 +261,8 @@ class Simulator:
                 jac[row, p] += 1.0
             if m >= 0:
                 jac[row, m] -= 1.0
-            res[row] += v_of(p) - v_of(m) - src.waveform(t)
+            v_t = float(src_values[k]) if src_values is not None else src.waveform(t)
+            res[row] += v_of(p) - v_of(m) - v_t
 
         for m_dev in self.circuit.finfets:
             d = sys.idx(m_dev.drain)
@@ -313,6 +332,7 @@ class Simulator:
         cap_history: np.ndarray | None = None,
         settings: NewtonSettings = NewtonSettings(),
         attempt: int = 0,
+        src_values: np.ndarray | None = None,
     ) -> np.ndarray:
         if faults.should_fire("spice.newton", attempt=attempt):
             obs.count("spice.newton.nonconverged")
@@ -323,15 +343,21 @@ class Simulator:
         x = x0.copy()
         if cap_history is None:
             cap_history = np.zeros(len(self._caps))
+        obs.count(f"spice.kernel.{self.settings.kernel}")
         for iteration in range(settings.max_iter):
-            jac = np.zeros((sys.size, sys.size))
-            res = np.zeros(sys.size)
-            self._stamp_static(x, t, jac, res, gmin=settings.gmin)
-            if geq > 0.0:
-                self._stamp_caps_companion(x, jac, res, geq, cap_history)
+            if self._stamper is not None:
+                jac, res = self._stamper.stamp(
+                    x, t, settings.gmin, geq, cap_history, src_values
+                )
             else:
+                jac = np.zeros((sys.size, sys.size))
+                res = np.zeros(sys.size)
+                self._stamp_static(
+                    x, t, jac, res, gmin=settings.gmin, src_values=src_values
+                )
+                if geq > 0.0:
+                    self._stamp_caps_companion(x, jac, res, geq, cap_history)
                 # DC: capacitors are open circuits; nothing to stamp.
-                pass
             try:
                 delta = np.linalg.solve(jac, -res)
             except np.linalg.LinAlgError as exc:
@@ -360,6 +386,7 @@ class Simulator:
         t: float,
         geq: float = 0.0,
         cap_history: np.ndarray | None = None,
+        src_values: np.ndarray | None = None,
     ) -> np.ndarray:
         """One Newton solve behind the retry ladder.
 
@@ -372,7 +399,8 @@ class Simulator:
             "spice.newton",
             self.ladder,
             lambda rung, settings: self._newton(
-                x0, t, geq, cap_history, settings, attempt=rung
+                x0, t, geq, cap_history, settings, attempt=rung,
+                src_values=src_values,
             ),
             retry_on=ConvergenceError,
         )
@@ -399,7 +427,37 @@ class Simulator:
     def dc_sweep(
         self, source_name: str, values: np.ndarray, initial: dict[str, float] | None = None
     ) -> list[OperatingPoint]:
-        """Sweep one DC source through ``values`` with solution reuse."""
+        """Sweep one DC source through ``values`` with solution reuse.
+
+        The sweep axis is batched: solutions accumulate into one
+        ``(size, n_points)`` state matrix (see :meth:`dc_sweep_arrays`
+        for the raw batch view) and each point warm-starts Newton from
+        its predecessor.  The per-point solves share the simulator's
+        precomputed stamping kernel, so under the vector kernel a sweep
+        costs one kernel build total, not one per point.
+        """
+        sys = self.system
+        states = self.dc_sweep_arrays(source_name, values, initial)
+        return [
+            OperatingPoint(
+                voltages={name: float(states[i, p]) for name, i in sys.node_index.items()},
+                source_currents={
+                    src.name: float(states[sys.n_nodes + k, p])
+                    for k, src in enumerate(self.circuit.vsources)
+                },
+            )
+            for p in range(states.shape[1])
+        ]
+
+    def dc_sweep_arrays(
+        self, source_name: str, values: np.ndarray, initial: dict[str, float] | None = None
+    ) -> np.ndarray:
+        """Batched DC sweep: the full ``(size, n_points)`` state matrix.
+
+        Row ``i < n_nodes`` is node ``i``'s voltage across the sweep;
+        the remaining rows are source branch currents.  This is the
+        array the waveform-digest differential tests hash.
+        """
         from .waveforms import DC as DCWave
 
         target = None
@@ -410,20 +468,24 @@ class Simulator:
         if target is None:
             raise KeyError(f"no voltage source named {source_name!r}")
 
-        results: list[OperatingPoint] = []
+        sweep = np.asarray(values, dtype=float)
+        states = np.empty((self.system.size, len(sweep)))
         guess = initial
         original = self.circuit.vsources[target]
         try:
-            for value in values:
+            for p, value in enumerate(sweep):
                 self.circuit.vsources[target] = type(original)(
                     original.name, original.node_plus, original.node_minus, DCWave(float(value))
                 )
                 op = self.dc_operating_point(guess)
-                results.append(op)
+                for name, i in self.system.node_index.items():
+                    states[i, p] = op.voltages[name]
+                for k, src in enumerate(self.circuit.vsources):
+                    states[self.system.n_nodes + k, p] = op.source_currents[src.name]
                 guess = op.voltages
         finally:
             self.circuit.vsources[target] = original
-        return results
+        return states
 
     @obs.traced("spice.transient")
     def transient(
@@ -450,9 +512,19 @@ class Simulator:
                 if 0.0 < bp < t_stop:
                     grid.add(float(bp))
         times = np.array(sorted(grid))
+        # Merge near-coincident points: a stimulus breakpoint landing on
+        # (but not exactly equal to) an arange sample would otherwise
+        # produce a femto-scale step whose companion conductance
+        # ``2/h`` destroys the Jacobian's conditioning.
+        keep = np.ones(len(times), dtype=bool)
+        keep[1:] = np.diff(times) > dt * 1e-9
+        times = times[keep]
         obs.count("spice.transient.runs")
         obs.count("spice.transient.steps", len(times) - 1)
-        obs.count("spice.transient.breakpoint_refinements", len(times) - uniform_steps)
+        obs.count(
+            "spice.transient.breakpoint_refinements",
+            max(len(times) - uniform_steps, 0),
+        )
 
         op = self.dc_operating_point(initial)
         x = np.zeros(sys.size)
@@ -470,13 +542,23 @@ class Simulator:
         # Capacitor currents at the previous accepted point (0 at DC).
         i_cap_prev = np.zeros(len(self._caps))
 
+        # Batch the stimulus sampling over the whole time axis: one
+        # vectorized ``Waveform.sample`` per source instead of a scalar
+        # waveform call inside every Newton iteration.
+        stimulus = (
+            np.array([src.waveform.sample(times) for src in self.circuit.vsources])
+            if sys.n_sources
+            else np.zeros((0, n_steps))
+        )
+
         for step in range(1, n_steps):
             # Liveness mark for the isolation watchdog: each accepted
             # time step is progress (no-op outside isolated workers).
             task_heartbeat()
             use_trap = step > 1
             x, i_cap_prev = self._advance_step(
-                x, i_cap_prev, float(times[step - 1]), float(times[step]), use_trap
+                x, i_cap_prev, float(times[step - 1]), float(times[step]), use_trap,
+                src_values=stimulus[:, step],
             )
             volts[:, step] = x[: sys.n_nodes]
             src_currents[:, step] = x[sys.n_nodes :]
@@ -497,6 +579,7 @@ class Simulator:
         t1: float,
         use_trap: bool,
         depth: int = 0,
+        src_values: np.ndarray | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Advance the transient state from ``t0`` to ``t1``.
 
@@ -528,12 +611,15 @@ class Simulator:
                 ]
             )
         try:
-            x_new = self._solve(x, t=t1, geq=geq, cap_history=history)
+            x_new = self._solve(x, t=t1, geq=geq, cap_history=history,
+                                src_values=src_values)
         except ConvergenceError:
             if depth >= MAX_STEP_REFINEMENTS:
                 raise
             obs.count("resilience.retry.spice.timestep")
             t_mid = 0.5 * (t0 + t1)
+            # Refinement midpoints are off the sampled time grid, so
+            # the halves fall back to per-call waveform evaluation.
             x_mid, i_cap_mid = self._advance_step(
                 x, i_cap_prev, t0, t_mid, use_trap, depth + 1
             )

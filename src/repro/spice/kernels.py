@@ -1,0 +1,252 @@
+"""Vectorized MNA stamping kernels for the SPICE engine.
+
+The scalar reference path in :mod:`repro.spice.engine` stamps the
+Jacobian and residual one element at a time and calls the compact
+model five times per FinFET per Newton iteration (``ids`` plus the
+central-difference stencils of ``gm``/``gds``).  That python-loop +
+0-d-numpy pattern dominates every characterization sweep, so this
+module provides the batched alternative:
+
+* all linear stamps (resistors, ideal-source rows, the capacitor
+  companion pattern) are assembled **once** per simulator into
+  constant coefficient matrices — per iteration they contribute a
+  matrix copy and one mat-vec;
+* FinFET terminal voltages are gathered with precomputed index arrays,
+  evaluated through :meth:`CryoFinFET.ids_gm_gds` in one batched model
+  call per distinct parameter set, and scattered back into the
+  Jacobian with ``np.add.at`` on precomputed flat indices.
+
+Kernel selection is carried by :class:`SimulatorSettings` (default
+from :envvar:`REPRO_KERNEL`, ``vector`` unless overridden) so every
+result stays differentially checkable against the scalar reference —
+see ``tests/test_spice_kernels.py`` and ``docs/PERFORMANCE.md``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..device.bsimcmg import ids_core
+from .netlist import Circuit
+
+#: Kernel implementations selectable through ``REPRO_KERNEL``.
+VALID_KERNELS: tuple[str, ...] = ("scalar", "vector")
+
+#: Central-difference stencil step [V] — must match the default ``dv``
+#: of :meth:`CryoFinFET.gm`/:meth:`gds` so the vector path computes the
+#: same derivatives as the scalar reference.
+STENCIL_DV: float = 1e-4
+
+
+def default_kernel() -> str:
+    """The kernel the environment asks for (``vector`` by default)."""
+    kernel = os.environ.get("REPRO_KERNEL", "vector").strip().lower()
+    if kernel not in VALID_KERNELS:
+        raise ValueError(
+            f"REPRO_KERNEL must be one of {VALID_KERNELS}, got {kernel!r}"
+        )
+    return kernel
+
+
+@dataclass(frozen=True)
+class SimulatorSettings:
+    """Engine configuration independent of the circuit.
+
+    ``kernel`` selects the stamping implementation: ``"vector"`` (the
+    batched kernels in this module) or ``"scalar"`` (the per-element
+    reference path).  The default is read from :envvar:`REPRO_KERNEL`
+    at construction time so a CLI flag or test can flip the whole
+    process without threading an argument through every layer.
+    """
+
+    kernel: str = field(default_factory=default_kernel)
+
+    def __post_init__(self) -> None:
+        if self.kernel not in VALID_KERNELS:
+            raise ValueError(
+                f"kernel must be one of {VALID_KERNELS}, got {self.kernel!r}"
+            )
+
+
+class VectorStamper:
+    """Precomputed batched assembly of the MNA Jacobian and residual.
+
+    Built once per :class:`~repro.spice.engine.Simulator` (topology and
+    temperature are fixed per instance); :meth:`stamp` then produces
+    the same ``(jac, res)`` pair as the scalar reference loops, up to
+    floating-point summation order.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        system,
+        temperature_k: float,
+        caps: list[tuple[int, int, float]],
+    ):
+        self.circuit = circuit
+        self.temperature_k = temperature_k
+        nn = system.n_nodes
+        size = system.size
+        self.n_nodes = nn
+        self.size = size
+
+        # --- constant linear part: resistors + ideal-source rows -----
+        jac_lin = np.zeros((size, size))
+        for r in circuit.resistors:
+            a, b = system.idx(r.node_a), system.idx(r.node_b)
+            g = 1.0 / r.resistance
+            if a >= 0:
+                jac_lin[a, a] += g
+                if b >= 0:
+                    jac_lin[a, b] -= g
+            if b >= 0:
+                jac_lin[b, b] += g
+                if a >= 0:
+                    jac_lin[b, a] -= g
+        for k, src in enumerate(circuit.vsources):
+            p, m = system.idx(src.node_plus), system.idx(src.node_minus)
+            row = nn + k
+            if p >= 0:
+                jac_lin[p, row] += 1.0
+                jac_lin[row, p] += 1.0
+            if m >= 0:
+                jac_lin[m, row] -= 1.0
+                jac_lin[row, m] -= 1.0
+        self._jac_lin = jac_lin
+        self._diag = np.arange(nn)
+
+        # --- capacitor companion pattern (scaled by geq per step) ----
+        # ``caps`` is the simulator's resolved (node_a, node_b, C) list
+        # (explicit capacitors plus lumped device capacitances).
+        pat = np.zeros((size, size))
+        incidence = np.zeros((size, len(caps)))
+        for j, (a, b, c) in enumerate(caps):
+            if a >= 0:
+                pat[a, a] += c
+                incidence[a, j] += 1.0
+                if b >= 0:
+                    pat[a, b] -= c
+            if b >= 0:
+                pat[b, b] += c
+                incidence[b, j] -= 1.0
+                if a >= 0:
+                    pat[b, a] -= c
+        self._cap_pat = pat
+        self._cap_incidence = incidence
+
+        self._build_fet_index(system)
+
+    # ------------------------------------------------------------------
+    def _build_fet_index(self, system) -> None:
+        """Index arrays and parameter groups for the FinFET batch."""
+        size = self.size
+        ground = size
+        fets = self.circuit.finfets
+        n = len(fets)
+        d_idx = np.empty(n, dtype=np.intp)
+        g_idx = np.empty(n, dtype=np.intp)
+        s_idx = np.empty(n, dtype=np.intp)
+        for i, m in enumerate(fets):
+            for arr, node in ((d_idx, m.drain), (g_idx, m.gate), (s_idx, m.source)):
+                j = system.idx(node)
+                arr[i] = ground if j < 0 else j
+        self._d_idx, self._g_idx, self._s_idx = d_idx, g_idx, s_idx
+
+        # Temperature-resolved model parameters, stacked per device and
+        # tiled over the 5-point derivative stencil.  Computed once: the
+        # Newton hot path never touches the thermal model again.
+        if n:
+            per_device = [m.device.kernel_params(self.temperature_k) for m in fets]
+            self._kernel_params_5 = {
+                key: np.tile(np.array([kp[key] for kp in per_device]), 5)
+                for key in per_device[0]
+            }
+        else:
+            self._kernel_params_5 = {}
+
+        # Scatter plan.  Residual rows (node equations only):
+        d_node = d_idx < self.n_nodes
+        s_node = s_idx < self.n_nodes
+        self._res_d = d_idx[d_node]
+        self._res_d_sel = np.nonzero(d_node)[0]
+        self._res_s = s_idx[s_node]
+        self._res_s_sel = np.nonzero(s_node)[0]
+
+        # Jacobian entries, in the scalar loop's (row, col) kinds:
+        #   (d,g)+gm  (d,d)+gds  (d,s)-(gm+gds)
+        #   (s,g)-gm  (s,d)-gds  (s,s)+(gm+gds)
+        flat_parts: list[np.ndarray] = []
+        self._jac_kinds: list[tuple[int, np.ndarray]] = []
+        kinds = (
+            (d_idx, g_idx), (d_idx, d_idx), (d_idx, s_idx),
+            (s_idx, g_idx), (s_idx, d_idx), (s_idx, s_idx),
+        )
+        for kind, (rows, cols) in enumerate(kinds):
+            valid = (rows != ground) & (cols != ground)
+            sel = np.nonzero(valid)[0]
+            flat_parts.append(rows[sel] * size + cols[sel])
+            self._jac_kinds.append((kind, sel))
+        self._fet_flat = np.concatenate(flat_parts)
+
+    # ------------------------------------------------------------------
+    def stamp(
+        self,
+        x: np.ndarray,
+        t: float,
+        gmin: float,
+        geq: float = 0.0,
+        cap_history: np.ndarray | None = None,
+        src_values: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Assemble ``(jac, res)`` at state ``x`` and time ``t``.
+
+        ``src_values`` optionally provides pre-sampled source voltages
+        for this time point (the transient loop batches the waveform
+        sampling over the whole time axis up front); when absent the
+        waveforms are evaluated at ``t``.
+        """
+        nn = self.n_nodes
+        size = self.size
+
+        jac = self._jac_lin.copy()
+        jac[self._diag, self._diag] += gmin
+        if geq > 0.0:
+            jac += geq * self._cap_pat
+
+        # Linear residual: jac @ x minus the source excitation.
+        res = jac @ x
+        if src_values is None:
+            for k, src in enumerate(self.circuit.vsources):
+                res[nn + k] -= src.waveform(t)
+        else:
+            res[nn:] -= src_values
+        if geq > 0.0 and cap_history is not None and len(cap_history):
+            res += self._cap_incidence @ cap_history
+
+        # FinFET batch: gather terminal voltages, evaluate the whole
+        # circuit's 5-point stencil in ONE model call, scatter back.
+        if self.circuit.finfets:
+            x_aug = np.append(x, 0.0)
+            vgs = x_aug[self._g_idx] - x_aug[self._s_idx]
+            vds = x_aug[self._d_idx] - x_aug[self._s_idx]
+            n = len(self.circuit.finfets)
+            dv = STENCIL_DV
+            vg_st = np.concatenate([vgs, vgs + dv, vgs - dv, vgs, vgs])
+            vd_st = np.concatenate([vds, vds, vds, vds + dv, vds - dv])
+            i = ids_core(vg_st, vd_st, **self._kernel_params_5)
+            ids = i[:n]
+            gm = (i[n : 2 * n] - i[2 * n : 3 * n]) / (2.0 * dv)
+            gds = (i[3 * n : 4 * n] - i[4 * n : 5 * n]) / (2.0 * dv)
+            np.add.at(res, self._res_d, ids[self._res_d_sel])
+            np.subtract.at(res, self._res_s, ids[self._res_s_sel])
+            gsum = gm + gds
+            values_by_kind = (gm, gds, -gsum, -gm, -gds, gsum)
+            vals = np.concatenate(
+                [values_by_kind[kind][sel] for kind, sel in self._jac_kinds]
+            )
+            np.add.at(jac.reshape(-1), self._fet_flat, vals)
+        return jac, res

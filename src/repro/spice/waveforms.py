@@ -11,6 +11,8 @@ from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 
 class Waveform:
     """Base class: a scalar voltage as a function of time."""
@@ -22,6 +24,15 @@ class Waveform:
         """Times where the derivative changes (time-stepper hints)."""
         return ()
 
+    def sample(self, times: np.ndarray) -> np.ndarray:
+        """Vectorized evaluation over a time axis.
+
+        The transient engine batches all stimulus sampling through this
+        method once per run; subclasses override with a closed-form
+        array evaluation where one exists.
+        """
+        return np.array([self(float(t)) for t in np.asarray(times, dtype=float)])
+
 
 @dataclass(frozen=True)
 class DC(Waveform):
@@ -31,6 +42,9 @@ class DC(Waveform):
 
     def __call__(self, t: float) -> float:
         return self.value
+
+    def sample(self, times: np.ndarray) -> np.ndarray:
+        return np.full(np.asarray(times).shape, self.value, dtype=float)
 
 
 class PWL(Waveform):
@@ -62,6 +76,11 @@ class PWL(Waveform):
 
     def breakpoints(self) -> tuple[float, ...]:
         return self._times
+
+    def sample(self, times: np.ndarray) -> np.ndarray:
+        # np.interp holds the end values outside the defined range,
+        # matching the scalar SPICE ``PWL`` semantics of __call__.
+        return np.interp(np.asarray(times, dtype=float), self._times, self._values)
 
 
 def ramp(t_start: float, duration: float, v_from: float, v_to: float) -> PWL:

@@ -199,3 +199,55 @@ class TestModelProperties:
         device = CryoFinFET(default_nfet_5nm())
         lo, hi = sorted((t1, t2))
         assert device.off_current(VDD, lo) <= device.off_current(VDD, hi) * (1.0 + 1e-9)
+
+
+class TestSmallSignalArraySignatures:
+    """Regression: gm/gds/ids_gm_gds accept arrays (they were scalar-only)."""
+
+    def test_gm_accepts_arrays(self, nfet):
+        vgs = np.linspace(0.0, VDD, 11)
+        vds = np.full_like(vgs, 0.5)
+        gm = nfet.gm(vgs, vds, 300.0)
+        assert isinstance(gm, np.ndarray) and gm.shape == vgs.shape
+        scalar = [nfet.gm(float(g), 0.5, 300.0) for g in vgs]
+        np.testing.assert_allclose(gm, scalar, rtol=1e-12)
+
+    def test_gds_accepts_arrays(self, nfet):
+        vds = np.linspace(0.01, VDD, 11)
+        vgs = np.full_like(vds, VDD)
+        gds = nfet.gds(vgs, vds, 300.0)
+        assert isinstance(gds, np.ndarray) and gds.shape == vds.shape
+        scalar = [nfet.gds(VDD, float(d), 300.0) for d in vds]
+        np.testing.assert_allclose(gds, scalar, rtol=1e-12)
+
+    def test_gm_gds_broadcast_scalar_against_array(self, nfet):
+        vgs = np.linspace(0.0, VDD, 7)
+        np.testing.assert_allclose(
+            nfet.gm(vgs, 0.4, 300.0), nfet.gm(vgs, np.full_like(vgs, 0.4), 300.0)
+        )
+        np.testing.assert_allclose(
+            nfet.gds(0.6, vgs, 300.0), nfet.gds(np.full(7, 0.6), vgs, 300.0)
+        )
+
+    def test_scalar_inputs_return_floats(self, nfet):
+        assert isinstance(nfet.gm(0.5, 0.5, 77.0), float)
+        assert isinstance(nfet.gds(0.5, 0.5, 77.0), float)
+        ids, gm, gds = nfet.ids_gm_gds(0.5, 0.5, 77.0)
+        assert all(isinstance(v, float) for v in (ids, gm, gds))
+
+    @pytest.mark.parametrize("temperature", [300.0, 77.0, 10.0])
+    def test_ids_gm_gds_matches_reference_stencils(self, nfet, temperature):
+        vgs = np.linspace(0.0, VDD, 13)
+        vds = np.linspace(0.01, VDD, 13)
+        ids, gm, gds = nfet.ids_gm_gds(vgs, vds, temperature)
+        np.testing.assert_allclose(ids, nfet.ids(vgs, vds, temperature), rtol=1e-12)
+        np.testing.assert_allclose(gm, nfet.gm(vgs, vds, temperature), rtol=1e-12)
+        np.testing.assert_allclose(gds, nfet.gds(vgs, vds, temperature), rtol=1e-12)
+
+    def test_kernel_params_match_ids(self, nfet):
+        from repro.device.bsimcmg import ids_core
+
+        vgs, vds = 0.45, 0.3
+        direct = nfet.ids(vgs, vds, 77.0)
+        via_core = ids_core(vgs, vds, **nfet.kernel_params(77.0))
+        assert float(via_core) == direct

@@ -120,3 +120,74 @@ def test_nldm_interpolation_bounded_by_table(slew, load):
     arc = default_library(10.0)["NAND2x1"].arcs[0]
     value = arc.cell_rise.lookup(slew, load)
     assert arc.cell_rise.min_value() <= value <= arc.cell_rise.max_value()
+
+
+# ---------------------------------------------------------------------------
+# Cryogenic FinFET compact-model invariants.  The kernel differential
+# suite (tests/test_spice_kernels.py) pins vector == scalar; these pin
+# the physics of the shared ``ids_core`` formula itself.
+
+import numpy as np  # noqa: E402
+
+from repro.device import CryoFinFET, default_nfet_5nm, default_pfet_5nm  # noqa: E402
+
+_TEMPS = st.floats(min_value=4.0, max_value=400.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(temperature=_TEMPS, vds=st.floats(min_value=0.02, max_value=0.9))
+def test_ids_monotone_in_vgs(temperature, vds):
+    """At fixed V_ds > 0 the drain current never decreases with V_gs."""
+    dev = CryoFinFET(default_nfet_5nm())
+    vgs = np.linspace(0.0, 0.9, 91)
+    ids = np.asarray(dev.ids(vgs, np.full_like(vgs, vds), temperature))
+    assert np.all(np.diff(ids) >= 0.0)
+    assert ids[-1] > ids[0]  # and it actually turns on
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    temperature=_TEMPS,
+    vg=st.floats(min_value=-0.3, max_value=0.9),
+    vd=st.floats(min_value=-0.9, max_value=0.9),
+)
+def test_ids_drain_source_swap_antisymmetry(temperature, vg, vd):
+    """Swapping drain and source negates the current.
+
+    With the drain/source roles exchanged the terminal voltages become
+    ``vgs' = vg - vd`` and ``vds' = -vd``, and the same physical
+    current flows the other way: ``ids(vg, vd) = -ids(vg - vd, -vd)``.
+    Exact equality cannot hold in floating point ((vg - vd) + vd loses
+    a ULP), so the family is checked to a tight relative tolerance.
+    """
+    dev = CryoFinFET(default_nfet_5nm())
+    fwd = dev.ids(vg, vd, temperature)
+    swapped = dev.ids(vg - vd, -vd, temperature)
+    tol = 1e-9 * max(abs(fwd), abs(swapped)) + 1e-21
+    assert abs(fwd + swapped) <= tol
+
+
+@settings(max_examples=50, deadline=None)
+@given(temperature=_TEMPS, vds=st.floats(min_value=0.05, max_value=0.9))
+def test_gm_nonnegative_above_threshold(temperature, vds):
+    """Transconductance is non-negative for V_gs at/above threshold."""
+    dev = CryoFinFET(default_nfet_5nm())
+    vth = dev.threshold_voltage(temperature)
+    vgs = np.linspace(vth, 0.9, 41)
+    gm = np.asarray(dev.gm(vgs, np.full_like(vgs, vds), temperature))
+    assert np.all(gm >= 0.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(temperature=st.floats(min_value=4.0, max_value=77.0))
+def test_leakage_floor_never_freezes_out(temperature):
+    """|I_off| stays at/above the GIDL/junction floor down to 4 K.
+
+    The cryo literature's key deviation from pure thermionic scaling:
+    off-state leakage saturates at a temperature-independent floor
+    instead of freezing out exponentially.
+    """
+    for params in (default_nfet_5nm(), default_pfet_5nm()):
+        dev = CryoFinFET(params)
+        floor = params.ioff_floor_per_fin * params.nfin
+        assert dev.off_current(0.7, temperature) >= 0.9 * floor
