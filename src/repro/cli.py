@@ -11,7 +11,9 @@ Exposes the paper's pipeline the way a user drives ABC + SiliconSmart
 * ``compare``      — the Fig. 3 experiment on chosen circuits;
 * ``calibrate``    — the Fig. 1 measurement + model-fitting loop;
 * ``benchmarks``   — list the available EPFL generators;
-* ``report-trace`` — re-render a saved JSONL trace as a summary tree.
+* ``report-trace`` — re-render a saved JSONL trace as a summary tree;
+* ``ledger``       — inspect the persistent run ledger
+  (``list``/``show``/``compare``/``trend``).
 
 ``synthesize``, ``evaluate``, ``compare``, and ``calibrate`` accept
 ``--profile`` (print a span-tree profile after the run) and ``--trace
@@ -21,6 +23,13 @@ out.jsonl`` (stream the full trace to a file); see
 on-disk content-addressed cache, default ``~/.cache/repro``) and
 ``evaluate``/``compare`` take ``--jobs N`` for parallel experiment
 fan-out; see ``docs/ARCHITECTURE.md``.
+
+``synthesize`` and ``evaluate`` additionally append one distilled
+record per run (config fingerprint, per-stage wall times, cache and
+resilience counters, peak RSS) to the run ledger at ``$REPRO_LEDGER``
+(default ``.repro/ledger.jsonl``; ``--ledger PATH`` overrides,
+``--no-ledger`` or ``REPRO_LEDGER=off`` disables); see
+``docs/OBSERVABILITY.md``.
 
 ``synthesize`` and ``evaluate`` additionally accept ``--strict``
 (degraded results exit 2 instead of warning) and ``--faults PLAN`` (a
@@ -53,24 +62,70 @@ from pathlib import Path
 _RESUME_HINT: str | None = None
 
 
+def _ledger_target(args: argparse.Namespace):
+    """Where this command's ledger record goes; ``None`` when disabled."""
+    if not getattr(args, "_ledger_command", False):
+        return None
+    if getattr(args, "no_ledger", False):
+        return None
+    from .obs import ledger
+
+    return ledger.ledger_path(getattr(args, "ledger", None))
+
+
 @contextlib.contextmanager
 def _tracing(args: argparse.Namespace):
-    """Install a tracer when ``--trace``/``--profile`` ask for one."""
+    """Install a tracer when ``--trace``/``--profile``/the ledger need one.
+
+    Flow commands keep a tracer (plus the RSS/CPU resource monitor)
+    even without ``--trace``/``--profile``, because the run ledger
+    distills its record from the tracer; the tracing primitives are
+    cheap enough that this is free at flow granularity
+    (``docs/OBSERVABILITY.md``).  The record is appended in the exit
+    path with the run's final status, and a ledger write failure never
+    fails a run that already produced its results.
+    """
     trace_path = getattr(args, "trace", None)
     profile = getattr(args, "profile", False)
-    if not trace_path and not profile:
+    ledger_to = _ledger_target(args)
+    if not trace_path and not profile and ledger_to is None:
         yield
         return
     from . import obs
 
     sinks = [obs.JsonlSink(trace_path)] if trace_path else []
-    with obs.Tracer(sinks=sinks) as tracer:
+    tracer = obs.Tracer(sinks=sinks)
+    monitor = obs.ResourceMonitor(tracer) if ledger_to is not None else None
+    status = "ok"
+    tracer.install()
+    if monitor is not None:
+        monitor.start()
+    try:
         yield
-    if profile:
-        print()
-        print(tracer.render_summary())
-    if trace_path:
-        print(f"wrote trace to {trace_path}", file=sys.stderr)
+    except BaseException:
+        status = "error"
+        raise
+    finally:
+        if monitor is not None:
+            monitor.stop()
+        tracer.uninstall()
+        tracer.close()
+        if ledger_to is not None:
+            from .obs import ledger
+
+            with contextlib.suppress(Exception):
+                record = ledger.build_record(
+                    tracer,
+                    command=getattr(args, "command", "?"),
+                    config=_journal_config(args),
+                    status=status,
+                )
+                ledger.append(record, ledger_to)
+        if profile and status == "ok":
+            print()
+            print(tracer.render_summary())
+        if trace_path:
+            print(f"wrote trace to {trace_path}", file=sys.stderr)
 
 
 @contextlib.contextmanager
@@ -141,6 +196,7 @@ def _journal_config(args: argparse.Namespace) -> dict:
     excluded = {
         "func", "journal", "resume", "trace", "profile", "cache_dir",
         "faults", "jobs", "isolate", "json", "output", "report", "strict",
+        "ledger", "no_ledger",
     }
     return {
         key: value
@@ -223,6 +279,19 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
                         help="write a JSONL trace of the run")
     parser.add_argument("--profile", action="store_true",
                         help="print a span-tree profile after the run")
+
+
+def _add_ledger_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--ledger", metavar="PATH", default=None,
+        help="run-ledger file for this run's record (default: "
+             "$REPRO_LEDGER or .repro/ledger.jsonl)",
+    )
+    parser.add_argument(
+        "--no-ledger", action="store_true",
+        help="skip recording this run in the run ledger",
+    )
+    parser.set_defaults(_ledger_command=True)
 
 
 def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
@@ -495,6 +564,121 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _pick_record(records: list, index: int, what: str) -> dict:
+    try:
+        return records[index]
+    except IndexError:
+        print(
+            f"repro: error: no {what} record at index {index} "
+            f"({len(records)} record(s) in ledger)",
+            file=sys.stderr,
+        )
+        raise SystemExit(2) from None
+
+
+def _format_ledger_ts(ts) -> str:
+    import datetime
+
+    try:
+        return datetime.datetime.fromtimestamp(float(ts)).strftime("%Y-%m-%d %H:%M:%S")
+    except (TypeError, ValueError, OSError):
+        return "?"
+
+
+def _cmd_ledger(args: argparse.Namespace) -> int:
+    from .obs import ledger
+
+    path = ledger.ledger_path(args.ledger)
+    if path is None:
+        print("repro: error: ledger is disabled (REPRO_LEDGER)", file=sys.stderr)
+        return 2
+    records = ledger.read(path)
+    if args.ledger_action == "list":
+        if not records:
+            print(f"ledger {path}: no records")
+            return 0
+        shown = records[-args.last:] if args.last else records
+        base = len(records) - len(shown)
+        header = (
+            f"{'#':>4} {'when':19s} {'command':11s} {'status':7s}"
+            f" {'duration':>10} {'rss[MB]':>8}  config"
+        )
+        print(f"ledger {path}: {len(records)} record(s)")
+        print(header)
+        print("-" * len(header))
+        for offset, record in enumerate(shown):
+            rss = record.get("peak_rss_mb")
+            fingerprint = record.get("config_fingerprint") or ""
+            print(
+                f"{base + offset:>4} {_format_ledger_ts(record.get('ts')):19s}"
+                f" {str(record.get('command', '?')):11s}"
+                f" {str(record.get('status', '?')):7s}"
+                f" {record.get('duration_s', 0.0):9.2f}s"
+                f" {rss if rss is not None else float('nan'):8.1f}"
+                f"  {fingerprint[:12]}"
+            )
+        return 0
+    if args.ledger_action == "show":
+        import json
+
+        record = _pick_record(records, args.index, "ledger")
+        print(json.dumps(record, indent=2, sort_keys=True))
+        return 0
+    if args.ledger_action == "compare":
+        old = _pick_record(records, args.old, "old")
+        new = _pick_record(records, args.new, "new")
+        delta = ledger.compare(old, new)
+        if not delta["same_config"]:
+            print("note: comparing runs with different configs", file=sys.stderr)
+        print(
+            f"total: {delta['old_duration_s']:.2f}s -> "
+            f"{delta['new_duration_s']:.2f}s"
+            + (
+                f" ({delta['duration_delta']:+.1%})"
+                if delta["duration_delta"] is not None
+                else ""
+            )
+        )
+        if delta["new_peak_rss_mb"] is not None and delta["old_peak_rss_mb"]:
+            print(
+                f"peak rss: {delta['old_peak_rss_mb']:.1f} -> "
+                f"{delta['new_peak_rss_mb']:.1f} MB"
+            )
+        header = f"{'stage':34s} {'old[s]':>9} {'new[s]':>9} {'delta':>8}"
+        print(header)
+        print("-" * len(header))
+        worst = None
+        for row in delta["stages"]:
+            old_s = f"{row['old_s']:9.3f}" if row["old_s"] is not None else "        -"
+            new_s = f"{row['new_s']:9.3f}" if row["new_s"] is not None else "        -"
+            pct = f"{row['delta']:+8.1%}" if row["delta"] is not None else "       -"
+            print(f"{row['stage']:34s} {old_s} {new_s} {pct}")
+            if row["delta"] is not None and (worst is None or row["delta"] > worst):
+                worst = row["delta"]
+        for name, value in delta["counter_deltas"].items():
+            print(f"  {name}: {value:+g}")
+        if args.fail_over is not None and worst is not None and worst > args.fail_over:
+            print(
+                f"repro: error: worst stage slowdown {worst:+.1%} exceeds "
+                f"--fail-over {args.fail_over:.0%}",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+    # trend
+    series = ledger.trend(records, field=args.field, last=args.last or 20)
+    if not series:
+        print(f"ledger {path}: no records with field {args.field!r}")
+        return 0
+    for command, values in sorted(series.items()):
+        print(
+            f"{command:11s} {ledger.sparkline(values)}  "
+            f"last={values[-1]:.3g} min={min(values):.3g} max={max(values):.3g}"
+            f" n={len(values)}"
+        )
+    return 0
+
+
 def _cmd_report_trace(args: argparse.Namespace) -> int:
     from .obs import read_jsonl, render_summary
 
@@ -539,6 +723,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", "-J", type=int, default=1,
                    help="workers for the scenario fan-out")
     _add_obs_flags(p)
+    _add_ledger_flags(p)
     _add_kernel_flag(p)
     _add_cache_flag(p)
     _add_resilience_flags(p)
@@ -554,6 +739,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker threads for scenario fan-out")
     p.add_argument("--json", "-j", help="JSON results output path")
     _add_obs_flags(p)
+    _add_ledger_flags(p)
     _add_kernel_flag(p)
     _add_cache_flag(p)
     _add_resilience_flags(p)
@@ -591,6 +777,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("trace_file", help="trace written by --trace")
     p.add_argument("--top", type=int, default=12, help="counters to show")
     p.set_defaults(func=_cmd_report_trace)
+
+    p = sub.add_parser("ledger", help="inspect the persistent run ledger")
+    p.add_argument(
+        "--ledger", metavar="PATH", default=None,
+        help="ledger file (default: $REPRO_LEDGER or .repro/ledger.jsonl)",
+    )
+    lsub = p.add_subparsers(dest="ledger_action", required=True)
+    lp = lsub.add_parser("list", help="one line per recorded run")
+    lp.add_argument("--last", "-n", type=int, default=20,
+                    help="show only the most recent N records (0 = all)")
+    lp = lsub.add_parser("show", help="dump one record as JSON")
+    lp.add_argument("index", nargs="?", type=int, default=-1,
+                    help="record index (negative counts from the end; "
+                         "default: the latest)")
+    lp = lsub.add_parser("compare", help="per-stage deltas between two runs")
+    lp.add_argument("old", nargs="?", type=int, default=-2,
+                    help="older record index (default: second-latest)")
+    lp.add_argument("new", nargs="?", type=int, default=-1,
+                    help="newer record index (default: latest)")
+    lp.add_argument("--fail-over", type=float, metavar="FRAC", default=None,
+                    help="exit 1 if any stage slowed by more than FRAC "
+                         "(e.g. 0.25 = 25%%)")
+    lp = lsub.add_parser("trend", help="sparkline of a field across runs")
+    lp.add_argument("--field", default="duration_s",
+                    help="record field: duration_s, peak_rss_mb, or "
+                         "stages.<name> (default: duration_s)")
+    lp.add_argument("--last", "-n", type=int, default=20,
+                    help="points per command (default 20)")
+    p.set_defaults(func=_cmd_ledger)
     return parser
 
 

@@ -182,6 +182,7 @@ class FlowRunner:
                     f"have {sorted(artifacts)}"
                 )
             inputs = {name: artifacts[name] for name in stage.inputs}
+            stage_t0 = time.monotonic()
             try:
                 with obs.span(f"{self.span_prefix}.{stage.name}") as sp:
                     budget = self._stage_budget(stage, deadline)
@@ -218,6 +219,10 @@ class FlowRunner:
                     exc.add_note(f"while running flow stage {stage.name!r}")
                 obs.count(f"stage.error.{stage.name}")
                 raise
+            # Histogram (not just the span) so repeated stages across a
+            # fan-out yield percentiles, and the run ledger can track
+            # per-stage wall time without re-walking the span tree.
+            obs.observe(f"stage.wall_s.{stage.name}", time.monotonic() - stage_t0)
             artifacts[stage.output] = value
         return artifacts
 

@@ -18,9 +18,11 @@ See ``docs/OBSERVABILITY.md`` for the span taxonomy and the CLI
 surface (``--trace``, ``--profile``, ``repro report-trace``).
 """
 
+from . import ledger, telemetry
 from .parallel import effective_jobs, parallel_map
-from .sinks import InMemorySink, JsonlSink, Sink, read_jsonl
+from .sinks import InMemorySink, JsonlSink, Sink, TraceFormatWarning, read_jsonl
 from .summary import SummaryNode, build_summary, render_summary
+from .telemetry import ResourceMonitor
 from .tracer import (
     SpanRecord,
     Tracer,
@@ -44,7 +46,11 @@ __all__ = [
     "Sink",
     "InMemorySink",
     "JsonlSink",
+    "TraceFormatWarning",
     "read_jsonl",
+    "ResourceMonitor",
+    "telemetry",
+    "ledger",
     "SummaryNode",
     "build_summary",
     "render_summary",

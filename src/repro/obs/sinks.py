@@ -17,12 +17,23 @@ append-friendly, greppable, and diffable between runs.
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 from typing import Any, IO
 
 from .tracer import SpanRecord
 
-__all__ = ["Sink", "InMemorySink", "JsonlSink", "read_jsonl"]
+__all__ = [
+    "Sink",
+    "InMemorySink",
+    "JsonlSink",
+    "TraceFormatWarning",
+    "read_jsonl",
+]
+
+
+class TraceFormatWarning(UserWarning):
+    """A trace file contained lines that could not be parsed."""
 
 
 class Sink:
@@ -53,7 +64,15 @@ class InMemorySink(Sink):
 
 
 class JsonlSink(Sink):
-    """Streams the trace to a JSONL file (or any text stream)."""
+    """Streams the trace to a JSONL file (or any text stream).
+
+    ``close`` is idempotent end-to-end: the signal-driven flush path
+    (SIGINT/SIGTERM unwinding the CLI context stack) and the normal
+    tracer close can both reach it, and a borrowed stream may already
+    have been closed by its owner.  After the first close every
+    callback is a silent no-op — never a partial write or a
+    ``ValueError: I/O operation on closed file``.
+    """
 
     def __init__(self, target: str | Path | IO[str]):
         if hasattr(target, "write"):
@@ -62,51 +81,90 @@ class JsonlSink(Sink):
         else:
             self._stream = open(target, "w")
             self._owns = True
+        self._closed = False
+
+    def _write(self, line: str) -> None:
+        if self._closed or self._stream.closed:
+            return
+        self._stream.write(line + "\n")
 
     def on_span(self, record: SpanRecord) -> None:
-        self._stream.write(json.dumps(record.to_dict()) + "\n")
+        self._write(json.dumps(record.to_dict()))
 
     def on_metrics(self, snapshot: dict[str, Any]) -> None:
-        self._stream.write(json.dumps(snapshot) + "\n")
+        self._write(json.dumps(snapshot))
 
     def close(self) -> None:
-        self._stream.flush()
-        if self._owns and not self._stream.closed:
-            self._stream.close()
+        if self._closed:
+            return
+        self._closed = True
+        if not self._stream.closed:
+            self._stream.flush()
+            if self._owns:
+                self._stream.close()
 
 
 def read_jsonl(source: str | Path | IO[str]) -> tuple[list[SpanRecord], dict[str, Any]]:
     """Parse a JSONL trace back into span records + metrics snapshot.
 
     The inverse of :class:`JsonlSink`; powers ``repro report-trace``.
-    Unknown record types are skipped so the format can grow.
+    Unknown record types are skipped so the format can grow, and a
+    torn or malformed line (a run killed mid-write leaves a partial
+    tail; a metrics-only file has no spans at all) is skipped with a
+    :class:`TraceFormatWarning` instead of failing the whole report —
+    everything parseable is still returned.
     """
     if hasattr(source, "read"):
         lines = source.read().splitlines()  # type: ignore[union-attr]
     else:
-        lines = Path(source).read_text().splitlines()
+        lines = Path(source).read_text(errors="replace").splitlines()
     spans: list[SpanRecord] = []
     metrics: dict[str, Any] = {"type": "metrics", "counters": {}, "gauges": {},
                                "histograms": {}}
-    for line in lines:
+    skipped = 0
+    for lineno, line in enumerate(lines, start=1):
         line = line.strip()
         if not line:
             continue
-        obj = json.loads(line)
+        try:
+            obj = json.loads(line)
+        except ValueError:
+            skipped += 1
+            warnings.warn(
+                f"skipping malformed trace line {lineno} "
+                f"(torn tail from an interrupted run?)",
+                TraceFormatWarning,
+                stacklevel=2,
+            )
+            continue
+        if not isinstance(obj, dict):
+            skipped += 1
+            continue
         kind = obj.get("type")
         if kind == "span":
-            spans.append(
-                SpanRecord(
-                    span_id=obj["id"],
-                    parent_id=obj.get("parent"),
-                    name=obj["name"],
-                    start=obj["start"],
-                    duration=obj.get("duration"),
-                    attrs=obj.get("attrs", {}),
-                    counters=obj.get("counters", {}),
-                    status=obj.get("status", "ok"),
+            try:
+                spans.append(
+                    SpanRecord(
+                        span_id=obj["id"],
+                        parent_id=obj.get("parent"),
+                        name=obj["name"],
+                        start=obj["start"],
+                        duration=obj.get("duration"),
+                        attrs=obj.get("attrs", {}),
+                        counters=obj.get("counters", {}),
+                        status=obj.get("status", "ok"),
+                    )
                 )
-            )
+            except KeyError:
+                skipped += 1
+                warnings.warn(
+                    f"skipping span record at line {lineno} with missing fields",
+                    TraceFormatWarning,
+                    stacklevel=2,
+                )
         elif kind == "metrics":
             metrics = obj
+    if skipped:
+        metrics = dict(metrics)
+        metrics["skipped_lines"] = skipped
     return spans, metrics

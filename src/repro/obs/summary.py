@@ -142,8 +142,13 @@ def render_summary(
         lines.append("histograms")
         lines.append("-" * 44)
         for name, stats in sorted(hists.items()):
+            quantiles = " ".join(
+                f"{q}={stats[q]:.4g}"
+                for q in ("p50", "p95", "p99")
+                if q in stats  # older JSONL traces predate p99
+            )
             lines.append(
                 f"  {name:30s} n={stats['count']:<6d} mean={stats['mean']:.4g}"
-                f" p50={stats['p50']:.4g} p95={stats['p95']:.4g} max={stats['max']:.4g}"
+                f" {quantiles} max={stats['max']:.4g}"
             )
     return "\n".join(lines)

@@ -35,6 +35,7 @@ __all__ = [
     "SpanRecord",
     "Tracer",
     "current_tracer",
+    "reset_context",
     "span",
     "traced",
     "count",
@@ -184,12 +185,21 @@ class Tracer:
         self.close()
         return False
 
-    # -- spans ----------------------------------------------------------
-    def span(self, name: str, **attrs: Any) -> _ActiveSpan:
-        parent = _CURRENT_SPAN.get()
+    def elapsed(self) -> float:
+        """Seconds since this tracer's epoch (monotonic clock)."""
+        return time.perf_counter() - self._epoch
+
+    def _alloc_span_id(self) -> int:
+        """Reserve one span id (used by cross-process span grafting)."""
         with self._lock:
             span_id = self._next_id
             self._next_id += 1
+        return span_id
+
+    # -- spans ----------------------------------------------------------
+    def span(self, name: str, **attrs: Any) -> _ActiveSpan:
+        parent = _CURRENT_SPAN.get()
+        span_id = self._alloc_span_id()
         record = SpanRecord(
             span_id=span_id,
             parent_id=parent.span_id if parent is not None else None,
@@ -272,6 +282,7 @@ def _hist_stats(values: list[float]) -> dict[str, float]:
         "mean": sum(ordered) / n,
         "p50": ordered[n // 2],
         "p95": ordered[min(n - 1, (n * 95) // 100)],
+        "p99": ordered[min(n - 1, (n * 99) // 100)],
     }
 
 
@@ -282,6 +293,19 @@ def _hist_stats(values: list[float]) -> dict[str, float]:
 def current_tracer() -> Tracer | None:
     """The tracer installed in the current context, if any."""
     return _ACTIVE.get()
+
+
+def reset_context() -> None:
+    """Detach any inherited tracer/active span from this context.
+
+    A forked worker process inherits the parent's contextvars — tracer
+    *and* open span — but must not report into them: the parent objects
+    on its side of the fork are dead copies, and a child tracer
+    installed on top would silently parent its spans under the stale
+    inherited span.  Worker entry points call this first.
+    """
+    _ACTIVE.set(None)
+    _CURRENT_SPAN.set(None)
 
 
 def span(name: str, **attrs: Any):

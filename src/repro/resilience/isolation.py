@@ -42,9 +42,19 @@ end-to-end.
 Caveats: tasks and their arguments/results cross a process boundary,
 so ``fn`` must be a module-level callable and values must pickle
 (workers pre-pickle results and report unpicklable ones as failures
-instead of crashing).  Tracing spans opened inside a worker stay in
-the worker; only counters maintained by the supervisor (``isolation.*``)
-are visible to the parent's trace.
+instead of crashing).
+
+Telemetry (:mod:`repro.obs.telemetry`): when the supervisor has an
+active tracer, each dispatched task tells the worker to install a
+child tracer around the task body; the worker's completed spans and
+raw metrics ride back over the result pipe and are re-parented under
+a supervisor-side ``isolation.task`` span carrying the task's label —
+so ``--profile`` under ``--isolate process`` shows the same synthesis
+tree an in-process run would.  The watchdog's existing RSS polling
+additionally records the peak worker resident set as the
+``isolation.worker.peak_rss_mb`` gauge.  Spans of a worker that is
+killed (hang/RSS watchdog) or crashes are lost with the worker; its
+``isolation.task`` span is still recorded with ``status="error"``.
 """
 
 from __future__ import annotations
@@ -60,6 +70,7 @@ import time
 from typing import Any, Callable, Sequence
 
 from .. import obs
+from ..obs import telemetry
 from . import faults
 from .errors import (
     ParallelExecutionError,
@@ -162,6 +173,11 @@ def _worker_main(worker_id: int, fn: Callable, task_q, conn) -> None:
     global _worker_heartbeat
     with contextlib.suppress(Exception):
         signal.signal(signal.SIGINT, signal.SIG_IGN)
+    # Under a fork start method the worker inherits the supervisor's
+    # contextvars — including the open ``isolation.process_map`` span.
+    # Detach them so the per-task child tracer starts a fresh tree
+    # (otherwise its root span parents under a stale cross-process id).
+    obs.tracer.reset_context()
     _worker_heartbeat = conn
     with contextlib.suppress(Exception):
         conn.send(("beat",))  # ready beat: ends the supervisor's spawn grace
@@ -170,7 +186,7 @@ def _worker_main(worker_id: int, fn: Callable, task_q, conn) -> None:
         if task is None:
             conn.close()
             return
-        task_id, item, hang = task
+        task_id, item, hang, trace = task
         if hang:
             # Rigged ``parallel.hang``: stop making progress (no
             # heartbeats, no result) until the watchdog kills us.
@@ -178,11 +194,22 @@ def _worker_main(worker_id: int, fn: Callable, task_q, conn) -> None:
                 time.sleep(TICK_S)
         with contextlib.suppress(Exception):
             conn.send(("beat",))  # task received; the stall clock restarts
+        # ``trace`` mirrors "the supervisor has an active tracer": only
+        # then is a child tracer worth its bookkeeping — its spans and
+        # raw metrics ride home with the result and are re-parented
+        # under the dispatching task span (repro.obs.telemetry).
+        child = obs.Tracer() if trace else None
+        if child is not None:
+            child.install()
         try:
             payload = _encode_result(fn(item))
         except BaseException as exc:  # noqa: BLE001 — crossing process boundary
             payload = _encode_error(exc)
-        conn.send(("result", task_id, payload))
+        finally:
+            if child is not None:
+                child.uninstall()
+        task_telemetry = telemetry.snapshot(child) if child is not None else None
+        conn.send(("result", task_id, payload, task_telemetry))
 
 
 def _rss_mb(pid: int) -> float | None:
@@ -199,13 +226,16 @@ def _rss_mb(pid: int) -> float | None:
 # Supervisor side
 # ----------------------------------------------------------------------
 class _Task:
-    __slots__ = ("index", "item", "label", "attempts")
+    __slots__ = ("index", "item", "label", "attempts", "dispatched_at")
 
     def __init__(self, index: int, item: Any, label: str):
         self.index = index
         self.item = item
         self.label = label
         self.attempts = 0
+        #: Dispatch offset in the supervisor tracer's epoch [s]; used as
+        #: the start of this task's ``isolation.task`` span.
+        self.dispatched_at = 0.0
 
 
 class _Worker:
@@ -244,15 +274,16 @@ class _Worker:
                 self.last_beat = time.monotonic()
                 self.ready = True
                 if message[0] == "result":
-                    events_q.put((self.id, message[1], message[2]))
+                    telemetry_snap = message[3] if len(message) > 3 else None
+                    events_q.put((self.id, message[1], message[2], telemetry_snap))
         except Exception:  # noqa: BLE001 — EOF/truncated frame = worker gone
             pass
 
-    def dispatch(self, task: _Task, hang: bool) -> None:
+    def dispatch(self, task: _Task, hang: bool, trace: bool) -> None:
         self.task = task
         self.last_beat = time.monotonic()
         task.attempts += 1
-        self.task_q.put((task.index, task.item, hang))
+        self.task_q.put((task.index, task.item, hang, trace))
 
     def kill(self) -> None:
         with contextlib.suppress(Exception):
@@ -315,6 +346,8 @@ def process_map(
     n_workers = max(1, min(effective_jobs(jobs), len(items)))
     ctx = mp.get_context(_start_method())
     events_q: _queue.Queue = _queue.Queue()  # fed by per-worker readers
+    tracer = obs.current_tracer()  # telemetry forwarding on iff present
+    peak_rss_mb = 0.0
 
     tasks = [
         _Task(i, item, labels[i] if labels is not None else f"task[{i}]")
@@ -336,7 +369,9 @@ def process_map(
     def dispatch_to(worker: _Worker) -> None:
         task = queue.pop(0)
         hang = faults.should_fire("parallel.hang")
-        worker.dispatch(task, hang)
+        if tracer is not None:
+            task.dispatched_at = tracer.elapsed()
+        worker.dispatch(task, hang, tracer is not None)
 
     def fail_task(worker: _Worker, exc: ReproError) -> None:
         """Handle a worker-level failure: maybe retry, maybe record."""
@@ -344,6 +379,20 @@ def process_map(
         worker.task = None
         if task is None:
             return
+        if tracer is not None:
+            # The killed worker's spans died with it; the attempt is
+            # still visible as an error-status task span.
+            telemetry.record_task(
+                tracer,
+                parent_record,
+                task.label,
+                task.dispatched_at,
+                tracer.elapsed(),
+                status="error",
+                worker=worker.id,
+                attempt=task.attempts,
+                error=type(exc).__name__,
+            )
         if task.attempts <= retries:
             obs.count("isolation.task_retry")
             queue.insert(0, task)
@@ -375,7 +424,10 @@ def process_map(
             flush=True,
         )
 
-    with obs.span("isolation.process_map", jobs=n_workers, tasks=len(items)):
+    with obs.span("isolation.process_map", jobs=n_workers, tasks=len(items)) as sp:
+        # The dispatching span every forwarded worker tree parents under
+        # (None when tracing is disabled — sp is then the shared no-op).
+        parent_record = getattr(sp, "record", None)
         for _ in range(n_workers):
             spawn()
         try:
@@ -402,7 +454,7 @@ def process_map(
                 # task already requeued elsewhere, is dropped:
                 # accepting it could double-account the task.
                 try:
-                    worker_id, task_id, payload = events_q.get(timeout=TICK_S)
+                    worker_id, task_id, payload, tele = events_q.get(timeout=TICK_S)
                 except _queue.Empty:
                     pass
                 else:
@@ -412,14 +464,26 @@ def process_map(
                         and worker.task is not None
                         and worker.task.index == task_id
                     ):
+                        task = worker.task
                         worker.task = None
                         kind, value = pickle.loads(payload)
                         if kind == "ok":
                             results[task_id] = value
                         else:
-                            task = tasks[task_id]
                             failures[task_id] = _annotate(
                                 value, task.index, task.label
+                            )
+                        if tracer is not None:
+                            telemetry.record_task(
+                                tracer,
+                                parent_record,
+                                task.label,
+                                task.dispatched_at,
+                                tracer.elapsed(),
+                                status="ok" if kind == "ok" else "error",
+                                telemetry=tele,
+                                worker=worker_id,
+                                attempt=task.attempts,
                             )
                         if queue:
                             dispatch_to(worker)
@@ -457,9 +521,13 @@ def process_map(
                         worker.kill()
                         restart(worker)
                         continue
-                    if busy and max_rss_mb is not None:
+                    if busy and (max_rss_mb is not None or tracer is not None):
+                        # One /proc read per tick serves both the RSS
+                        # cap and the peak-RSS telemetry gauge.
                         rss = _rss_mb(worker.process.pid)
-                        if rss is not None and rss > max_rss_mb:
+                        if rss is not None:
+                            peak_rss_mb = max(peak_rss_mb, rss)
+                        if max_rss_mb is not None and rss is not None and rss > max_rss_mb:
                             obs.count("isolation.watchdog_kill")
                             obs.count("isolation.watchdog_kill.memory")
                             label = worker.task.label
@@ -476,6 +544,8 @@ def process_map(
                             worker.kill()
                             restart(worker)
         finally:
+            if peak_rss_mb > 0.0:
+                obs.gauge("isolation.worker.peak_rss_mb", peak_rss_mb)
             for worker in workers.values():
                 with contextlib.suppress(Exception):
                     worker.task_q.put(None)

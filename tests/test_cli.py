@@ -135,6 +135,30 @@ class TestObservabilityFlags:
             main(["report-trace", "/no/such/trace.jsonl"])
         assert exc.value.code == 2
 
+    def test_report_trace_tolerates_torn_tail(self, tmp_path, capsys):
+        # A run killed mid-write leaves a partial final line; the
+        # report must render everything parseable with a warning, not
+        # fail (docs/OBSERVABILITY.md).
+        trace = tmp_path / "run.jsonl"
+        assert main([
+            "synthesize", "ctrl", "--preset", "small", "--trace", str(trace),
+        ]) == 0
+        with open(trace, "a") as fh:
+            fh.write('{"type": "span", "id": 9999, "name": "torn')
+        capsys.readouterr()
+        with pytest.warns(Warning, match="malformed"):
+            assert main(["report-trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "flow.run" in out
+
+    def test_report_trace_metrics_only_file(self, tmp_path, capsys):
+        trace = tmp_path / "metrics-only.jsonl"
+        trace.write_text('{"type": "metrics", "counters": {"cache.hit": 2}}\n')
+        assert main(["report-trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "(no spans recorded)" in out
+        assert "cache.hit" in out
+
     def test_json_result_dump(self, tmp_path, capsys):
         import json
 

@@ -84,6 +84,27 @@ class TestMetrics:
         assert hist["min"] == 1.0 and hist["max"] == 4.0
         assert hist["mean"] == pytest.approx(2.5)
 
+    def test_histogram_percentiles(self):
+        with obs.Tracer() as tracer:
+            for v in range(1, 101):
+                obs.observe("lat", float(v))
+        hist = tracer.metrics_snapshot()["histograms"]["lat"]
+        assert hist["p50"] == 51.0
+        assert hist["p95"] == 96.0
+        assert hist["p99"] == 100.0
+        # Tiny samples clamp to the last element instead of failing.
+        with obs.Tracer() as tracer:
+            obs.observe("one", 3.5)
+        hist = tracer.metrics_snapshot()["histograms"]["one"]
+        assert hist["p50"] == hist["p95"] == hist["p99"] == 3.5
+
+    def test_percentiles_rendered_in_summary(self):
+        with obs.Tracer() as tracer:
+            for v in (1.0, 2.0, 3.0):
+                obs.observe("lat", v)
+        text = tracer.render_summary()
+        assert "p50=" in text and "p95=" in text and "p99=" in text
+
 
 class TestDisabled:
     def test_primitives_are_noops_without_tracer(self):
@@ -199,6 +220,63 @@ class TestJsonl:
                 obs.count("c")
         assert [s.name for s in sink.spans] == ["x"]
         assert sink.metrics["counters"] == {"c": 1}
+
+    def test_sink_close_is_idempotent_end_to_end(self, tmp_path):
+        # The signal path (CLI unwinding on SIGINT) and the tracer's
+        # own close can both reach Sink.close; the second close and any
+        # write after it must be silent no-ops.
+        path = tmp_path / "trace.jsonl"
+        sink = obs.JsonlSink(path)
+        tracer = obs.Tracer(sinks=[sink])
+        with tracer:
+            with obs.span("work"):
+                pass
+        sink.close()  # second close after the tracer already closed
+        tracer.close()  # tracer close is idempotent too
+        sink.on_span(tracer.spans[0])  # write-after-close: dropped
+        sink.on_metrics({"type": "metrics"})
+        spans, _ = obs.read_jsonl(path)
+        assert [s.name for s in spans] == ["work"]
+
+    def test_sink_borrowed_stream_closed_by_owner(self):
+        stream = io.StringIO()
+        sink = obs.JsonlSink(stream)
+        stream.close()  # owner closes first
+        sink.on_span(
+            obs.SpanRecord(span_id=1, parent_id=None, name="x", start=0.0)
+        )  # must not raise
+        sink.close()
+        sink.close()
+
+    def test_read_jsonl_tolerates_torn_tail(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with obs.Tracer(sinks=[obs.JsonlSink(path)]):
+            with obs.span("kept"):
+                pass
+        with open(path, "a") as fh:
+            fh.write('{"type": "span", "id": 99, "name": "torn"')  # no tail
+        with pytest.warns(obs.TraceFormatWarning, match="malformed"):
+            spans, metrics = obs.read_jsonl(path)
+        assert [s.name for s in spans] == ["kept"]
+        assert metrics["skipped_lines"] == 1
+
+    def test_read_jsonl_metrics_only_file(self, tmp_path):
+        # A run killed before any span completed leaves metrics only
+        # (or nothing); report-trace must still render it.
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"type": "metrics", "counters": {"c": 1}}\n')
+        spans, metrics = obs.read_jsonl(path)
+        assert spans == []
+        assert metrics["counters"] == {"c": 1}
+        assert "(no spans recorded)" in obs.render_summary(spans, metrics)
+
+    def test_read_jsonl_span_missing_fields_warns(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"type": "span", "id": 1}\n[1, 2]\n')
+        with pytest.warns(obs.TraceFormatWarning, match="missing fields"):
+            spans, metrics = obs.read_jsonl(path)
+        assert spans == []
+        assert metrics["skipped_lines"] == 2
 
 
 class TestSummary:
