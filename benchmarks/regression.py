@@ -1,12 +1,14 @@
-"""Kernel performance-regression gate.
+"""Kernel and STA performance-regression gate.
 
-``kernels.py`` produces a trajectory of ``BENCH_kernels.json``
-artifacts; this module turns the trajectory into a *gate*: a committed
-baseline (``benchmarks/BENCH_baseline.json``) plus a checker that
-compares a fresh run against it and exits nonzero when a kernel got
-slower than the tolerance allows.  CI's bench-regression job runs it on
-every change, so a perf regression fails the build instead of being
-discovered three PRs later in the archived JSON.
+``kernels.py`` and ``sta.py`` produce trajectories of
+``BENCH_kernels.json``/``BENCH_sta.json`` artifacts; this module turns
+the trajectory into a *gate*: a committed baseline
+(``benchmarks/BENCH_baseline.json``, one merged report covering both
+suites) plus a checker that compares a fresh run against it and exits
+nonzero when a section got slower than the tolerance allows.  CI's
+bench-regression job runs it on every change, so a perf regression
+fails the build instead of being discovered three PRs later in the
+archived JSON.
 
 Raw wall times are not comparable across machines, so the baseline
 embeds a **calibration** measurement — a fixed pure-Python workload
@@ -165,6 +167,25 @@ def check(
     return findings, failures
 
 
+def run_full_suite(repeats: int) -> dict:
+    """One merged report across both benchmark suites.
+
+    The kernel and STA runners keep their own artifacts and schemas;
+    the gate compares the union of their sections, so a regression in
+    either suite fails the same build.
+    """
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from kernels import run_benchmarks as run_kernel_benchmarks
+    from sta import run_benchmarks as run_sta_benchmarks
+
+    report = run_kernel_benchmarks(repeats)
+    sta_report = run_sta_benchmarks(repeats)
+    report["results"].update(sta_report["results"])
+    report["counters"].update(sta_report["counters"])
+    report["default_engine"] = sta_report["default_engine"]
+    return report
+
+
 def make_baseline(report: dict, calibration: float, tolerances: dict | None = None) -> dict:
     return {
         "schema": BASELINE_SCHEMA,
@@ -195,8 +216,8 @@ def main(argv=None) -> int:
     parser.add_argument("--baseline", default=str(DEFAULT_BASELINE),
                         help="committed baseline JSON (default: %(default)s)")
     parser.add_argument("--current", default=None, metavar="BENCH.json",
-                        help="reuse an existing kernels report instead of "
-                             "running the benchmarks")
+                        help="reuse an existing benchmark report instead of "
+                             "running the suites")
     parser.add_argument("--repeats", type=int, default=3,
                         help="best-of repeats for a fresh benchmark run")
     parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
@@ -215,10 +236,7 @@ def main(argv=None) -> int:
     if args.current:
         report = json.loads(Path(args.current).read_text())
     else:
-        sys.path.insert(0, str(Path(__file__).resolve().parent))
-        from kernels import run_benchmarks
-
-        report = run_benchmarks(args.repeats)
+        report = run_full_suite(args.repeats)
     if args.output:
         Path(args.output).write_text(
             json.dumps(report, indent=2, sort_keys=True) + "\n"
@@ -229,7 +247,17 @@ def main(argv=None) -> int:
     print(f"[gate] calibration workload: {calibration * 1e3:.2f} ms")
 
     if args.rebaseline:
-        baseline = make_baseline(report, calibration)
+        # Per-section tolerance overrides are curated by hand; carry
+        # them across rebaselines instead of resetting to defaults.
+        tolerances = {}
+        if Path(args.baseline).exists():
+            try:
+                tolerances = json.loads(
+                    Path(args.baseline).read_text()
+                ).get("tolerances") or {}
+            except ValueError:
+                pass
+        baseline = make_baseline(report, calibration, tolerances)
         Path(args.baseline).write_text(
             json.dumps(baseline, indent=2, sort_keys=True) + "\n"
         )

@@ -41,7 +41,7 @@ from ..mapping.techmap import TechnologyMapper
 from ..resilience.guards import netlist_guard, synthesis_guard
 from ..resilience.journal import RunJournal, artifact_digest
 from ..sta.power import PowerAnalyzer, PowerReport
-from ..sta.timing import SignoffConfig, StaticTimingAnalyzer
+from ..sta.timing import SignoffConfig, StaticTimingAnalyzer, TimingReport
 from ..synth.aig import AIG
 from ..synth.scripts import ScriptReport, compress2rs, power_aware_restructure
 from .artifacts import ArtifactCache, cache_key
@@ -72,6 +72,10 @@ class FlowResult:
     num_gates: int
     #: Filled by :meth:`CryoSynthesisFlow.signoff_power`.
     power: PowerReport | None = None
+    #: The signoff STA report of the mapped netlist (critical path,
+    #: per-PO arrivals, net loads/slews); reused by power signoff so
+    #: timing is computed once per run.
+    timing: TimingReport | None = None
     #: Per-pass size/depth trajectory of stages 1–2 (``stage/pass``
     #: labels), surfaced in :meth:`to_dict` for ``--json`` output.
     opt_trace: tuple[TraceStep, ...] | None = None
@@ -106,6 +110,8 @@ class FlowResult:
             "aig_nodes": self.optimized_aig.num_ands,
             "aig_depth": self.optimized_aig.depth(),
         }
+        if self.timing is not None:
+            out["timing"] = self.timing.to_dict()
         if self.power is not None:
             out["power"] = {
                 "total_w": self.power.total,
@@ -320,6 +326,7 @@ class CryoSynthesisFlow:
             critical_delay=artifacts["timing"].max_delay,
             area=netlist.total_area(self.library),
             num_gates=netlist.num_gates,
+            timing=artifacts["timing"],
             opt_trace=trace,
             degraded=tuple(self.library.degraded_arcs()),
             guard_violations=tuple(runner.guard_violations),
@@ -339,7 +346,8 @@ class CryoSynthesisFlow:
             analyzer = PowerAnalyzer.from_context(
                 self.context, result.netlist, vectors=vectors, seed=seed
             )
-            result.power = analyzer.analyze(clock_period)
+            # Loads/slews were already analyzed by the flow's STA stage.
+            result.power = analyzer.analyze(clock_period, timing=result.timing)
         return result.power
 
 

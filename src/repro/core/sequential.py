@@ -124,7 +124,10 @@ def run_sequential(
     netlist = result.netlist
 
     flop = pick_flop(library, flop_drive)
-    timing = StaticTimingAnalyzer(netlist, library, config).analyze()
+    # The flow above already signed off timing with this config.
+    timing = result.timing
+    if timing is None:
+        timing = StaticTimingAnalyzer(netlist, library, config).analyze()
 
     # Registered-path components.
     clk_arc = next(a for a in flop.arcs if a.timing_type == "rising_edge")
@@ -161,7 +164,7 @@ def run_sequential(
     clock_period = max(min_period * 1.05, 1e-12)
 
     core_power = PowerAnalyzer(netlist, library, config, vectors=vectors).analyze(
-        clock_period
+        clock_period, timing=timing
     )
 
     # Register power: per-flop internal energy per clock edge at the

@@ -93,9 +93,14 @@ def size_gates(
         netlist.name, list(netlist.pi_nets), list(netlist.po_nets), gates
     )
 
+    # One analyzer across all passes: with the graph engine, the
+    # in-place cell swaps below are absorbed by ``sync`` and each pass
+    # after the first is an incremental retime of the changed cones
+    # instead of a full-netlist STA (``sta.incremental_hits`` counts
+    # them).
+    sta = StaticTimingAnalyzer(current, library, config)
     for _ in range(max_passes):
         report.passes += 1
-        sta = StaticTimingAnalyzer(current, library, config)
         timing = sta.analyze()
         changes = 0
         for index, gate in enumerate(current.gates):

@@ -74,6 +74,9 @@ _COUNTER_PREFIXES = (
     "charlib.arc.degraded",
     "spice.kernel.",
     "charlib.spice.kernel.",
+    # STA engine health: incremental-vs-full retime mix and query
+    # volume, so ``repro ledger compare`` surfaces timing-path drift.
+    "sta.",
 )
 
 

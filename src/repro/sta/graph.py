@@ -1,0 +1,625 @@
+"""Array-based levelized timing graph with incremental retiming.
+
+The legacy engine in :mod:`repro.sta.timing` walks python dicts gate by
+gate and re-runs a *full* netlist propagation for every query — the
+stated blocker for EPFL-scale mapping sweeps, where sizing and cost
+evaluation issue thousands of timing queries against nearly identical
+netlists.  :class:`TimingGraph` compiles a
+:class:`~repro.mapping.netlist.MappedNetlist` + characterized
+:class:`~repro.charlib.nldm.Library` **once** into flat NumPy state:
+
+* CSR-style fanin/fanout index arrays (net ids, per-gate arc slices,
+  per-net sink slices, driver map);
+* per-level gate batches (every gate at topological level *L* is timed
+  in one vectorized step once level *L−1* settled);
+* packed NLDM tables (:class:`~repro.sta.interp.PackedTables`) for the
+  whole library, looked up through the batched bilinear kernel.
+
+On top of the compiled graph, :meth:`retime` provides **incremental
+STA**: :meth:`set_cell` records a drive-strength swap, and the next
+retime re-propagates only the downstream cone of the changed gates plus
+the upstream load-change ripple (a resized gate changes the pin
+capacitance its fanin drivers see).  Propagation stops as soon as a
+recomputed gate reproduces its previous arrival *and* slew exactly, so
+a ``retime`` is bit-identical to an analysis from scratch — the
+invariant ``tests/test_sta_graph.py`` checks over randomized edit
+sequences.
+
+Every elementwise operation replays the legacy engine's arithmetic in
+the same order, so graph and legacy reports agree bit-for-bit; the
+engine is selected per analyzer via :envvar:`REPRO_STA`
+(``graph`` by default, ``legacy`` kept as the differential reference,
+mirroring ``REPRO_KERNEL`` in :mod:`repro.spice.kernels`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import obs
+from ..charlib.nldm import Library
+from ..mapping.netlist import MappedNetlist
+from .interp import PackedTables
+
+__all__ = ["TimingGraph"]
+
+#: At or below this many arcs per batch, scalar per-arc evaluation
+#: beats the vectorized kernel's fixed NumPy call overhead (both are
+#: bit-identical, so the crossover is purely a speed knob; measured
+#: optimum on the benchgen suite).
+_SCALAR_CUTOFF = 4
+
+
+class TimingGraph:
+    """Levelized vectorized STA engine over a mapped netlist.
+
+    The graph snapshots the netlist *structure* (gates, pins, nets) at
+    construction; only cell assignments may change afterwards, through
+    :meth:`set_cell` (or :meth:`sync` against a structurally identical
+    netlist).  Arrival/slew/load state lives in flat float64 arrays
+    indexed by interned net id.
+    """
+
+    def __init__(self, netlist: MappedNetlist, library: Library, config=None):
+        from .timing import SignoffConfig
+
+        self.netlist = netlist
+        self.library = library
+        self.config = config or SignoffConfig()
+        with obs.span("sta.graph_build", design=netlist.name,
+                      gates=netlist.num_gates):
+            self._compile()
+        obs.count("sta.graph_builds")
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def _compile(self) -> None:
+        netlist = self.netlist
+        library = self.library
+
+        # --- net interning ------------------------------------------------
+        net_id: dict[str, int] = {}
+        names: list[str] = []
+
+        def intern(net: str) -> int:
+            nid = net_id.get(net)
+            if nid is None:
+                nid = len(names)
+                net_id[net] = nid
+                names.append(net)
+            return nid
+
+        for net in netlist.pi_nets:
+            intern(net)
+
+        gates = netlist.gates
+        G = len(gates)
+        self._gate_names = [g.name for g in gates]
+        self._gate_output_pin = [g.output_pin for g in gates]
+        self._gate_pins: list[tuple[tuple[str, int], ...]] = []
+        self._cells = [library[g.cell] for g in gates]
+        gate_out = np.empty(G, dtype=np.intp)
+        for gi, gate in enumerate(gates):
+            self._gate_pins.append(
+                tuple((pin, intern(net)) for pin, net in gate.pins.items())
+            )
+            gate_out[gi] = intern(gate.output_net)
+        self._gate_out = gate_out
+        self._net_names = names
+        self._net_id = net_id
+        N = len(names)
+        self._num_nets = N
+        self._sorted_net_ids = sorted(range(N), key=names.__getitem__)
+        self._num_pis = len(netlist.pi_nets)
+
+        # --- primary outputs ---------------------------------------------
+        self._po_ids = [net_id[n] for n in netlist.po_nets if n in net_id]
+        self._po_set = set(self._po_ids)
+        self._po_unique = np.array(sorted(self._po_set), dtype=np.intp)
+
+        # --- drivers and levels ------------------------------------------
+        driver_of = np.full(N, -1, dtype=np.intp)
+        net_level = np.zeros(N, dtype=np.intp)
+        gate_level = np.zeros(G, dtype=np.intp)
+        for gi in range(G):
+            lvl = 0
+            for _, nid in self._gate_pins[gi]:
+                if net_level[nid] > lvl:
+                    lvl = net_level[nid]
+            lvl += 1
+            gate_level[gi] = lvl
+            net_level[gate_out[gi]] = lvl
+            driver_of[gate_out[gi]] = gi
+        self._driver_of = driver_of
+        self._gate_level = gate_level
+        max_level = int(gate_level.max()) if G else 0
+        self._levels: list[np.ndarray] = [
+            np.array([], dtype=np.intp) for _ in range(max_level + 1)
+        ]
+        by_level: dict[int, list[int]] = {}
+        for gi in range(G):
+            by_level.setdefault(int(gate_level[gi]), []).append(gi)
+        for lvl, members in by_level.items():
+            self._levels[lvl] = np.array(members, dtype=np.intp)
+
+        # --- sink structure (load computation) ---------------------------
+        # Gate-major sink order replays the legacy ``netlist.loads()``
+        # iteration, so per-net capacitance accumulation happens in the
+        # exact same float-addition sequence as the reference engine.
+        sink_net: list[int] = []
+        sink_pin: list[str] = []
+        sink_gate: list[int] = []
+        gate_sink_start = np.empty(G + 1, dtype=np.intp)
+        for gi in range(G):
+            gate_sink_start[gi] = len(sink_net)
+            for pin, nid in self._gate_pins[gi]:
+                sink_net.append(nid)
+                sink_pin.append(pin)
+                sink_gate.append(gi)
+        gate_sink_start[G] = len(sink_net)
+        self._sink_net = np.array(sink_net, dtype=np.intp)
+        self._sink_pin = sink_pin
+        self._gate_sink_start = gate_sink_start
+        self._sink_cap = np.empty(len(sink_net), dtype=float)
+        for gi in range(G):
+            caps = self._cells[gi].input_caps
+            for pos in range(gate_sink_start[gi], gate_sink_start[gi + 1]):
+                self._sink_cap[pos] = caps.get(sink_pin[pos], 0.0)
+
+        net_sinks: list[list[int]] = [[] for _ in range(N)]
+        for pos, nid in enumerate(sink_net):
+            net_sinks[nid].append(pos)
+        self._net_sinks = [np.array(p, dtype=np.intp) for p in net_sinks]
+        self._net_fanout = np.array([len(p) for p in net_sinks], dtype=float)
+        sink_gates: list[list[int]] = [[] for _ in range(N)]
+        for pos, nid in enumerate(sink_net):
+            gi = sink_gate[pos]
+            if not sink_gates[nid] or sink_gates[nid][-1] != gi:
+                sink_gates[nid].append(gi)
+        self._net_sink_gates = sink_gates
+
+        # --- packed NLDM tables for the whole library --------------------
+        # Packing every cell (not just the mapped ones) makes any
+        # within-family drive-strength swap a pure index update.
+        self._tables = PackedTables()
+        self._arc_tids: dict[tuple[str, str, str], tuple[int, int, int, int]] = {}
+        for cell in library.cells.values():
+            for arc in cell.arcs:
+                self._arc_tids[(cell.name, arc.related_pin, arc.output_pin)] = (
+                    self._tables.add(arc.cell_rise),
+                    self._tables.add(arc.cell_fall),
+                    self._tables.add(arc.rise_transition),
+                    self._tables.add(arc.fall_transition),
+                )
+        self._tables.finalize()
+
+        self._build_arcs()
+
+        # --- mutable analysis state --------------------------------------
+        self._load: np.ndarray | None = None
+        self._arr: np.ndarray | None = None
+        self._slew: np.ndarray | None = None
+        self._from_arc: np.ndarray | None = None
+        self._report = None
+        self._pending: set[int] = set()
+        self._dirty_load_nets: set[int] = set()
+        self._needs_rebuild = False
+
+    def _build_arcs(self) -> None:
+        """(Re)build the level-ordered arc arrays from current cells."""
+        G = len(self._cells)
+        arc_src: list[int] = []
+        arc_gate: list[int] = []
+        arc_pin: list[str] = []
+        arc_tid: list[tuple[int, int, int, int]] = []
+        gate_arc_start = np.zeros(G + 1, dtype=np.intp)
+        order = [gi for level in self._levels for gi in level]
+        start_of = np.zeros(G, dtype=np.intp)
+        end_of = np.zeros(G, dtype=np.intp)
+        for gi in order:
+            cell = self._cells[gi]
+            out_pin = self._gate_output_pin[gi]
+            start_of[gi] = len(arc_src)
+            for pin, nid in self._gate_pins[gi]:
+                tids = self._arc_tids.get((cell.name, pin, out_pin))
+                if tids is None:
+                    continue  # non-controlling pin (no arc)
+                arc_src.append(nid)
+                arc_gate.append(gi)
+                arc_pin.append(pin)
+                arc_tid.append(tids)
+            end_of[gi] = len(arc_src)
+        gate_arc_start[:G] = start_of
+        self._arc_src = np.array(arc_src, dtype=np.intp)
+        self._arc_gate = np.array(arc_gate, dtype=np.intp)
+        self._arc_out_net = (
+            self._gate_out[self._arc_gate]
+            if arc_gate
+            else np.empty(0, dtype=np.intp)
+        )
+        self._arc_pin = arc_pin
+        self._arc_tid = (
+            np.array(arc_tid, dtype=np.intp)
+            if arc_tid
+            else np.empty((0, 4), dtype=np.intp)
+        )
+        self._gate_arc_start = start_of
+        self._gate_arc_end = end_of
+        self.num_arcs = len(arc_src)
+
+    # ------------------------------------------------------------------
+    # Loads
+    # ------------------------------------------------------------------
+    def _compute_all_loads(self) -> np.ndarray:
+        cfg = self.config
+        load = np.full(
+            self._num_nets, cfg.wire_cap_base, dtype=float
+        ) + cfg.wire_cap_per_fanout * self._net_fanout
+        # ``np.add.at`` accumulates sequentially in index order, i.e.
+        # per net in gate-major order — the legacy summation sequence.
+        np.add.at(load, self._sink_net, self._sink_cap)
+        load[self._po_unique] += cfg.output_load
+        return load
+
+    def _compute_one_load(self, nid: int) -> float:
+        cfg = self.config
+        positions = self._net_sinks[nid]
+        total = np.float64(
+            cfg.wire_cap_base + cfg.wire_cap_per_fanout * len(positions)
+        )
+        for pos in positions:
+            total = total + self._sink_cap[pos]
+        if nid in self._po_set:
+            total = total + cfg.output_load
+        return float(total)
+
+    # ------------------------------------------------------------------
+    # Vectorized gate evaluation
+    # ------------------------------------------------------------------
+    def _eval_gates(
+        self, gates: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Re-time ``gates`` against current arrival/slew/load state.
+
+        Returns ``(arrival, slew, from_arc)`` aligned with ``gates``;
+        ``from_arc`` is a global arc index or ``-1``.
+        """
+        cfg = self.config
+        n = len(gates)
+        arr_out = np.zeros(n, dtype=float)
+        slew_out = np.full(n, cfg.input_slew, dtype=float)
+        from_out = np.full(n, -1, dtype=np.intp)
+
+        starts = self._gate_arc_start[gates]
+        ends = self._gate_arc_end[gates]
+        counts = ends - starts
+        has = counts > 0
+        if not has.any():
+            return arr_out, slew_out, from_out
+        starts_h = starts[has]
+        counts_h = counts[has]
+        total = int(counts_h.sum())
+        if total <= _SCALAR_CUTOFF:
+            # Tiny batch (a narrow retime cone level): per-call NumPy
+            # overhead dwarfs the work, so evaluate arc-by-arc — the
+            # scalar lookup is bit-identical to the batched kernel.
+            self._eval_gates_scalar(gates, starts, ends, arr_out, slew_out, from_out)
+            return arr_out, slew_out, from_out
+        offsets = np.concatenate(([0], np.cumsum(counts_h)[:-1]))
+        idx = np.arange(total) + np.repeat(starts_h - offsets, counts_h)
+
+        src = self._arc_src[idx]
+        in_arr = self._arr[src]
+        in_slew = self._slew[src]
+        load = self._load[self._arc_out_net[idx]]
+        tid = self._arc_tid[idx]
+        # One batched lookup covering all four table kinds of every arc
+        # (rise/fall delay, rise/fall transition).
+        quad = self._tables.lookup(
+            tid.T.reshape(-1), np.tile(in_slew, 4), np.tile(load, 4)
+        ).reshape(4, total)
+        delay = np.maximum(quad[0], quad[1])
+        o_slew = np.maximum(quad[2], quad[3])
+        cand = in_arr + delay
+
+        best = np.maximum.reduceat(cand, offsets)
+        seg = np.repeat(np.arange(len(starts_h)), counts_h)
+        # First arc attaining the per-gate max — the legacy engine's
+        # strict ``candidate > best`` update rule.
+        pos = np.where(cand == best[seg], np.arange(total), total)
+        first = np.minimum.reduceat(pos, offsets)
+        win = best > 0.0
+        arr_out[has] = np.where(win, best, 0.0)
+        slew_out[has] = np.where(win, o_slew[first], cfg.input_slew)
+        from_out[has] = np.where(win, idx[first], -1)
+        return arr_out, slew_out, from_out
+
+    def _eval_gates_scalar(
+        self, gates, starts, ends, arr_out, slew_out, from_out
+    ) -> None:
+        """Arc-by-arc evaluation into the preallocated output arrays.
+
+        Replays the legacy per-gate loop (strict ``candidate > best``
+        from a 0.0 floor) with scalar NLDM lookups — bit-identical to
+        the batched path, minus its fixed overhead.
+        """
+        cfg = self.config
+        arr = self._arr
+        slw = self._slew
+        loads = self._load
+        table = self._tables.table
+        arc_src = self._arc_src
+        arc_out = self._arc_out_net
+        arc_tid = self._arc_tid
+        for k in range(len(gates)):
+            best = 0.0
+            best_slew = cfg.input_slew
+            best_arc = -1
+            for a in range(starts[k], ends[k]):
+                src = arc_src[a]
+                in_slew = float(slw[src])
+                load = float(loads[arc_out[a]])
+                t0, t1, t2, t3 = arc_tid[a]
+                delay = max(
+                    table(t0).lookup(in_slew, load),
+                    table(t1).lookup(in_slew, load),
+                )
+                candidate = float(arr[src]) + delay
+                if candidate > best:
+                    best = candidate
+                    best_slew = max(
+                        table(t2).lookup(in_slew, load),
+                        table(t3).lookup(in_slew, load),
+                    )
+                    best_arc = a
+            arr_out[k] = best
+            slew_out[k] = best_slew
+            from_out[k] = best_arc
+
+    def _apply(self, gates: np.ndarray) -> np.ndarray:
+        """Evaluate ``gates``, commit results, return changed mask."""
+        arr, slw, frm = self._eval_gates(gates)
+        out_nets = self._gate_out[gates]
+        changed = (arr != self._arr[out_nets]) | (slw != self._slew[out_nets])
+        self._arr[out_nets] = arr
+        self._slew[out_nets] = slw
+        self._from_arc[gates] = frm
+        return changed
+
+    # ------------------------------------------------------------------
+    # Full analysis
+    # ------------------------------------------------------------------
+    def analyze(self):
+        """Full propagation from scratch; returns a TimingReport."""
+        self._full_update()
+        return self.report()
+
+    def _full_update(self) -> None:
+        """Full propagation from scratch (state only, no report)."""
+        cfg = self.config
+        if self._needs_rebuild:
+            self._build_arcs()
+            self._needs_rebuild = False
+        self._load = self._compute_all_loads()
+        self._arr = np.zeros(self._num_nets, dtype=float)
+        self._slew = np.full(self._num_nets, cfg.input_slew, dtype=float)
+        self._from_arc = np.full(len(self._cells), -1, dtype=np.intp)
+        for gates in self._levels[1:]:
+            if len(gates):
+                self._apply(gates)
+        self._pending.clear()
+        self._dirty_load_nets.clear()
+        self._report = None
+        if obs.current_tracer() is not None:
+            obs.count("sta.timing_queries")
+            obs.count("sta.full_retimes")
+            obs.count("sta.arc_lookups", self.num_arcs)
+            obs.count("sta.gates_analyzed", len(self._cells))
+
+    # ------------------------------------------------------------------
+    # Incremental editing
+    # ------------------------------------------------------------------
+    def set_cell(self, gate_index: int, cell_name: str) -> None:
+        """Swap one gate's cell (same pin structure) for the next retime.
+
+        A swap whose timing-arc pin sequence differs from the old
+        cell's forces a full arc rebuild on the next (re)analysis; the
+        common within-family case is a pure table-index update.
+        """
+        new = self.library[cell_name]
+        old = self._cells[gate_index]
+        if new is old:
+            return
+        out_pin = self._gate_output_pin[gate_index]
+        new_arcs = [
+            (pin, self._arc_tids[(new.name, pin, out_pin)])
+            for pin, _ in self._gate_pins[gate_index]
+            if (new.name, pin, out_pin) in self._arc_tids
+        ]
+        start = self._gate_arc_start[gate_index]
+        end = self._gate_arc_end[gate_index]
+        if [pin for pin, _ in new_arcs] != self._arc_pin[start:end]:
+            self._needs_rebuild = True
+        else:
+            for k, (_, tids) in enumerate(new_arcs):
+                self._arc_tid[start + k] = tids
+        # Pin-capacitance ripple: the loads of this gate's input nets
+        # change, which re-times their *drivers*.
+        new_caps = new.input_caps
+        sink_start = self._gate_sink_start[gate_index]
+        for offset, (pin, nid) in enumerate(self._gate_pins[gate_index]):
+            cap = new_caps.get(pin, 0.0)
+            pos = sink_start + offset
+            if self._sink_cap[pos] != cap:
+                self._sink_cap[pos] = cap
+                self._dirty_load_nets.add(int(nid))
+        self._cells[gate_index] = new
+        self._pending.add(int(gate_index))
+        self._report = None
+
+    def sync(self, netlist: MappedNetlist) -> bool:
+        """Absorb external cell edits from a structurally identical
+        netlist (same gates/pins/nets); returns False — triggering a
+        full recompile — when the structure no longer matches."""
+        gates = netlist.gates
+        if len(gates) != len(self._cells):
+            return False
+        for gi, gate in enumerate(gates):
+            if gate.name != self._gate_names[gi]:
+                return False
+            if gate.cell != self._cells[gi].name:
+                if len(gate.pins) != len(self._gate_pins[gi]):
+                    return False
+                self.set_cell(gi, gate.cell)
+        return True
+
+    def retime(self, changed_gates=None):
+        """Incrementally re-time pending edits; returns a TimingReport.
+
+        Falls back to a full analysis on the first call (or after a
+        structural change).  Exact by construction: propagation only
+        stops at gates whose recomputed arrival *and* slew match their
+        previous values bit-for-bit.
+        """
+        self.update(changed_gates)
+        return self.report()
+
+    def update(self, changed_gates=None) -> None:
+        """Incrementally propagate pending edits (state only).
+
+        Cheap-query form of :meth:`retime` for cost loops that only
+        need :meth:`max_delay`/:meth:`net_arrival` afterwards — no
+        per-net report dicts are materialized.
+        """
+        if changed_gates is not None:
+            for gi in changed_gates:
+                self._pending.add(int(gi))
+        if self._arr is None or self._needs_rebuild:
+            self._full_update()
+            return
+        if obs.current_tracer() is not None:
+            obs.count("sta.timing_queries")
+        if not self._pending and not self._dirty_load_nets:
+            return
+
+        dirty: set[int] = set(self._pending)
+        for nid in sorted(self._dirty_load_nets):
+            new_load = self._compute_one_load(nid)
+            if new_load != self._load[nid]:
+                self._load[nid] = new_load
+                driver = int(self._driver_of[nid])
+                if driver >= 0:
+                    dirty.add(driver)
+
+        buckets: dict[int, set[int]] = {}
+        for gi in dirty:
+            buckets.setdefault(int(self._gate_level[gi]), set()).add(gi)
+        cone = 0
+        while buckets:
+            lvl = min(buckets)
+            gates = np.array(sorted(buckets.pop(lvl)), dtype=np.intp)
+            cone += len(gates)
+            changed = self._apply(gates)
+            for gi in gates[changed]:
+                out_net = int(self._gate_out[gi])
+                for sink in self._net_sink_gates[out_net]:
+                    buckets.setdefault(int(self._gate_level[sink]), set()).add(sink)
+        self._pending.clear()
+        self._dirty_load_nets.clear()
+        self._report = None
+        if obs.current_tracer() is not None:
+            obs.count("sta.incremental_hits")
+            obs.observe("sta.retime_cone_size", cone)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def _require_state(self) -> None:
+        if self._arr is None:
+            raise RuntimeError("run analyze() or retime() first")
+
+    def net_arrival(self, net: str, default: float = 0.0) -> float:
+        self._require_state()
+        nid = self._net_id.get(net)
+        return float(self._arr[nid]) if nid is not None else default
+
+    def net_slew(self, net: str, default: float | None = None) -> float:
+        self._require_state()
+        nid = self._net_id.get(net)
+        if nid is None:
+            return self.config.input_slew if default is None else default
+        return float(self._slew[nid])
+
+    def net_load(self, net: str, default: float = 0.0) -> float:
+        self._require_state()
+        nid = self._net_id.get(net)
+        return float(self._load[nid]) if nid is not None else default
+
+    def max_delay(self) -> float:
+        self._require_state()
+        if not self._po_ids:
+            return 0.0
+        return float(self._arr[self._worst_po()])
+
+    def _worst_po(self) -> int:
+        worst = self._po_ids[0]
+        for nid in self._po_ids[1:]:
+            if self._arr[nid] > self._arr[worst]:
+                worst = nid
+        return worst
+
+    def _trace_path(self, nid: int) -> list[str]:
+        path: list[str] = []
+        guard = 0
+        current = nid
+        while True:
+            guard += 1
+            if guard > len(self._cells) + 1:
+                break  # defensive: malformed netlist
+            driver = int(self._driver_of[current])
+            if driver < 0:
+                break
+            arc = int(self._from_arc[driver])
+            if arc < 0:
+                break
+            path.append(self._gate_names[driver])
+            current = int(self._arc_src[arc])
+        path.reverse()
+        return path
+
+    def net_loads_dict(self) -> dict[str, float]:
+        """``net -> load [F]`` in sorted-net order (legacy-compatible)."""
+        if self._load is None:
+            self._load = self._compute_all_loads()
+        load = self._load
+        names = self._net_names
+        return {names[i]: float(load[i]) for i in self._sorted_net_ids}
+
+    def report(self):
+        """Materialize the current state as a TimingReport."""
+        from .timing import TimingReport
+
+        if self._report is not None:
+            return self._report
+        self._require_state()
+        names = self._net_names
+        arr = self._arr
+        slw = self._slew
+        arrival = {names[i]: float(arr[i]) for i in range(self._num_nets)}
+        slew = {names[i]: float(slw[i]) for i in range(self._num_nets)}
+        report = TimingReport(
+            arrival=arrival,
+            slew=slew,
+            net_load=self.net_loads_dict(),
+        )
+        if self._po_ids:
+            worst = self._worst_po()
+            report.max_delay = float(arr[worst])
+            report.critical_path = self._trace_path(worst)
+        report.po_arrival = {
+            net: (float(arr[self._net_id[net]]) if net in self._net_id else 0.0)
+            for net in self.netlist.po_nets
+        }
+        self._report = report
+        return report

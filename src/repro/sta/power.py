@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from .. import obs
 from ..charlib.nldm import Library
 from ..mapping.netlist import MappedNetlist
-from .timing import SignoffConfig, StaticTimingAnalyzer
+from .timing import SignoffConfig, StaticTimingAnalyzer, TimingReport
 
 
 @dataclass(frozen=True)
@@ -124,8 +124,15 @@ class PowerAnalyzer:
         return rates
 
     # ------------------------------------------------------------------
-    def analyze(self, clock_period: float) -> PowerReport:
-        """Power at the given clock period [s]."""
+    def analyze(
+        self, clock_period: float, timing: TimingReport | None = None
+    ) -> PowerReport:
+        """Power at the given clock period [s].
+
+        ``timing`` reuses an existing STA report's loads/slews (they
+        are a pure function of netlist + library + signoff config, so
+        a caller that already ran timing shouldn't pay for it twice).
+        """
         if clock_period <= 0.0:
             raise ValueError("clock period must be positive")
         vdd = self.library.vdd
@@ -135,8 +142,9 @@ class PowerAnalyzer:
         obs.count("sta.power_vectors", self.vectors)
         values = self._simulate()
         toggles = self._toggle_rates(values)
-        sta = StaticTimingAnalyzer(self.netlist, self.library, self.config)
-        timing = sta.analyze()
+        if timing is None:
+            sta = StaticTimingAnalyzer(self.netlist, self.library, self.config)
+            timing = sta.analyze()
         loads = timing.net_load
         slews = timing.slew
 

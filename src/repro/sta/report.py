@@ -90,7 +90,9 @@ def full_signoff(
     timing = StaticTimingAnalyzer(netlist, library, config).analyze()
     if clock_period is None:
         clock_period = max(timing.max_delay * 1.1, 1e-12)
-    power = PowerAnalyzer(netlist, library, config, vectors=vectors).analyze(clock_period)
+    power = PowerAnalyzer(netlist, library, config, vectors=vectors).analyze(
+        clock_period, timing=timing
+    )
     return (
         render_timing_report(netlist, library, timing)
         + "\n"

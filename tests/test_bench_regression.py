@@ -140,4 +140,10 @@ class TestCommittedBaseline:
         metrics = regression.extract_metrics(baseline["report"])
         # The trajectory sections the gate protects must all be present.
         assert {"aig_simulation", "sat", "cut_enumeration",
-                "spice_transient.vector", "charlib_arc.vector"} <= set(metrics)
+                "spice_transient.vector", "charlib_arc.vector",
+                "sta_full.vector", "sta_incremental.vector"} <= set(metrics)
+        # The committed record of the incremental-STA win: repeated
+        # sizing-style cost queries must be >= 5x faster on the graph
+        # engine than legacy full re-analysis (static read, no timing).
+        speedups = regression.extract_speedups(baseline["report"])
+        assert speedups["sta_incremental"] >= 5.0
