@@ -1,0 +1,437 @@
+"""Load/chaos harness for the characterization service.
+
+Two phases, one machine-readable ``BENCH_server.json``:
+
+* **in-process load** — hundreds of concurrent ``probe`` /
+  ``characterize`` / ``evaluate`` submissions from competing tenants
+  against a deliberately small queue, with deterministic
+  ``server.worker_crash`` faults injected, asserting the service's
+  core contract: **zero lost results** (every admitted job reaches
+  exactly one terminal state), **zero duplicated results** (all done
+  jobs sharing a key produced byte-identical canonical JSON), and
+  **fully accounted shedding** (locally observed admission rejections
+  equal the ``server.shed.*`` counters, and the final shed rate stays
+  under a bound once polite retries are exhausted);
+
+* **subprocess drain** — a real ``repro serve`` process is SIGTERMed
+  mid-burst and must exit ``0`` after finishing its queue (clean
+  drain), then a second run with a long job and a tiny
+  ``--drain-timeout`` must exit ``3`` leaving a journal that
+  ``--resume --exit-when-idle`` completes with exit ``0``.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/server_load.py [-o BENCH_server.json]
+        [--short] [--jobs N] [--workers N] [--capacity N]
+        [--crash-rate P] [--seed N] [--skip-subprocess]
+
+``--short`` is the CI ``server-soak`` configuration: fewer jobs, same
+assertions.  The default (full) configuration must complete at least
+500 jobs.  Exit status is non-zero when any assertion fails.
+
+See ``docs/ROBUSTNESS.md`` ("Service robustness") for the design.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+SCHEMA = "repro-bench-server/1"
+
+
+def _canonical_digest(result) -> str:
+    data = (json.dumps(result, indent=2, sort_keys=True) + "\n").encode()
+    return hashlib.sha256(data).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Phase 1: in-process load with injected worker crashes.
+
+
+def _schedule(total: int, short: bool):
+    """Deterministic job mix: mostly cheap probes for queue pressure,
+    a handful of distinct characterize corners replayed many times (the
+    coalescing/caching path), and — in full mode — a small evaluate."""
+    from repro.server import JobSpec
+
+    corners = [(4.0, None), (10.0, None), (77.0, None), (10.0, 0.6)]
+    specs = []
+    for i in range(total):
+        tenant = f"t{i % 4}"
+        slot = i % 10
+        if slot < 7:  # 70%: probes with a spread of tiny sleeps
+            specs.append(
+                JobSpec(
+                    kind="probe",
+                    params={"echo": f"p{i % 13}", "sleep_s": (i % 5) * 0.004},
+                    tenant=tenant,
+                    priority=i % 3,
+                )
+            )
+        elif slot < 9 or short:  # characterize: few keys, many replays
+            temperature, vdd = corners[i % len(corners)]
+            params = {"temperature": temperature}
+            if vdd is not None:
+                params["vdd"] = vdd
+            specs.append(
+                JobSpec(kind="characterize", params=params, tenant=tenant)
+            )
+        else:  # full mode only: one small evaluate key, replayed
+            specs.append(
+                JobSpec(
+                    kind="evaluate",
+                    params={
+                        "circuit": "ctrl",
+                        "preset": "small",
+                        "scenarios": ["baseline"],
+                        "vectors": 64,
+                    },
+                    tenant=tenant,
+                )
+            )
+    return specs
+
+
+def run_load_phase(args) -> dict:
+    from repro.resilience.errors import AdmissionError
+    from repro.resilience.faults import injecting, parse_plan
+    from repro.server import CharacterizationService, unfinished_specs
+    from repro.resilience.journal import RunJournal
+
+    total = args.jobs
+    specs = _schedule(total, args.short)
+    shed_events = 0
+    shed_final = 0
+    handles = []
+    lock = threading.Lock()
+
+    tmp = Path(tempfile.mkdtemp(prefix="repro-server-load-"))
+    journal = RunJournal.create(tmp / "load.jnl", {"command": "serve"})
+    service = CharacterizationService(
+        capacity=args.capacity,
+        workers=args.workers,
+        quotas={"t0": args.capacity},  # one tenant runs quota-limited
+        weights={"t1": 3},  # ... and one gets a bigger fair share
+        max_attempts=4,
+        breaker_threshold=5,
+        breaker_cooldown_s=0.2,
+        results_dir=tmp / "results",
+        journal=journal,
+    )
+
+    def submitter(chunk):
+        nonlocal shed_events, shed_final
+        for spec in chunk:
+            for _ in range(40):  # polite retry on shed
+                try:
+                    job = service.submit(spec)
+                except AdmissionError as exc:
+                    with lock:
+                        shed_events += 1
+                    time.sleep(min(0.1, exc.retry_after_s or 0.02))
+                else:
+                    with lock:
+                        handles.append(job)
+                    break
+            else:
+                with lock:
+                    shed_final += 1
+
+    plan = parse_plan(
+        f"seed={args.seed};server.worker_crash:{args.crash_rate};"
+        f"server.queue_full:{args.full_rate}"
+    )
+    started = time.perf_counter()
+    with injecting(plan):
+        service.start()
+        threads = [
+            threading.Thread(target=submitter, args=(specs[i::8],))
+            for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        drained = service.drain(timeout=600.0)
+        service.shutdown(timeout=1.0)
+    wall_s = time.perf_counter() - started
+    journal.close()
+
+    # -- assertions ---------------------------------------------------------
+    errors = []
+    counters = service.metrics()["counters"]
+    terminal = [job for job in handles if job.state in ("done", "failed")]
+    done = [job for job in handles if job.state == "done"]
+    if not drained:
+        errors.append("service failed to drain within 600s")
+    if len(terminal) != len(handles):
+        errors.append(
+            f"lost results: {len(handles) - len(terminal)} of "
+            f"{len(handles)} admitted jobs never reached a terminal state"
+        )
+    digests: dict[str, set] = {}
+    for job in done:
+        digests.setdefault(job.key, set()).add(_canonical_digest(job.result))
+    duplicated = {key: d for key, d in digests.items() if len(d) != 1}
+    if duplicated:
+        errors.append(f"duplicated results: divergent bytes for {sorted(duplicated)}")
+    finished = counters.get("server.completed", 0) + counters.get("server.failed", 0)
+    if finished != len(handles):
+        errors.append(
+            f"counter mismatch: completed+failed={finished}, admitted handles="
+            f"{len(handles)}"
+        )
+    counted_shed = sum(
+        n for name, n in counters.items() if name.startswith("server.shed.")
+    )
+    if counted_shed != shed_events:
+        errors.append(
+            f"unaccounted shedding: saw {shed_events} admission rejections, "
+            f"server.shed.* counters say {counted_shed}"
+        )
+    shed_rate = shed_final / max(1, total)
+    if shed_rate > args.max_shed_rate:
+        errors.append(
+            f"shed rate {shed_rate:.3f} exceeds the {args.max_shed_rate} bound"
+        )
+    floor = args.min_completed
+    if len(done) < floor:
+        errors.append(f"completed {len(done)} jobs; the floor is {floor}")
+    pending = unfinished_specs(journal.records)
+    if drained and pending:
+        errors.append(f"journal still lists {len(pending)} unfinished job(s)")
+
+    return {
+        "jobs_submitted": total,
+        "jobs_admitted": len(handles),
+        "jobs_completed": len(done),
+        "jobs_failed": len(terminal) - len(done),
+        "jobs_shed_final": shed_final,
+        "shed_events": shed_events,
+        "shed_rate": shed_rate,
+        "distinct_keys": len(digests),
+        "worker_crashes": counters.get("server.worker_crash", 0),
+        "retries": counters.get("server.retried", 0),
+        "coalesced": counters.get("server.coalesced", 0),
+        "cached": counters.get("server.cached", 0),
+        "breaker_trips": counters.get("server.breaker.trip", 0),
+        "wall_s": wall_s,
+        "throughput_jobs_per_s": len(terminal) / max(1e-9, wall_s),
+        "counters": dict(sorted(counters.items())),
+        "drained": drained,
+        "errors": errors,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Phase 2: subprocess SIGTERM drain + forced-timeout resume.
+
+
+def _serve(extra, tmp: Path, env):
+    cmd = [
+        sys.executable, "-m", "repro", "serve",
+        "--port", "0", "--port-file", str(tmp / "port.txt"),
+        "--workers", "2", "--no-ledger",
+        "--results-dir", str(tmp / "results"),
+    ] + extra
+    return subprocess.Popen(
+        cmd, env=env, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True
+    )
+
+
+def _wait_port(tmp: Path, proc, timeout=30.0) -> int:
+    deadline = time.monotonic() + timeout
+    port_file = tmp / "port.txt"
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(f"serve exited early: {proc.stderr.read()}")
+        if port_file.exists() and port_file.read_text().strip():
+            return int(port_file.read_text())
+        time.sleep(0.05)
+    raise RuntimeError("serve never wrote its port file")
+
+
+def _post_job(port: int, spec: dict) -> dict:
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}/jobs",
+        data=json.dumps(spec).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    for _ in range(50):
+        try:
+            with urllib.request.urlopen(request, timeout=10) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            if exc.code in (429, 503):
+                time.sleep(0.05)
+                continue
+            raise
+    raise RuntimeError("job never admitted")
+
+
+def run_drain_phase(args) -> dict:
+    errors = []
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env["REPRO_FAULTS"] = f"seed={args.seed};server.worker_crash:first=1"
+    burst = 8 if args.short else 24
+
+    # -- clean drain: SIGTERM mid-burst must exit 0 with all jobs done.
+    tmp = Path(tempfile.mkdtemp(prefix="repro-server-drain-"))
+    proc = _serve(["--journal", str(tmp / "serve.jnl")], tmp, env)
+    port = _wait_port(tmp, proc)
+    for i in range(burst):
+        _post_job(port, {
+            "kind": "probe",
+            "params": {"echo": f"d{i}", "sleep_s": 0.05},
+            "tenant": "drain",
+        })
+    proc.send_signal(signal.SIGTERM)
+    clean_rc = proc.wait(timeout=60)
+    clean_results = len(list((tmp / "results").glob("*.json")))
+    if clean_rc != 0:
+        errors.append(
+            f"clean drain exited {clean_rc}, wanted 0: {proc.stderr.read()}"
+        )
+
+    # -- forced timeout: a long job + --drain-timeout 0.2 must exit 3,
+    #    and --resume must finish the journaled job and exit 0.
+    tmp2 = Path(tempfile.mkdtemp(prefix="repro-server-resume-"))
+    proc = _serve(
+        ["--journal", str(tmp2 / "serve.jnl"), "--drain-timeout", "0.2"],
+        tmp2, env,
+    )
+    port = _wait_port(tmp2, proc)
+    _post_job(port, {
+        "kind": "probe", "params": {"echo": "slow", "sleep_s": 10}, "tenant": "t",
+    })
+    time.sleep(0.3)  # let a worker pick the job up
+    proc.send_signal(signal.SIGTERM)
+    timeout_rc = proc.wait(timeout=60)
+    if timeout_rc != 3:
+        errors.append(f"forced drain timeout exited {timeout_rc}, wanted 3")
+    resume = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "serve", "--no-http",
+            "--resume", str(tmp2 / "serve.jnl"),
+            "--results-dir", str(tmp2 / "results"),
+            "--exit-when-idle", "--no-ledger", "--workers", "2",
+        ],
+        env={**env, "REPRO_FAULTS": ""},
+        capture_output=True, text=True, timeout=120,
+    )
+    if resume.returncode != 0:
+        errors.append(f"resume exited {resume.returncode}: {resume.stderr}")
+    resumed_results = len(list((tmp2 / "results").glob("*.json")))
+    if resumed_results < 1:
+        errors.append("resume completed no journaled job")
+
+    return {
+        "burst": burst,
+        "clean_drain_exit": clean_rc,
+        "clean_drain_results": clean_results,
+        "forced_timeout_exit": timeout_rc,
+        "resume_exit": resume.returncode,
+        "resume_results": resumed_results,
+        "errors": errors,
+    }
+
+
+# ---------------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output", default="BENCH_server.json")
+    parser.add_argument("--short", action="store_true",
+                        help="CI soak configuration (fewer jobs)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="total submissions (default: 600, or 160 --short)")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--capacity", type=int, default=32)
+    parser.add_argument("--crash-rate", type=float, default=0.04,
+                        help="server.worker_crash fault probability")
+    parser.add_argument("--full-rate", type=float, default=0.03,
+                        help="server.queue_full fault probability (forces "
+                             "saturation shedding even when workers keep up)")
+    parser.add_argument("--seed", type=int, default=2023)
+    parser.add_argument("--max-shed-rate", type=float, default=0.2,
+                        help="bound on finally-shed submissions after retries")
+    parser.add_argument("--min-completed", type=int, default=None,
+                        help="completed-jobs floor (default: 500, or 100 --short)")
+    parser.add_argument("--skip-subprocess", action="store_true",
+                        help="skip the SIGTERM drain/resume subprocess phase")
+    args = parser.parse_args(argv)
+    if args.jobs is None:
+        args.jobs = 160 if args.short else 600
+    if args.min_completed is None:
+        args.min_completed = 100 if args.short else 500
+
+    print(
+        f"server load: {args.jobs} jobs, {args.workers} workers, "
+        f"capacity {args.capacity}, crash rate {args.crash_rate}",
+        flush=True,
+    )
+    load = run_load_phase(args)
+    print(
+        f"  admitted {load['jobs_admitted']}, completed "
+        f"{load['jobs_completed']}, failed {load['jobs_failed']}, "
+        f"shed {load['jobs_shed_final']} (rate {load['shed_rate']:.3f}), "
+        f"crashes {load['worker_crashes']}, coalesced {load['coalesced']}, "
+        f"{load['throughput_jobs_per_s']:.0f} jobs/s",
+        flush=True,
+    )
+    drain = {"skipped": True, "errors": []}
+    if not args.skip_subprocess:
+        drain = run_drain_phase(args)
+        print(
+            f"  drain: clean exit {drain['clean_drain_exit']}, forced "
+            f"timeout exit {drain['forced_timeout_exit']}, resume exit "
+            f"{drain['resume_exit']}",
+            flush=True,
+        )
+
+    report = {
+        "schema": SCHEMA,
+        "short": args.short,
+        "config": {
+            "jobs": args.jobs,
+            "workers": args.workers,
+            "capacity": args.capacity,
+            "crash_rate": args.crash_rate,
+            "seed": args.seed,
+        },
+        "load": load,
+        "drain": drain,
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+
+    failures = load["errors"] + drain["errors"]
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print(
+            "OK: zero lost, zero duplicated, shedding fully accounted, "
+            "drain contract holds"
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

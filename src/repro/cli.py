@@ -11,6 +11,9 @@ Exposes the paper's pipeline the way a user drives ABC + SiliconSmart
 * ``compare``      — the Fig. 3 experiment on chosen circuits;
 * ``calibrate``    — the Fig. 1 measurement + model-fitting loop;
 * ``benchmarks``   — list the available EPFL generators;
+* ``serve``        — run the characterization service: an
+  admission-controlled job queue (quotas, weighted-fair scheduling,
+  circuit breaker, graceful SIGTERM drain) over an HTTP JSON API;
 * ``report-trace`` — re-render a saved JSONL trace as a summary tree;
 * ``ledger``       — inspect the persistent run ledger
   (``list``/``show``/``compare``/``trend``).
@@ -193,6 +196,12 @@ def _journal_config(args: argparse.Namespace) -> dict:
     strictness) stay out, so a resume may legitimately use different
     parallelism than the interrupted run.
     """
+    # A serve journal is bound to nothing but the command: every serve
+    # knob (port, workers, capacity, quotas) is runtime-only, and the
+    # per-job configuration lives in the journal's own ``job_submit``
+    # records — resuming on a different port must replay the same jobs.
+    if getattr(args, "command", None) == "serve":
+        return {"command": "serve"}
     excluded = {
         "func", "journal", "resume", "trace", "profile", "cache_dir",
         "faults", "jobs", "isolate", "json", "output", "report", "strict",
@@ -246,11 +255,18 @@ def _journaling(args: argparse.Namespace, argv: list[str]):
     config = _journal_config(args)
     if getattr(args, "resume", None):
         journal = RunJournal.resume(journal_path, config)
-        print(
-            f"resuming from {journal_path} "
-            f"({len(journal.completed_scenarios())} scenario(s) journaled)",
-            file=sys.stderr,
-        )
+        if getattr(args, "command", None) == "serve":
+            done = sum(1 for r in journal.records if r.get("kind") == "job_done")
+            print(
+                f"resuming from {journal_path} ({done} job(s) journaled done)",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"resuming from {journal_path} "
+                f"({len(journal.completed_scenarios())} scenario(s) journaled)",
+                file=sys.stderr,
+            )
     else:
         journal = RunJournal.create(journal_path, config)
     args._journal = journal
@@ -692,6 +708,136 @@ def _cmd_report_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_tenant_map(pairs: list[str] | None, flag: str) -> dict[str, int]:
+    """Parse repeated ``TENANT=N`` pairs (``--quota``/``--weight``)."""
+    out: dict[str, int] = {}
+    for pair in pairs or []:
+        tenant, sep, value = pair.partition("=")
+        if not sep or not tenant:
+            raise ValueError(f"{flag} wants TENANT=N, got {pair!r}")
+        try:
+            out[tenant] = int(value)
+        except ValueError:
+            raise ValueError(f"{flag} {pair!r}: {value!r} is not an integer")
+    return out
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the characterization service until idle or interrupted.
+
+    Exit codes: ``0`` — clean drain (or ``--exit-when-idle`` went
+    idle); ``3`` — SIGTERM/SIGINT drain timed out, in-flight work
+    remains journaled for ``--resume``; ``130`` — force-quit (second
+    interrupt during the drain).
+    """
+    import threading
+    import time
+
+    from .core import default_cache
+    from .resilience.errors import AdmissionError
+    from .server import CharacterizationService, unfinished_specs
+
+    quotas = _parse_tenant_map(args.quota, "--quota")
+    weights = _parse_tenant_map(args.weight, "--weight")
+    journal = args._journal
+    service = CharacterizationService(
+        capacity=args.capacity,
+        workers=args.workers,
+        isolate=args.isolate,
+        quotas=quotas,
+        default_quota=args.default_quota,
+        weights=weights,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
+        max_attempts=args.max_attempts,
+        default_deadline_s=args.deadline,
+        cache=default_cache(),
+        results_dir=args.results_dir,
+        journal=journal,
+        task_timeout_s=args.task_timeout,
+    )
+    service.start()
+
+    # Resume: every journaled job whose latest record is still
+    # ``job_submit`` goes back through the front door.  Persisted
+    # results make most of these the cached fast-path; admission may
+    # shed when pending work exceeds capacity, so wait politely.
+    if getattr(args, "resume", None) and journal is not None:
+        pending = unfinished_specs(journal.records)
+        for spec in pending:
+            while True:
+                try:
+                    service.submit(spec)
+                    break
+                except AdmissionError as exc:
+                    time.sleep(min(1.0, exc.retry_after_s or 0.1))
+        if pending:
+            print(
+                f"re-enqueued {len(pending)} unfinished job(s)", file=sys.stderr
+            )
+
+    httpd = None
+    if not args.no_http:
+        from .server.http import make_server
+
+        httpd = make_server(args.host, args.port, service, verbose=args.verbose)
+        host, port = httpd.server_address[:2]
+        threading.Thread(
+            target=httpd.serve_forever, name="repro-serve-http", daemon=True
+        ).start()
+        print(f"repro serve: listening on http://{host}:{port}", file=sys.stderr)
+        if args.port_file:
+            Path(args.port_file).write_text(f"{port}\n")
+
+    drained = True
+    try:
+        idle_since: float | None = None
+        while True:
+            time.sleep(0.05)
+            if not args.exit_when_idle:
+                continue
+            if not service.idle:
+                idle_since = None
+                continue
+            if idle_since is None:
+                idle_since = time.monotonic()
+            elif time.monotonic() - idle_since >= args.idle_grace:
+                break
+    except KeyboardInterrupt:
+        print("repro serve: draining ...", file=sys.stderr)
+        drained = service.drain(timeout=args.drain_timeout)
+        if not drained:
+            print(
+                "repro serve: drain timed out; unfinished jobs remain "
+                "journaled",
+                file=sys.stderr,
+            )
+            if _RESUME_HINT:
+                print(f"resume with: {_RESUME_HINT}", file=sys.stderr)
+    finally:
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        service.shutdown(timeout=0 if not drained else 5.0)
+
+    counters = service.metrics()["counters"]
+    shed = sum(n for name, n in counters.items() if name.startswith("server.shed."))
+    print(
+        "repro serve: {admitted} admitted ({coalesced} coalesced, "
+        "{cached} cached), {completed} completed, {failed} failed, "
+        "{shed} shed".format(
+            admitted=counters.get("server.admitted", 0),
+            coalesced=counters.get("server.coalesced", 0),
+            cached=counters.get("server.cached", 0),
+            completed=counters.get("server.completed", 0),
+            failed=counters.get("server.failed", 0),
+            shed=shed,
+        ),
+        file=sys.stderr,
+    )
+    return 0 if drained else 3
+
+
 def build_parser() -> argparse.ArgumentParser:
     from . import __version__
 
@@ -745,6 +891,59 @@ def build_parser() -> argparse.ArgumentParser:
     _add_resilience_flags(p)
     _add_journal_flags(p)
     p.set_defaults(func=_cmd_evaluate)
+
+    p = sub.add_parser(
+        "serve",
+        help="characterization-as-a-service: admission-controlled job queue",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="HTTP bind address")
+    p.add_argument("--port", type=int, default=8357,
+                   help="HTTP port (0 picks an ephemeral one)")
+    p.add_argument("--port-file", metavar="PATH",
+                   help="write the bound port here (handy with --port 0)")
+    p.add_argument("--no-http", action="store_true",
+                   help="run without the HTTP front end (embedded/test use)")
+    p.add_argument("--verbose", action="store_true",
+                   help="log each HTTP request to stderr")
+    p.add_argument("--workers", "-J", type=int, default=2,
+                   help="worker threads executing jobs")
+    p.add_argument("--capacity", type=int, default=64,
+                   help="queue capacity; submissions beyond it are shed "
+                        "with a retry-after hint")
+    p.add_argument("--quota", action="append", metavar="TENANT=N",
+                   help="per-tenant cap on queued+running jobs (repeatable)")
+    p.add_argument("--default-quota", type=int, default=None,
+                   help="quota for tenants without an explicit --quota")
+    p.add_argument("--weight", action="append", metavar="TENANT=N",
+                   help="weighted-fair dequeue share (repeatable; default 1)")
+    p.add_argument("--breaker-threshold", type=int, default=3,
+                   help="consecutive worker crashes that trip the breaker")
+    p.add_argument("--breaker-cooldown", type=float, default=2.0,
+                   metavar="S", help="seconds before a half-open probe")
+    p.add_argument("--max-attempts", type=int, default=3,
+                   help="attempts per job across worker crashes")
+    p.add_argument("--deadline", type=float, default=None, metavar="S",
+                   help="default per-job deadline (propagates into stage "
+                        "timeouts); a job's own deadline_s wins if earlier")
+    p.add_argument("--task-timeout", type=float, default=None, metavar="S",
+                   help="watchdog timeout per isolated worker task")
+    p.add_argument("--results-dir", metavar="DIR",
+                   help="persist one canonical JSON result per job key "
+                        "here (reloaded on restart)")
+    p.add_argument("--drain-timeout", type=float, default=30.0, metavar="S",
+                   help="grace period for SIGTERM/SIGINT drain")
+    p.add_argument("--exit-when-idle", action="store_true",
+                   help="exit 0 once the queue and workers go idle "
+                        "(after --idle-grace seconds)")
+    p.add_argument("--idle-grace", type=float, default=0.5, metavar="S",
+                   help="how long idle must persist for --exit-when-idle")
+    _add_obs_flags(p)
+    _add_ledger_flags(p)
+    _add_kernel_flag(p)
+    _add_cache_flag(p)
+    _add_resilience_flags(p)
+    _add_journal_flags(p)
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("compare", help="Fig. 3: scenarios on EPFL circuits")
     p.add_argument("circuits", nargs="*", help="circuit names (default: all)")

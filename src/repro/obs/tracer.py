@@ -154,6 +154,13 @@ class Tracer:
         print(tracer.render_summary())
     """
 
+    #: Per-histogram sample bound.  A batch run never comes close, but
+    #: a long-running ``repro serve`` process observes a latency sample
+    #: per job forever — unbounded lists would be a slow memory leak.
+    #: When a histogram reaches the bound its oldest half is dropped,
+    #: so percentiles always describe the most recent window.
+    MAX_HISTOGRAM_SAMPLES = 8192
+
     def __init__(self, sinks: Iterable[Any] | None = None):
         self.sinks = list(sinks or [])
         self.spans: list[SpanRecord] = []
@@ -235,9 +242,13 @@ class Tracer:
             self.gauges[name] = value
 
     def observe(self, name: str, value: float) -> None:
-        """Add one observation to a histogram."""
+        """Add one observation to a histogram (bounded; see
+        :data:`MAX_HISTOGRAM_SAMPLES`)."""
         with self._lock:
-            self.histograms.setdefault(name, []).append(value)
+            values = self.histograms.setdefault(name, [])
+            values.append(value)
+            if len(values) > self.MAX_HISTOGRAM_SAMPLES:
+                del values[: len(values) // 2]
 
     def metrics_snapshot(self) -> dict[str, Any]:
         """Aggregated metrics in export form."""

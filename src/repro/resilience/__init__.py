@@ -32,6 +32,7 @@ from .errors import (
     DEGRADED,
     PERMANENT,
     TRANSIENT,
+    AdmissionError,
     CacheCorruptionError,
     CalibrationError,
     DegradedError,
@@ -39,11 +40,15 @@ from .errors import (
     InjectedCrashError,
     InjectedFaultError,
     JournalError,
+    JournalLockedError,
     JournalMismatchError,
     MeasurementError,
     ParallelExecutionError,
     PermanentError,
+    QueueSaturatedError,
+    QuotaExceededError,
     ReproError,
+    ServiceDrainingError,
     StageTimeoutError,
     TimeoutExceeded,
     TransientError,
@@ -54,8 +59,14 @@ from .errors import (
     is_transient,
 )
 from .faults import ENV_VAR, FaultPlan, FaultSpec, injecting, install, parse_plan
-from .isolation import process_map, task_heartbeat
-from .journal import RunJournal, artifact_digest, config_fingerprint, load_records
+from .isolation import process_map, run_isolated, task_heartbeat
+from .journal import (
+    RunJournal,
+    acquire_writer_lock,
+    artifact_digest,
+    config_fingerprint,
+    load_records,
+)
 from .retry import run_ladder
 
 __all__ = [
@@ -66,15 +77,20 @@ __all__ = [
     "TransientError",
     "PermanentError",
     "DegradedError",
+    "AdmissionError",
     "CacheCorruptionError",
     "CalibrationError",
     "GuardViolation",
     "InjectedCrashError",
     "InjectedFaultError",
     "JournalError",
+    "JournalLockedError",
     "JournalMismatchError",
     "MeasurementError",
     "ParallelExecutionError",
+    "QueueSaturatedError",
+    "QuotaExceededError",
+    "ServiceDrainingError",
     "StageTimeoutError",
     "TimeoutExceeded",
     "WorkerCrashError",
@@ -91,8 +107,10 @@ __all__ = [
     "install",
     "parse_plan",
     "process_map",
+    "run_isolated",
     "task_heartbeat",
     "RunJournal",
+    "acquire_writer_lock",
     "artifact_digest",
     "config_fingerprint",
     "load_records",

@@ -169,6 +169,56 @@ class JournalMismatchError(JournalError):
     (different configuration digest or a newer journal format)."""
 
 
+class JournalLockedError(JournalError):
+    """Another live process holds the writer lock on a journal path.
+
+    Two writers appending to one journal interleave frames and poison
+    every later ``--resume``, so :class:`~repro.resilience.journal.RunJournal`
+    takes an exclusive ``<path>.lock`` file (holding the writer's pid)
+    on ``create``/``resume``.  A lock whose pid is dead is *stale* —
+    left behind by ``kill -9`` — and is silently reclaimed; only a
+    lock owned by a live process raises this.  Permanent: retrying
+    while the owner lives would corrupt the journal."""
+
+
+# ----------------------------------------------------------------------
+# Service admission errors (repro.server)
+# ----------------------------------------------------------------------
+class AdmissionError(TransientError):
+    """A characterization-service submission was not admitted.
+
+    Load shedding, not failure: the service is protecting itself and
+    the caller should retry after ``retry_after_s`` seconds (surfaced
+    as an HTTP ``Retry-After`` header by :mod:`repro.server.http`).
+    Transient by definition — capacity comes back.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *args,
+        site: str | None = None,
+        retry_after_s: float | None = None,
+    ):
+        super().__init__(message, *args, site=site)
+        self.retry_after_s = retry_after_s
+
+
+class QueueSaturatedError(AdmissionError):
+    """The bounded job queue is full; the submission was shed rather
+    than queued unboundedly (``server.queue_full``)."""
+
+
+class QuotaExceededError(AdmissionError):
+    """The submitting tenant already holds its full pending-job quota;
+    admitting more would let one tenant starve the others."""
+
+
+class ServiceDrainingError(AdmissionError):
+    """The service received a drain request (SIGTERM) and no longer
+    admits work; in-flight and journaled jobs still complete."""
+
+
 class CalibrationError(ReproError, ValueError):
     """Compact-model calibration cannot proceed or diverged.
 

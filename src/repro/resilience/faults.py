@@ -20,6 +20,9 @@ Sites instrumented across the pipeline:
 ``calibration.residual``    a calibration residual becomes NaN
 ``journal.crash``           simulated process death after a journal commit
 ``synth.miscompile``        a synthesis script emits a functionally wrong AIG
+``server.submit``           a service submission fails transiently at admission
+``server.queue_full``       the service queue reports saturation (load shed)
+``server.worker_crash``     a service worker dies mid-job (breaker/retry path)
 ==========================  ==================================================
 
 Activation, in priority order:
@@ -66,6 +69,9 @@ KNOWN_SITES = (
     "calibration.residual",
     "journal.crash",
     "synth.miscompile",
+    "server.submit",
+    "server.queue_full",
+    "server.worker_crash",
 )
 
 

@@ -32,6 +32,12 @@ byte-identical to an uninterrupted run.
 The ``journal.crash`` fault site (:mod:`repro.resilience.faults`)
 raises :class:`InjectedCrashError` immediately *after* a commit,
 simulating process death landing between two records.
+
+Single-writer rule: a journal path is owned by exactly one live
+writer.  ``create``/``resume`` take an exclusive ``<path>.lock`` file
+(pid inside); a second concurrent writer gets a clear
+:class:`JournalLockedError` instead of silently interleaving frames,
+and a stale lock left by ``kill -9`` (dead pid) is reclaimed.
 """
 
 from __future__ import annotations
@@ -48,7 +54,12 @@ from typing import Any, Iterator, Mapping
 
 from .. import obs
 from . import faults
-from .errors import InjectedCrashError, JournalError, JournalMismatchError
+from .errors import (
+    InjectedCrashError,
+    JournalError,
+    JournalLockedError,
+    JournalMismatchError,
+)
 
 #: Bump when the record layout changes incompatibly; resume refuses
 #: journals written by a *newer* format.
@@ -72,6 +83,58 @@ def config_fingerprint(config: Mapping[str, Any] | None) -> str | None:
         return None
     canonical = json.dumps(config, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode()).hexdigest()[:32]
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness check for a lock-holder pid."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return False
+    return True
+
+
+def acquire_writer_lock(path: Path) -> Path:
+    """Take the exclusive writer lock for a journal path.
+
+    Creates ``<path>.lock`` atomically (``O_CREAT | O_EXCL``) with the
+    writer's pid inside.  A second live writer — a concurrent run, or
+    the same process opening the journal twice — raises
+    :class:`JournalLockedError` instead of interleaving frames and
+    poisoning every later ``--resume``.  A lock whose pid no longer
+    runs (the ``kill -9`` the journal exists to survive) is stale and
+    reclaimed.
+    """
+    lock = path.with_name(path.name + ".lock")
+    for _ in range(2):  # one reclaim attempt for a stale lock
+        try:
+            fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        except FileExistsError:
+            try:
+                owner = int(Path(lock).read_text().strip() or "0")
+            except (OSError, ValueError):
+                owner = 0
+            if owner and _pid_alive(owner):
+                raise JournalLockedError(
+                    f"journal {path} is already open for writing by "
+                    f"process {owner} (lock file {lock}); two writers "
+                    f"on one journal would interleave records and "
+                    f"poison --resume"
+                ) from None
+            obs.count("journal.lock_reclaimed")
+            with contextlib.suppress(OSError):
+                os.unlink(lock)
+            continue
+        with os.fdopen(fd, "w") as fh:
+            fh.write(f"{os.getpid()}\n")
+        return lock
+    raise JournalLockedError(f"could not acquire journal lock {lock}")
 
 
 def load_records(path: str | os.PathLike) -> tuple[list[dict], int]:
@@ -110,11 +173,20 @@ class RunJournal:
     thread-safe (scenario fan-out journals from worker threads).
     """
 
-    def __init__(self, path: str | os.PathLike, records: list[dict], stream):
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        records: list[dict],
+        stream,
+        lock_path: Path | None = None,
+    ):
         self.path = Path(path)
         self.records = records
         self._stream = stream
         self._lock = threading.Lock()
+        #: Writer-lock file owned by this instance (``None`` when the
+        #: journal was constructed directly, e.g. by tests).
+        self._lock_path = lock_path
 
     # -- constructors ---------------------------------------------------
     @classmethod
@@ -125,7 +197,10 @@ class RunJournal:
         path = Path(path)
         if path.parent != Path("."):
             path.parent.mkdir(parents=True, exist_ok=True)
-        journal = cls(path, [], open(path, "w", encoding="utf-8"))
+        # Lock before truncating: losing the race must not destroy the
+        # live writer's file.
+        lock_path = acquire_writer_lock(path)
+        journal = cls(path, [], open(path, "w", encoding="utf-8"), lock_path)
         journal.record(
             "run_start",
             version=JOURNAL_VERSION,
@@ -149,30 +224,42 @@ class RunJournal:
         path = Path(path)
         if not path.exists():
             raise JournalError(f"no such journal: {path}")
-        records, good_bytes = load_records(path)
-        if not records or records[0].get("kind") != "run_start":
-            raise JournalError(f"{path} is not a run journal (missing header)")
-        header = records[0]
-        version = header.get("version")
-        if not isinstance(version, int) or version > JOURNAL_VERSION:
-            raise JournalMismatchError(
-                f"{path} uses journal format {version!r}; this build "
-                f"supports up to {JOURNAL_VERSION}"
-            )
-        fingerprint = config_fingerprint(config)
-        recorded = header.get("config")
-        if fingerprint is not None and recorded is not None and recorded != fingerprint:
-            raise JournalMismatchError(
-                f"{path} was recorded by a different run configuration "
-                f"({recorded} != {fingerprint}); re-run with the same "
-                f"arguments or start a fresh --journal"
-            )
-        # Drop the torn tail before appending new records after it.
-        if good_bytes != path.stat().st_size:
-            with open(path, "r+b") as fh:
-                fh.truncate(good_bytes)
+        lock_path = acquire_writer_lock(path)
+        try:
+            records, good_bytes = load_records(path)
+            if not records or records[0].get("kind") != "run_start":
+                raise JournalError(f"{path} is not a run journal (missing header)")
+            header = records[0]
+            version = header.get("version")
+            if not isinstance(version, int) or version > JOURNAL_VERSION:
+                raise JournalMismatchError(
+                    f"{path} uses journal format {version!r}; this build "
+                    f"supports up to {JOURNAL_VERSION}"
+                )
+            fingerprint = config_fingerprint(config)
+            recorded = header.get("config")
+            if (
+                fingerprint is not None
+                and recorded is not None
+                and recorded != fingerprint
+            ):
+                raise JournalMismatchError(
+                    f"{path} was recorded by a different run configuration "
+                    f"({recorded} != {fingerprint}); re-run with the same "
+                    f"arguments or start a fresh --journal"
+                )
+            # Drop the torn tail before appending new records after it.
+            if good_bytes != path.stat().st_size:
+                with open(path, "r+b") as fh:
+                    fh.truncate(good_bytes)
+        except BaseException:
+            # A refused resume must not leave the path locked against
+            # the corrected retry.
+            with contextlib.suppress(OSError):
+                os.unlink(lock_path)
+            raise
         obs.count("journal.resumed")
-        return cls(path, records, open(path, "a", encoding="utf-8"))
+        return cls(path, records, open(path, "a", encoding="utf-8"), lock_path)
 
     # -- recording ------------------------------------------------------
     def record(self, kind: str, **fields: Any) -> dict:
@@ -220,6 +307,10 @@ class RunJournal:
                     self._stream.flush()
                     os.fsync(self._stream.fileno())
                 self._stream.close()
+            if self._lock_path is not None:
+                with contextlib.suppress(OSError):
+                    os.unlink(self._lock_path)
+                self._lock_path = None
 
     def __enter__(self) -> "RunJournal":
         return self

@@ -1,0 +1,35 @@
+"""Characterization-as-a-service (``repro serve``).
+
+The service tier turns the batch pipeline into a long-running,
+admission-controlled job server: a bounded weighted-fair queue with
+per-tenant quotas in front of the resilience worker pool, jobs
+content-addressed by config fingerprint (duplicates coalesce; results
+persist and reload), a circuit breaker over worker crashes, per-job
+deadlines propagated into stage execution, and SIGTERM-graceful drain
+backed by the write-ahead run journal so an interrupted session
+resumes to byte-identical results.
+
+Layering: ``server`` sits on top of ``core`` (contexts, flows, cache),
+``resilience`` (journal, isolation, faults, error taxonomy) and
+``obs`` (counters/spans/ledger).  Nothing below imports it.
+
+See ``docs/ROBUSTNESS.md`` ("Service robustness") for the design and
+``benchmarks/server_load.py`` for the load/chaos harness.
+"""
+
+from .breaker import CircuitBreaker
+from .jobs import JOB_KINDS, Job, JobSpec
+from .queue import JobQueue
+from .runners import execute_job
+from .service import CharacterizationService, unfinished_specs
+
+__all__ = [
+    "JOB_KINDS",
+    "Job",
+    "JobSpec",
+    "JobQueue",
+    "CircuitBreaker",
+    "CharacterizationService",
+    "execute_job",
+    "unfinished_specs",
+]

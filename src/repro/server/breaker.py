@@ -1,0 +1,119 @@
+"""Circuit breaker around the service's worker pool.
+
+Worker crashes (subprocess death, watchdog kills, injected chaos) are
+retried per job — but when *every* job starts crashing the pool, the
+failure is systemic (a poisoned corner, an OOM'ing host) and retrying
+each job three times only multiplies the damage.  The breaker watches
+consecutive worker failures across jobs and, past a threshold, stops
+dispatch entirely for a cooldown; one half-open probe job then decides
+whether the pool has recovered.
+
+The breaker gates **dequeue, not admission**: while OPEN, jobs keep
+queuing (up to the queue's own bound, whose shedding stays in effect),
+so a transient pool outage delays work instead of rejecting it — the
+queue is exactly the buffer that makes that graceful.
+
+States and transitions::
+
+    CLOSED --(threshold consecutive failures)--> OPEN
+    OPEN   --(cooldown elapsed)----------------> HALF_OPEN
+    HALF_OPEN --(probe succeeds)---------------> CLOSED
+    HALF_OPEN --(probe fails)------------------> OPEN (cooldown restarts)
+
+Counters: ``server.breaker.trip`` / ``.probe`` / ``.close``; gauge
+``server.breaker.state`` (0 closed, 1 half-open, 2 open).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from .. import obs
+
+__all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+_STATE_GAUGE = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a single half-open probe."""
+
+    def __init__(self, threshold: int = 3, cooldown_s: float = 5.0):
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def _set_state(self, state: str) -> None:
+        self._state = state
+        obs.gauge("server.breaker.state", _STATE_GAUGE[state])
+
+    def allow(self) -> bool:
+        """May a worker dispatch the next job right now?
+
+        In OPEN, flips to HALF_OPEN once the cooldown elapses and
+        admits exactly one probe; every other caller waits.
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if time.monotonic() - self._opened_at < self.cooldown_s:
+                    return False
+                self._set_state(HALF_OPEN)
+                self._probing = False
+            # HALF_OPEN: exactly one in-flight probe.
+            if self._probing:
+                return False
+            self._probing = True
+            obs.count("server.breaker.probe")
+            return True
+
+    def record_success(self) -> None:
+        """A dispatched job ran on a healthy worker (its own outcome —
+        pass, fail, deadline — is irrelevant to pool health)."""
+        with self._lock:
+            self._failures = 0
+            if self._state != CLOSED:
+                self._set_state(CLOSED)
+                obs.count("server.breaker.close")
+            self._probing = False
+
+    def record_failure(self) -> None:
+        """A dispatched job lost its worker (crash/hang/OOM kill)."""
+        with self._lock:
+            self._failures += 1
+            tripped = (
+                self._state == HALF_OPEN or self._failures >= self.threshold
+            )
+            if tripped and self._state != OPEN:
+                self._set_state(OPEN)
+                self._opened_at = time.monotonic()
+                obs.count("server.breaker.trip")
+            elif self._state == OPEN:
+                self._opened_at = time.monotonic()
+            self._probing = False
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._failures,
+                "threshold": self.threshold,
+                "cooldown_s": self.cooldown_s,
+            }

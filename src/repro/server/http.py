@@ -1,0 +1,168 @@
+"""Thin JSON/HTTP front end for the characterization service.
+
+Standard-library only (:mod:`http.server`): the repo's no-new-deps
+rule applies to the service tier too.  The HTTP layer adds *no*
+policy — every admission decision is the service's; this module just
+maps it onto status codes:
+
+====================  ======================================================
+``POST /jobs``        submit a :class:`repro.server.jobs.JobSpec` (JSON
+                      body); ``202`` + job status on admission, ``429`` +
+                      ``Retry-After`` on shedding (queue full / quota),
+                      ``503`` + ``Retry-After`` while draining, ``400`` on
+                      a malformed spec
+``GET /jobs/<id>``    job status (``to_dict``), ``404`` unknown
+``GET /jobs/<id>/result``  the result JSON once done (``409`` if not yet
+                      terminal, ``500``-style body if the job failed)
+``GET /healthz``      liveness — always ``200`` while the process serves
+``GET /readyz``       readiness — ``200`` accepting, ``503`` draining
+``GET /metrics``      ``server.*`` counter snapshot + queue/breaker state
+``POST /drain``       begin graceful drain (idempotent)
+====================  ======================================================
+
+Threading: ``ThreadingHTTPServer`` gives one handler thread per
+connection; the service wraps its own entry points in the creator's
+observability context, so handler threads need no special setup.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from ..resilience.errors import (
+    AdmissionError,
+    QueueSaturatedError,
+    QuotaExceededError,
+    ServiceDrainingError,
+)
+from .jobs import JobSpec
+from .service import CharacterizationService
+
+__all__ = ["ServiceHTTPServer", "make_server"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # The service instance is attached to the server object.
+    @property
+    def service(self) -> CharacterizationService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if getattr(self.server, "verbose", False):  # type: ignore[attr-defined]
+            super().log_message(format, *args)
+
+    # -- plumbing -------------------------------------------------------
+    def _send(
+        self,
+        code: int,
+        payload: dict[str, Any],
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict[str, Any] | None:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0 or length > 1 << 20:
+            return None
+        try:
+            return json.loads(self.rfile.read(length))
+        except (ValueError, OSError):
+            return None
+
+    # -- routes ---------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        parts = self.path.rstrip("/").split("/")
+        if self.path in ("/healthz", "/healthz/"):
+            self._send(200, self.service.health())
+        elif self.path in ("/readyz", "/readyz/"):
+            health = self.service.health()
+            self._send(200 if health["ready"] else 503, health)
+        elif self.path in ("/metrics", "/metrics/"):
+            self._send(200, self.service.metrics())
+        elif len(parts) == 3 and parts[1] == "jobs":
+            job = self.service.get(parts[2])
+            if job is None:
+                self._send(404, {"error": f"no such job {parts[2]!r}"})
+            else:
+                self._send(200, job.to_dict())
+        elif len(parts) == 4 and parts[1] == "jobs" and parts[3] == "result":
+            job = self.service.get(parts[2])
+            if job is None:
+                self._send(404, {"error": f"no such job {parts[2]!r}"})
+            elif job.state == "done":
+                self._send(200, {"id": job.id, "result": job.result})
+            elif job.state == "failed":
+                self._send(
+                    200,
+                    {"id": job.id, "error": job.error, "error_kind": job.error_kind},
+                )
+            else:
+                self._send(
+                    409, {"id": job.id, "state": job.state, "error": "not finished"}
+                )
+        else:
+            self._send(404, {"error": f"no route {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        if self.path.rstrip("/") == "/drain":
+            # Flip the flag only; the caller polls /readyz for progress.
+            self.service.begin_drain()
+            self._send(202, {"status": "draining"})
+            return
+        if self.path.rstrip("/") != "/jobs":
+            self._send(404, {"error": f"no route {self.path!r}"})
+            return
+        payload = self._read_json()
+        if payload is None:
+            self._send(400, {"error": "body must be a JSON job spec"})
+            return
+        try:
+            spec = JobSpec.from_dict(payload)
+        except (KeyError, TypeError, ValueError) as exc:
+            self._send(400, {"error": f"bad job spec: {exc}"})
+            return
+        try:
+            job = self.service.submit(spec)
+        except ServiceDrainingError as exc:
+            self._send(503, {"error": str(exc)}, {"Retry-After": "1"})
+        except (QueueSaturatedError, QuotaExceededError) as exc:
+            retry_after = exc.retry_after_s or 0.1
+            self._send(
+                429,
+                {"error": str(exc), "retry_after_s": retry_after},
+                {"Retry-After": f"{max(1, round(retry_after))}"},
+            )
+        except AdmissionError as exc:
+            self._send(429, {"error": str(exc)}, {"Retry-After": "1"})
+        else:
+            self._send(202, job.to_dict())
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """``ThreadingHTTPServer`` carrying the service instance."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, service: CharacterizationService, verbose=False):
+        super().__init__(address, _Handler)
+        self.service = service
+        self.verbose = verbose
+
+
+def make_server(
+    host: str, port: int, service: CharacterizationService, verbose: bool = False
+) -> ServiceHTTPServer:
+    return ServiceHTTPServer((host, port), service, verbose=verbose)

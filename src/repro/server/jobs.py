@@ -1,0 +1,220 @@
+"""Job model for the characterization service.
+
+A job is one unit of request-scoped work: a :class:`JobSpec` (what to
+compute, for whom, how urgently, with what budget) plus the mutable
+execution state the service tracks (:class:`Job`).  The spec's
+parameters are plain JSON data by construction — that is what makes a
+job content-addressable: :meth:`JobSpec.job_key` fingerprints only the
+*result-determining* fields (kind + params), so two tenants asking for
+the same corner coalesce onto one computation while their priority,
+deadline, and identity stay per-submission.
+
+State machine (enforced by :meth:`Job.finish` — exactly one terminal
+transition per job, which is the "zero lost, zero duplicated" half of
+the service contract)::
+
+    PENDING --> RUNNING --> DONE
+       |           |------> FAILED
+       |------------------> DONE/FAILED   (coalesced follower: adopts
+                                           its primary's terminal state)
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..resilience.journal import config_fingerprint
+
+__all__ = ["JOB_KINDS", "JobSpec", "Job", "PENDING", "RUNNING", "DONE", "FAILED"]
+
+#: The request vocabulary.  ``probe`` is a cheap deterministic job for
+#: tests and health checks (sleep/fail on command); ``characterize``
+#: builds a library at a ``(temperature, vdd)`` corner; ``evaluate``
+#: runs the synthesis scenarios on an EPFL circuit against a corner.
+JOB_KINDS = ("probe", "characterize", "evaluate")
+
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+_TERMINAL = (DONE, FAILED)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Immutable description of one requested computation.
+
+    ``params`` must be plain JSON data (validated at construction);
+    ``tenant``/``priority``/``deadline_s`` shape scheduling but not the
+    result, so they stay outside :meth:`job_key`.
+    """
+
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    tenant: str = "default"
+    #: Higher runs sooner within the tenant's share.
+    priority: int = 0
+    #: Wall-clock budget from *admission* [s]; ``None`` = unbounded.
+    deadline_s: float | None = None
+
+    def __post_init__(self):
+        if self.kind not in JOB_KINDS:
+            raise ValueError(
+                f"unknown job kind {self.kind!r}; choose from {JOB_KINDS}"
+            )
+        try:
+            canonical = json.loads(json.dumps(dict(self.params)))
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"job params must be plain JSON data: {exc}") from exc
+        object.__setattr__(self, "params", canonical)
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive, got {self.deadline_s!r}")
+
+    def job_key(self) -> str:
+        """Content address of the *result* this spec asks for."""
+        return "server.job." + config_fingerprint(
+            {"kind": self.kind, "params": self.params}
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "params": dict(self.params),
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "deadline_s": self.deadline_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JobSpec":
+        return cls(
+            kind=data["kind"],
+            params=data.get("params") or {},
+            tenant=data.get("tenant") or "default",
+            priority=int(data.get("priority") or 0),
+            deadline_s=data.get("deadline_s"),
+        )
+
+
+class Job:
+    """One admitted submission and its execution state.
+
+    Thread-safety: state transitions go through :meth:`start` /
+    :meth:`finish` under the job's own lock; :meth:`finish` refuses a
+    second terminal transition, so completion accounting can trust
+    "one terminal event per job id" unconditionally.
+    """
+
+    def __init__(self, job_id: str, spec: JobSpec, *, now: float | None = None):
+        self.id = job_id
+        self.spec = spec
+        self.key = spec.job_key()
+        self.state = PENDING
+        self.submitted_at = time.time()
+        #: Absolute ``time.monotonic`` deadline (set at admission).
+        self.deadline_at = (
+            None
+            if spec.deadline_s is None
+            else (now if now is not None else time.monotonic()) + spec.deadline_s
+        )
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self.result: Any = None
+        self.error: str | None = None
+        self.error_kind: str | None = None
+        self.attempts = 0
+        #: Primary job id this submission coalesced onto (``None`` for
+        #: a primary).
+        self.coalesced_into: str | None = None
+        self._lock = threading.Lock()
+        self._done = threading.Event()
+
+    # -- transitions ----------------------------------------------------
+    def start(self) -> None:
+        with self._lock:
+            if self.state in _TERMINAL:
+                raise RuntimeError(f"job {self.id} already {self.state}")
+            self.state = RUNNING
+            self.attempts += 1
+            if self.started_at is None:
+                self.started_at = time.time()
+
+    def requeued(self) -> None:
+        """Back to PENDING after a recoverable worker failure."""
+        with self._lock:
+            if self.state in _TERMINAL:
+                raise RuntimeError(f"job {self.id} already {self.state}")
+            self.state = PENDING
+
+    def finish(
+        self,
+        *,
+        result: Any = None,
+        error: BaseException | str | None = None,
+        error_kind: str | None = None,
+    ) -> None:
+        """The single terminal transition (DONE or FAILED)."""
+        with self._lock:
+            if self.state in _TERMINAL:
+                raise RuntimeError(
+                    f"duplicate terminal transition for job {self.id} "
+                    f"(already {self.state})"
+                )
+            self.finished_at = time.time()
+            if error is None:
+                self.state = DONE
+                self.result = result
+            else:
+                self.state = FAILED
+                self.error = str(error)
+                if error_kind is not None:
+                    self.error_kind = error_kind
+                elif isinstance(error, BaseException):
+                    self.error_kind = type(error).__name__
+                else:
+                    self.error_kind = "error"
+        self._done.set()
+
+    # -- queries --------------------------------------------------------
+    @property
+    def terminal(self) -> bool:
+        return self.state in _TERMINAL
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job reaches a terminal state."""
+        return self._done.wait(timeout)
+
+    def remaining_s(self, now: float | None = None) -> float | None:
+        """Seconds left on the deadline; ``None`` when unbounded."""
+        if self.deadline_at is None:
+            return None
+        return self.deadline_at - (now if now is not None else time.monotonic())
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON status view (the ``GET /jobs/<id>`` payload)."""
+        out = {
+            "id": self.id,
+            "key": self.key,
+            "state": self.state,
+            "kind": self.spec.kind,
+            "tenant": self.spec.tenant,
+            "priority": self.spec.priority,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "attempts": self.attempts,
+        }
+        if self.coalesced_into is not None:
+            out["coalesced_into"] = self.coalesced_into
+        if self.error is not None:
+            out["error"] = self.error
+            out["error_kind"] = self.error_kind
+        return out
+
+    def __repr__(self) -> str:
+        return f"Job({self.id!r}, {self.spec.kind}, {self.state})"

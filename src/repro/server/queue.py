@@ -1,0 +1,170 @@
+"""Bounded, weighted-fair, priority job queue.
+
+The scheduling half of admission control (the policy half — quotas,
+coalescing, draining — lives in :class:`repro.server.service.
+CharacterizationService`).  Three properties, composed:
+
+* **Bounded** — ``push`` on a full queue raises
+  :class:`repro.resilience.errors.QueueSaturatedError` carrying a
+  retry-after estimate instead of buffering without limit; admitted
+  work is never evicted (``push(force=True)`` re-queues an
+  already-admitted job past the bound, e.g. after a worker crash).
+* **Weighted-fair across tenants** — dequeue runs smooth weighted
+  round-robin over the tenants that currently have work: each pop adds
+  every active tenant's weight to its running credit, picks the
+  largest credit, and charges the pick the total active weight.  A
+  tenant with weight 3 gets 3 of every 4 slots against a weight-1
+  tenant under saturation, yet the weight-1 tenant is never starved —
+  its credit grows until it must win.
+* **Priority within a tenant** — each tenant's backlog is a heap
+  ordered by ``(-priority, admission sequence)``: urgent first, FIFO
+  among equals.
+
+Thread-safe; ``pop`` blocks on a condition variable (with timeout) so
+idle workers cost nothing.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from typing import Any
+
+from .. import obs
+from ..resilience import faults
+from ..resilience.errors import QueueSaturatedError
+from .jobs import Job
+
+__all__ = ["JobQueue"]
+
+
+class JobQueue:
+    """Bounded priority queue with smooth weighted-round-robin tenants.
+
+    ``weights`` maps tenant name to a positive integer share; unknown
+    tenants get ``default_weight``.  ``retry_after_s`` on the
+    saturation error is ``depth / throughput`` using the caller-fed
+    service rate (:meth:`note_service_rate`), clamped to a sane floor.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        weights: dict[str, int] | None = None,
+        default_weight: int = 1,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.weights = dict(weights or {})
+        self.default_weight = max(1, int(default_weight))
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        #: tenant -> heap of ``(-priority, seq, job)``.
+        self._backlogs: dict[str, list[tuple[int, int, Job]]] = {}
+        #: tenant -> SWRR running credit.
+        self._credit: dict[str, int] = {}
+        self._seq = 0
+        self._size = 0
+        self._closed = False
+        #: EWMA of seconds of service per job (for retry-after).
+        self._service_s = 1.0
+
+    # -- sizing ---------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return self._size
+
+    def depth(self) -> int:
+        return len(self)
+
+    def note_service_rate(self, seconds_per_job: float) -> None:
+        """Feed one completed-job duration into the retry-after EWMA."""
+        with self._lock:
+            self._service_s = 0.8 * self._service_s + 0.2 * max(
+                1e-3, seconds_per_job
+            )
+
+    def retry_after_s(self) -> float:
+        """How long a shed client should wait before resubmitting."""
+        with self._lock:
+            return max(0.05, self._size * self._service_s)
+
+    # -- producer side --------------------------------------------------
+    def push(self, job: Job, force: bool = False) -> None:
+        """Enqueue one admitted job.
+
+        ``force`` bypasses the capacity bound for jobs the service
+        already accepted (crash re-queues must never be shed — the
+        client was told the job was admitted).  The ``server.queue_full``
+        fault site injects artificial saturation for chaos tests.
+        """
+        with self._lock:
+            if not force and (
+                self._size >= self.capacity
+                or faults.should_fire("server.queue_full")
+            ):
+                obs.count("server.queue.full")
+                raise QueueSaturatedError(
+                    f"job queue is full ({self._size}/{self.capacity} "
+                    f"pending); retry later",
+                    site="server.queue_full",
+                    retry_after_s=max(0.05, self._size * self._service_s),
+                )
+            tenant = job.spec.tenant
+            backlog = self._backlogs.setdefault(tenant, [])
+            self._credit.setdefault(tenant, 0)
+            heapq.heappush(backlog, (-job.spec.priority, self._seq, job))
+            self._seq += 1
+            self._size += 1
+            obs.gauge("server.queue.depth", self._size)
+            self._not_empty.notify()
+
+    # -- consumer side --------------------------------------------------
+    def _pick_tenant(self) -> str:
+        """One smooth-WRR step over tenants with pending work."""
+        active = [t for t, backlog in self._backlogs.items() if backlog]
+        if len(active) == 1:
+            return active[0]
+        total = 0
+        for tenant in active:
+            weight = self.weights.get(tenant, self.default_weight)
+            self._credit[tenant] = self._credit.get(tenant, 0) + weight
+            total += weight
+        pick = max(active, key=lambda t: (self._credit[t], t))
+        self._credit[pick] -= total
+        return pick
+
+    def pop(self, timeout: float | None = None) -> Job | None:
+        """Next job by fairness + priority; ``None`` on timeout/close."""
+        with self._not_empty:
+            while self._size == 0:
+                if self._closed:
+                    return None
+                if not self._not_empty.wait(timeout):
+                    return None
+            tenant = self._pick_tenant()
+            _, _, job = heapq.heappop(self._backlogs[tenant])
+            self._size -= 1
+            obs.gauge("server.queue.depth", self._size)
+            return job
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Wake every blocked ``pop`` (they return ``None`` when empty)."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    def snapshot(self) -> dict[str, Any]:
+        """Depth per tenant (for health endpoints)."""
+        with self._lock:
+            return {
+                "depth": self._size,
+                "capacity": self.capacity,
+                "tenants": {
+                    tenant: len(backlog)
+                    for tenant, backlog in self._backlogs.items()
+                    if backlog
+                },
+            }

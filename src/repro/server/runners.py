@@ -1,0 +1,164 @@
+"""Job bodies: what each :data:`repro.server.jobs.JOB_KINDS` computes.
+
+One entry point, :func:`execute_job`, shared by both execution tiers:
+
+* thread tier — the service worker thread calls it directly, sharing
+  the service's :class:`repro.core.artifacts.ArtifactCache` object;
+* process tier — :func:`job_task` is the picklable wrapper the
+  supervised subprocess runs (``run_isolated``); it rebuilds a cache on
+  the same *directory*, so the disk tier is still shared.
+
+Every result is plain JSON data (dicts/lists/scalars only): it must
+serialize to the per-key result file byte-identically across runs,
+which is what makes the drain/resume contract checkable with ``cmp``.
+
+The per-job deadline arrives as ``budget_s`` (seconds remaining at
+dispatch) and is spent where the work happens: ``evaluate`` forwards
+it to :func:`repro.core.flow.run_scenarios` (stage-level checks),
+``characterize``/``probe`` check it at their few boundaries.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Mapping
+
+from ..resilience.errors import StageTimeoutError
+
+__all__ = ["execute_job", "job_task"]
+
+
+def _deadline_at(budget_s: float | None) -> float | None:
+    return None if budget_s is None else time.monotonic() + budget_s
+
+
+def _check_deadline(deadline_at: float | None, what: str) -> None:
+    if deadline_at is not None and time.monotonic() >= deadline_at:
+        raise StageTimeoutError(
+            f"job deadline exhausted before {what}", site="server.deadline"
+        )
+
+
+def _run_probe(params: Mapping[str, Any], deadline_at: float | None) -> dict:
+    """Deterministic test job: sleep, then echo — or fail on command."""
+    sleep_s = float(params.get("sleep_s", 0.0))
+    if sleep_s > 0:
+        if deadline_at is not None:
+            remaining = deadline_at - time.monotonic()
+            if sleep_s > remaining:
+                time.sleep(max(0.0, remaining))
+                raise StageTimeoutError(
+                    f"probe sleep of {sleep_s:g}s exceeds the job deadline",
+                    site="server.deadline",
+                )
+        time.sleep(sleep_s)
+    if params.get("fail"):
+        raise ValueError(str(params.get("fail")))
+    return {"kind": "probe", "echo": params.get("echo")}
+
+
+def _run_characterize(params: Mapping[str, Any], cache, deadline_at) -> dict:
+    """Characterize the default technology at a ``(T, vdd)`` corner."""
+    from ..core.context import DesignContext
+
+    temperature = float(params.get("temperature", 10.0))
+    vdd = params.get("vdd")
+    _check_deadline(deadline_at, "characterization")
+    context = DesignContext.default(
+        temperature,
+        cache=cache,
+        vdd=None if vdd is None else float(vdd),
+    )
+    library = context.library
+    return {
+        "kind": "characterize",
+        "temperature_k": library.temperature,
+        "vdd": vdd if vdd is None else float(vdd),
+        "cells": len(library),
+        "fingerprint": library.fingerprint(),
+        "degraded": sorted(library.degraded_arcs()),
+    }
+
+
+def _run_evaluate(params: Mapping[str, Any], cache, deadline_at) -> dict:
+    """All (or chosen) scenarios on one EPFL circuit at a corner."""
+    from ..benchgen import EPFL_SUITE, build_circuit
+    from ..core.context import DesignContext
+    from ..core.flow import SCENARIOS, run_scenarios
+
+    circuit = params.get("circuit")
+    if circuit not in EPFL_SUITE:
+        raise ValueError(
+            f"unknown circuit {circuit!r}; choose from {sorted(EPFL_SUITE)}"
+        )
+    scenarios = params.get("scenarios") or list(SCENARIOS)
+    unknown = [s for s in scenarios if s not in SCENARIOS]
+    if unknown:
+        raise ValueError(f"unknown scenarios {unknown}; choose from {sorted(SCENARIOS)}")
+    temperature = float(params.get("temperature", 10.0))
+    vdd = params.get("vdd")
+    preset = str(params.get("preset", "default"))
+    vectors = int(params.get("vectors", 512))
+
+    aig = build_circuit(circuit, preset)
+    _check_deadline(deadline_at, "characterization")
+    context = DesignContext.default(
+        temperature,
+        cache=cache,
+        vdd=None if vdd is None else float(vdd),
+    )
+    _check_deadline(deadline_at, "synthesis")
+    results = run_scenarios(
+        aig,
+        context=context,
+        scenarios=list(scenarios),
+        vectors=vectors,
+        deadline_s=(
+            None if deadline_at is None else max(0.0, deadline_at - time.monotonic())
+        ),
+    )
+    return {
+        "kind": "evaluate",
+        "circuit": circuit,
+        "preset": preset,
+        "temperature_k": temperature,
+        "vdd": vdd if vdd is None else float(vdd),
+        "scenarios": {name: result.to_dict() for name, result in results.items()},
+    }
+
+
+def execute_job(
+    kind: str,
+    params: Mapping[str, Any],
+    *,
+    cache=None,
+    budget_s: float | None = None,
+) -> dict:
+    """Run one job body; returns its plain-JSON result."""
+    deadline_at = _deadline_at(budget_s)
+    if kind == "probe":
+        return _run_probe(params, deadline_at)
+    if cache is None:
+        from ..core.artifacts import ArtifactCache
+
+        cache = ArtifactCache()
+    if kind == "characterize":
+        return _run_characterize(params, cache, deadline_at)
+    if kind == "evaluate":
+        return _run_evaluate(params, cache, deadline_at)
+    raise ValueError(f"unknown job kind {kind!r}")
+
+
+def job_task(payload: tuple) -> dict:
+    """Subprocess entry point (``isolate="process"``): unpack, run.
+
+    ``payload`` is ``(kind, params, budget_s, cache_dir)``; the worker
+    opens its own cache on the shared directory so expensive artifacts
+    (characterized corners, mapped netlists) persist across workers and
+    restarts.
+    """
+    kind, params, budget_s, cache_dir = payload
+    from ..core.artifacts import ArtifactCache
+
+    cache = ArtifactCache(cache_dir=cache_dir)
+    return execute_job(kind, params, cache=cache, budget_s=budget_s)

@@ -1,0 +1,588 @@
+"""The characterization service: admission, execution, recovery.
+
+:class:`CharacterizationService` is the long-running core behind
+``repro serve``.  It ties the existing resilience substrate into a
+request-serving shape:
+
+* **Admission control** — :meth:`submit` either returns an admitted
+  :class:`repro.server.jobs.Job` or raises a subclass of
+  :class:`repro.resilience.errors.AdmissionError` carrying a
+  retry-after hint: the queue is full (load shedding), the tenant is
+  over quota, or the service is draining.  Admitted work is never
+  silently dropped — every admitted job reaches exactly one terminal
+  state, even across a crash (see the journal notes below).
+* **Coalescing** — jobs are content-addressed by
+  :meth:`JobSpec.job_key`.  A submission whose key is already in
+  flight becomes a *follower* of the running primary (one computation,
+  N answers); one whose key is already in the completed-results store
+  returns finished immediately.
+* **Weighted-fair scheduling** — the bounded
+  :class:`repro.server.queue.JobQueue` picks the next job by smooth
+  weighted round-robin across tenants, priority-ordered within each.
+* **Supervised execution** — worker threads run job bodies either
+  in-process (sharing the service's
+  :class:`repro.core.artifacts.ArtifactCache`) or in supervised
+  subprocesses (``isolate="process"`` via
+  :func:`repro.resilience.isolation.run_isolated`).  A worker crash
+  re-queues the job (bounded attempts) and feeds the
+  :class:`repro.server.breaker.CircuitBreaker`, which pauses *dequeue*
+  — never admission — while the pool looks systemically unhealthy.
+* **Deadlines** — a job's ``deadline_s`` starts at admission and is
+  propagated into the stage runner
+  (:class:`repro.core.stages.FlowRunner` ``deadline_at``), so a job
+  that waited too long in the queue fails fast instead of starting
+  synthesis it cannot finish.
+* **Crash safety / graceful drain** — with a
+  :class:`repro.resilience.journal.RunJournal`, admission of a primary
+  commits a ``job_submit`` record and its terminal state commits
+  ``job_done`` (write-ahead, fsync'd).  :func:`unfinished_specs`
+  replays a journal into the set of submitted-but-unfinished specs, so
+  ``repro serve --resume`` finishes exactly the jobs a ``SIGTERM``/
+  ``kill -9`` interrupted; completed results reload byte-identically
+  from the results directory.
+
+Counters (all under ``server.``, persisted by the run ledger):
+``submitted``, ``admitted``, ``shed`` (+ ``.queue_full`` / ``.quota``
+/ ``.draining`` / ``.injected``), ``coalesced``, ``cached``,
+``completed``, ``failed``, ``retried``, ``worker_crash``; gauges
+``queue.depth``, ``inflight``, ``breaker.state``; histogram
+``job.wall_s``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import hashlib
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any
+
+from .. import obs
+from ..resilience import faults
+from ..resilience.errors import (
+    InjectedFaultError,
+    QueueSaturatedError,
+    QuotaExceededError,
+    ServiceDrainingError,
+    StageTimeoutError,
+    WorkerCrashError,
+)
+from .breaker import CircuitBreaker
+from .jobs import Job, JobSpec
+from .queue import JobQueue
+from .runners import execute_job, job_task
+
+__all__ = ["CharacterizationService", "unfinished_specs"]
+
+
+def _result_path(results_dir: Path, key: str) -> Path:
+    # ``server.job.<hex>`` -> ``<hex>.json``: filesystem-safe and
+    # reversible.
+    return results_dir / (key.rsplit(".", 1)[-1] + ".json")
+
+
+def _result_bytes(result: Any) -> bytes:
+    """Canonical on-disk form; byte-stable across identical reruns."""
+    return (json.dumps(result, indent=2, sort_keys=True) + "\n").encode()
+
+
+def unfinished_specs(records: list[dict]) -> list[JobSpec]:
+    """Submitted-but-unfinished job specs from journal records.
+
+    A key whose *latest* record is a ``job_submit`` (no ``job_done``
+    after it) was in flight when the writer died; one re-submission per
+    such key recomputes it (followers of the lost primary re-coalesce
+    through the results store).  Last-event ordering — not submit/done
+    counting — keeps the rule correct across resumed sessions, where a
+    recovery run appends a *second* submit/done pair for the same key.
+    Order of first submission is preserved.
+    """
+    open_submit: dict[str, bool] = {}
+    specs: dict[str, dict] = {}
+    order: list[str] = []
+    for record in records:
+        kind = record.get("kind")
+        key = record.get("key")
+        if not key:
+            continue
+        if kind == "job_submit" and isinstance(record.get("spec"), dict):
+            if key not in specs:
+                order.append(key)
+            specs[key] = record["spec"]
+            open_submit[key] = True
+        elif kind == "job_done":
+            open_submit[key] = False
+    return [JobSpec.from_dict(specs[key]) for key in order if open_submit.get(key)]
+
+
+class CharacterizationService:
+    """Admission-controlled characterization job service.
+
+    Pure-Python, embeddable (the load harness drives it in-process;
+    ``repro serve`` wraps it in HTTP).  ``start()`` spins up the worker
+    threads; ``drain()``/``shutdown()`` stop admission and finish (or
+    abandon to the journal) in-flight work.
+    """
+
+    def __init__(
+        self,
+        *,
+        capacity: int = 64,
+        workers: int = 2,
+        isolate: str = "thread",
+        quotas: dict[str, int] | None = None,
+        default_quota: int | None = None,
+        weights: dict[str, int] | None = None,
+        breaker_threshold: int = 3,
+        breaker_cooldown_s: float = 2.0,
+        max_attempts: int = 3,
+        default_deadline_s: float | None = None,
+        cache=None,
+        results_dir: str | os.PathLike | None = None,
+        journal=None,
+        task_timeout_s: float | None = None,
+        max_rss_mb: float | None = None,
+    ):
+        if isolate not in ("thread", "process"):
+            raise ValueError(f"isolate must be 'thread' or 'process', got {isolate!r}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        from ..core.artifacts import ArtifactCache
+
+        self.isolate = isolate
+        self.workers = workers
+        self.max_attempts = max(1, int(max_attempts))
+        self.default_deadline_s = default_deadline_s
+        self.quotas = dict(quotas or {})
+        self.default_quota = default_quota
+        self.cache = cache if cache is not None else ArtifactCache()
+        self.results_dir = Path(results_dir) if results_dir is not None else None
+        if self.results_dir is not None:
+            self.results_dir.mkdir(parents=True, exist_ok=True)
+        self.journal = journal
+        self.task_timeout_s = task_timeout_s
+        self.max_rss_mb = max_rss_mb
+
+        self._queue = JobQueue(capacity=capacity, weights=weights)
+        self._breaker = CircuitBreaker(
+            threshold=breaker_threshold, cooldown_s=breaker_cooldown_s
+        )
+        self._lock = threading.RLock()
+        self._jobs: dict[str, Job] = {}
+        #: key -> id of the in-flight primary computing it.
+        self._primaries: dict[str, str] = {}
+        #: key -> follower job ids waiting on the primary.
+        self._followers: dict[str, list[str]] = {}
+        #: key -> completed result (also persisted under results_dir).
+        self._results: dict[str, Any] = {}
+        self._active_per_tenant: dict[str, int] = {}
+        self._inflight = 0
+        self._next_id = 0
+        self._draining = False
+        self._stop = False
+        self._threads: list[threading.Thread] = []
+        #: Authoritative local counter mirror (``/metrics`` must work
+        #: even in a context with no tracer installed).
+        self.counters: dict[str, int] = {}
+        # Worker threads and HTTP handler threads do not inherit the
+        # creator's context-local tracer; every entry point re-enters a
+        # copy of the creation context so spans/counters keep landing
+        # in the surrounding trace.
+        self._obs_context = contextvars.copy_context()
+
+        if self.results_dir is not None:
+            self._load_results()
+
+    # -- observability helpers ------------------------------------------
+    def _count(self, name: str, n: int = 1) -> None:
+        obs.count(name, n)
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + n
+
+    def _load_results(self) -> None:
+        """Reload persisted results (the resume fast-path)."""
+        for path in sorted(self.results_dir.glob("*.json")):
+            try:
+                value = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue  # torn write from a crash mid-persist
+            self._results["server.job." + path.stem] = value
+        if self._results:
+            self._count("server.results_loaded", len(self._results))
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "CharacterizationService":
+        """Spin up the worker threads (idempotent)."""
+        with self._lock:
+            if self._threads:
+                return self
+            for index in range(self.workers):
+                thread = threading.Thread(
+                    target=self._thread_main,
+                    name=f"repro-serve-worker-{index}",
+                    daemon=True,
+                )
+                thread.start()
+                self._threads.append(thread)
+        return self
+
+    def _thread_main(self) -> None:
+        self._obs_context.copy().run(self._worker_loop)
+
+    def begin_drain(self) -> None:
+        """Stop admitting new jobs (non-blocking, idempotent)."""
+        with self._lock:
+            self._draining = True
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Stop admitting; wait for queued + in-flight work to finish.
+
+        Returns ``True`` when the service went fully idle within
+        ``timeout`` — the clean-drain exit.  On ``False`` the remaining
+        work is still journaled (``job_submit`` without ``job_done``),
+        so a later ``--resume`` completes it.
+        """
+        self.begin_drain()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if self.idle:
+                return True
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            time.sleep(0.02)
+
+    def shutdown(self, timeout: float | None = None) -> bool:
+        """Drain, then stop and join the worker threads."""
+        drained = self.drain(timeout)
+        with self._lock:
+            self._stop = True
+        self._queue.close()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        return drained
+
+    @property
+    def idle(self) -> bool:
+        with self._lock:
+            return self._inflight == 0 and self._queue.depth() == 0
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    # -- submission -----------------------------------------------------
+    def submit(self, spec: JobSpec) -> Job:
+        """Admit one job (or raise an :class:`AdmissionError`)."""
+        return self._obs_context.copy().run(self._submit, spec)
+
+    def _submit(self, spec: JobSpec) -> Job:
+        self._count("server.submitted")
+        if faults.should_fire("server.submit"):
+            self._count("server.shed")
+            self._count("server.shed.injected")
+            raise InjectedFaultError(
+                "injected submission failure", site="server.submit"
+            )
+        if spec.deadline_s is None and self.default_deadline_s is not None:
+            spec = JobSpec(
+                kind=spec.kind,
+                params=spec.params,
+                tenant=spec.tenant,
+                priority=spec.priority,
+                deadline_s=self.default_deadline_s,
+            )
+        with self._lock:
+            if self._draining or self._stop:
+                self._count("server.shed")
+                self._count("server.shed.draining")
+                raise ServiceDrainingError(
+                    "service is draining; not admitting new jobs",
+                    site="server.submit",
+                    retry_after_s=None,
+                )
+            job = Job(self._alloc_id(), spec)
+            key = job.key
+
+            # Fast path: the answer is already known.
+            if key in self._results:
+                self._jobs[job.id] = job
+                job.finish(result=self._results[key])
+                self._count("server.admitted")
+                self._count("server.cached")
+                self._count("server.completed")
+                return job
+
+            tenant = spec.tenant
+            quota = self.quotas.get(tenant, self.default_quota)
+            if (
+                quota is not None
+                and self._active_per_tenant.get(tenant, 0) >= quota
+            ):
+                self._count("server.shed")
+                self._count("server.shed.quota")
+                raise QuotaExceededError(
+                    f"tenant {tenant!r} is at its quota of {quota} "
+                    f"outstanding jobs",
+                    site="server.submit",
+                    retry_after_s=self._queue.retry_after_s(),
+                )
+
+            # Coalesce onto an in-flight primary.
+            primary_id = self._primaries.get(key)
+            if primary_id is not None:
+                job.coalesced_into = primary_id
+                self._jobs[job.id] = job
+                self._followers.setdefault(key, []).append(job.id)
+                self._active_per_tenant[tenant] = (
+                    self._active_per_tenant.get(tenant, 0) + 1
+                )
+                self._count("server.admitted")
+                self._count("server.coalesced")
+                return job
+
+            # Fresh primary: take a queue slot (may shed).
+            try:
+                self._queue.push(job)
+            except QueueSaturatedError:
+                self._count("server.shed")
+                self._count("server.shed.queue_full")
+                raise
+            self._jobs[job.id] = job
+            self._primaries[key] = job.id
+            self._active_per_tenant[tenant] = (
+                self._active_per_tenant.get(tenant, 0) + 1
+            )
+            if self.journal is not None:
+                self.journal.record(
+                    "job_submit", id=job.id, key=key, spec=spec.to_dict()
+                )
+            self._count("server.admitted")
+            return job
+
+    def _alloc_id(self) -> str:
+        self._next_id += 1
+        return f"job-{self._next_id:06d}"
+
+    # -- queries --------------------------------------------------------
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def result(self, job_id: str) -> Any:
+        job = self.get(job_id)
+        return None if job is None or job.state != "done" else job.result
+
+    def health(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "status": "draining" if self._draining else "ok",
+                "ready": not self._draining and not self._stop,
+                "inflight": self._inflight,
+                "queue": self._queue.snapshot(),
+                "breaker": self._breaker.snapshot(),
+                "jobs": len(self._jobs),
+                "results": len(self._results),
+                "workers": self.workers,
+                "isolate": self.isolate,
+            }
+
+    def metrics(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "counters": dict(sorted(self.counters.items())),
+                "queue": self._queue.snapshot(),
+                "breaker": self._breaker.snapshot(),
+                "inflight": self._inflight,
+            }
+
+    # -- execution ------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            with self._lock:
+                if self._stop:
+                    return
+            # Pop and claim under one service-lock hold: ``idle`` (also
+            # read under the service lock) can therefore never observe
+            # the instant where a job has left the queue but is not yet
+            # counted in flight — the window that would let ``drain``
+            # declare victory with work still pending.
+            with self._lock:
+                job = self._queue.pop(timeout=0)
+                if job is not None:
+                    self._inflight += 1
+                    obs.gauge("server.inflight", self._inflight)
+            if job is None:
+                time.sleep(0.02)
+                continue
+            remaining = job.remaining_s()
+            if remaining is not None and remaining <= 0:
+                # Expired while queued: fail fast, never start work.
+                self._count("server.deadline_expired")
+                self._finish(
+                    job,
+                    error=StageTimeoutError(
+                        f"job {job.id} deadline expired after "
+                        f"{job.spec.deadline_s:g}s in the queue",
+                        site="server.deadline",
+                    ),
+                )
+                self._release_inflight()
+                continue
+            if not self._breaker.allow():
+                # Pool unhealthy: keep the job (admitted work is never
+                # shed), check again shortly.
+                self._queue.push(job, force=True)
+                self._release_inflight()
+                time.sleep(0.05)
+                continue
+            self._execute(job, remaining)
+
+    def _execute(self, job: Job, budget_s: float | None) -> None:
+        # The worker loop already claimed the in-flight slot at pop.
+        job.start()
+        t0 = time.monotonic()
+        try:
+            with obs.span(
+                "server.job", kind=job.spec.kind, tenant=job.spec.tenant
+            ):
+                if faults.should_fire("server.worker_crash"):
+                    raise WorkerCrashError(
+                        f"injected worker crash on {job.id}",
+                        site="server.worker_crash",
+                    )
+                if self.isolate == "process":
+                    cache_dir = self.cache.cache_dir
+                    result = run_isolated_job(
+                        job, budget_s, cache_dir, self.task_timeout_s,
+                        self.max_rss_mb,
+                    )
+                else:
+                    result = execute_job(
+                        job.spec.kind,
+                        job.spec.params,
+                        cache=self.cache,
+                        budget_s=budget_s,
+                    )
+        except WorkerCrashError as exc:
+            self._count("server.worker_crash")
+            self._breaker.record_failure()
+            if job.attempts < self.max_attempts:
+                self._count("server.retried")
+                job.requeued()
+                self._queue.push(job, force=True)
+            else:
+                self._finish(job, error=exc)
+            # Inflight is released only after the job is back in the
+            # queue (or terminal), so ``drain`` never sees a spuriously
+            # idle instant with work still pending.
+            self._release_inflight()
+            return
+        except Exception as exc:
+            # The worker itself was healthy; the job failed on its own
+            # terms (bad params, deadline, guard violation, ...).
+            self._breaker.record_success()
+            self._finish(job, error=exc)
+            self._release_inflight()
+            return
+        self._breaker.record_success()
+        elapsed = time.monotonic() - t0
+        self._queue.note_service_rate(elapsed)
+        obs.observe("server.job.wall_s", elapsed)
+        self._finish(job, result=result)
+        self._release_inflight()
+
+    def _release_inflight(self) -> None:
+        with self._lock:
+            self._inflight -= 1
+            obs.gauge("server.inflight", self._inflight)
+
+    def _finish(self, job: Job, *, result: Any = None, error=None) -> None:
+        """Terminal transition for a primary and all its followers."""
+        with self._lock:
+            key = job.key
+            followers = self._followers.pop(key, [])
+            if self._primaries.get(key) == job.id:
+                del self._primaries[key]
+            if error is None:
+                self._results[key] = result
+                digest = self._persist_result(key, result)
+            else:
+                digest = None
+            if self.journal is not None and job.coalesced_into is None:
+                # Followers are not journaled at submit, so they carry
+                # no completion record either; one (submit, done) pair
+                # per primary keeps resume replay exact.  A journal
+                # write failure (disk full, closed mid-shutdown) must
+                # not discard a computed result — the job still reaches
+                # its terminal state; the un-done submit record simply
+                # re-runs on resume, which is safe (content-addressed).
+                try:
+                    self.journal.record(
+                        "job_done",
+                        id=job.id,
+                        key=key,
+                        status="done" if error is None else "failed",
+                        digest=digest,
+                        error=None if error is None else str(error),
+                    )
+                except Exception:
+                    self._count("server.journal_error")
+            job.finish(result=result, error=error)
+            self._count("server.completed" if error is None else "server.failed")
+            self._retire_tenant_slot(job.spec.tenant)
+            for follower_id in followers:
+                follower = self._jobs[follower_id]
+                follower.finish(result=result, error=error)
+                self._count(
+                    "server.completed" if error is None else "server.failed"
+                )
+                self._retire_tenant_slot(follower.spec.tenant)
+
+    def _retire_tenant_slot(self, tenant: str) -> None:
+        active = self._active_per_tenant.get(tenant, 0) - 1
+        if active > 0:
+            self._active_per_tenant[tenant] = active
+        else:
+            self._active_per_tenant.pop(tenant, None)
+
+    def _persist_result(self, key: str, result: Any) -> str | None:
+        """Atomically write the canonical result file; returns digest."""
+        data = _result_bytes(result)
+        digest = hashlib.sha256(data).hexdigest()[:32]
+        if self.results_dir is None:
+            return digest
+        path = _result_path(self.results_dir, key)
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        try:
+            tmp.write_bytes(data)
+            os.replace(tmp, path)
+        except OSError:
+            # A failed persist degrades to memory-only; the in-memory
+            # result still answers this session's followers.
+            with contextlib.suppress(OSError):
+                tmp.unlink()
+        return digest
+
+
+def run_isolated_job(job, budget_s, cache_dir, task_timeout_s, max_rss_mb):
+    """Dispatch one job body to a supervised subprocess."""
+    from ..resilience.isolation import run_isolated
+
+    payload = (
+        job.spec.kind,
+        dict(job.spec.params),
+        budget_s,
+        str(cache_dir) if cache_dir is not None else None,
+    )
+    return run_isolated(
+        job_task,
+        payload,
+        label=job.id,
+        task_timeout_s=task_timeout_s,
+        max_rss_mb=max_rss_mb,
+    )

@@ -16,6 +16,7 @@ from repro.resilience import (
     FaultSpec,
     InjectedCrashError,
     JournalError,
+    JournalLockedError,
     JournalMismatchError,
     RunJournal,
     artifact_digest,
@@ -117,6 +118,54 @@ class TestResumeValidation:
         path = tmp_path / "run.jsonl"
         RunJournal.create(path, {"circuits": ["ctrl"]}).close()
         assert RunJournal.resume(path).records
+
+
+class TestWriterLock:
+    """Exactly one live writer per journal path (ISSUE 8 satellite)."""
+
+    def test_second_create_refused_while_first_writes(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        first = RunJournal.create(path, {"cmd": "serve"})
+        try:
+            first.record("job_submit", key="k1")
+            with pytest.raises(JournalLockedError, match="already open"):
+                RunJournal.create(path, {"cmd": "serve"})
+            # The loser did not truncate the live writer's records.
+            assert [r["kind"] for r in load_records(path)[0]] == \
+                ["run_start", "job_submit"]
+        finally:
+            first.close()
+
+    def test_resume_refused_while_writer_is_live(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal.create(path) as journal:
+            journal.record("scenario", key="k", digest="d")
+            with pytest.raises(JournalLockedError):
+                RunJournal.resume(path)
+
+    def test_close_releases_the_lock(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        RunJournal.create(path).close()
+        assert not (tmp_path / "run.jsonl.lock").exists()
+        with RunJournal.resume(path) as journal:  # no error
+            journal.record("scenario", key="k", digest="d")
+
+    def test_stale_lock_from_dead_pid_is_reclaimed(self, tmp_path):
+        # The kill -9 the journal exists to survive leaves the lock
+        # file behind; a pid that no longer runs must not wedge resume.
+        path = tmp_path / "run.jsonl"
+        RunJournal.create(path).close()
+        (tmp_path / "run.jsonl.lock").write_text("999999999\n")
+        with RunJournal.resume(path) as journal:
+            journal.record("scenario", key="k", digest="d")
+        assert not (tmp_path / "run.jsonl.lock").exists()
+
+    def test_garbage_lock_file_is_reclaimed(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        RunJournal.create(path).close()
+        (tmp_path / "run.jsonl.lock").write_text("not-a-pid\n")
+        with RunJournal.resume(path):
+            pass
 
 
 class TestCrashSite:

@@ -1,0 +1,178 @@
+"""Graceful drain and kill/resume for ``repro serve`` (end to end).
+
+The satellite-3 contract: SIGTERM drains in-flight work and exits 0;
+``kill -9`` mid-job leaves a journal whose ``--resume`` completes the
+interrupted job to a result **byte-identical** to an uninterrupted
+run's persisted result file.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+pytestmark = pytest.mark.slow
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env.pop("REPRO_FAULTS", None)
+    return env
+
+
+def _serve(tmp: Path, *extra):
+    cmd = [
+        sys.executable, "-m", "repro", "serve",
+        "--port", "0", "--port-file", str(tmp / "port.txt"),
+        "--workers", "2", "--no-ledger",
+        "--results-dir", str(tmp / "results"),
+        *extra,
+    ]
+    return subprocess.Popen(
+        cmd, env=_env(), stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE, text=True,
+    )
+
+
+def _wait_port(tmp: Path, proc, timeout=60.0) -> int:
+    deadline = time.monotonic() + timeout
+    port_file = tmp / "port.txt"
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise AssertionError(f"serve exited early: {proc.stderr.read()}")
+        if port_file.exists() and port_file.read_text().strip():
+            return int(port_file.read_text())
+        time.sleep(0.05)
+    raise AssertionError("serve never wrote its port file")
+
+
+def _post(port: int, spec: dict) -> dict:
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}/jobs",
+        data=json.dumps(spec).encode(),
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return json.loads(response.read())
+
+
+def _poll_done(port: int, job_id: str, timeout=120.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/jobs/{job_id}", timeout=30
+        ) as response:
+            state = json.loads(response.read())["state"]
+        if state in ("done", "failed"):
+            assert state == "done"
+            return
+        time.sleep(0.1)
+    raise AssertionError(f"job {job_id} never finished")
+
+
+#: The job the kill/resume test interrupts: real characterization work
+#: (a 77 K corner), so byte-identity checks determinism of the whole
+#: compute-and-persist path across two processes, not just an echo.
+CORNER = {"kind": "characterize", "params": {"temperature": 77.0},
+          "tenant": "drain-test"}
+
+
+def test_sigterm_drains_in_flight_jobs_and_exits_zero(tmp_path):
+    proc = _serve(tmp_path, "--journal", str(tmp_path / "serve.jnl"))
+    port = _wait_port(tmp_path, proc)
+    jobs = [
+        _post(port, {"kind": "probe",
+                     "params": {"echo": i, "sleep_s": 0.2}})
+        for i in range(4)
+    ]
+    proc.send_signal(signal.SIGTERM)
+    assert proc.wait(timeout=60) == 0, proc.stderr.read()
+    # Drained, not dropped: every admitted job's result was persisted.
+    keys = {job["key"].removeprefix("server.job.") for job in jobs}
+    persisted = {p.stem for p in (tmp_path / "results").glob("*.json")}
+    assert keys <= persisted
+
+
+def test_kill9_midjob_resume_is_byte_identical(tmp_path):
+    # Reference: an uninterrupted serve run computes the corner.
+    ref_dir = tmp_path / "ref"
+    ref_dir.mkdir()
+    proc = _serve(ref_dir, "--journal", str(ref_dir / "serve.jnl"))
+    port = _wait_port(ref_dir, proc)
+    job = _post(port, CORNER)
+    key = job["key"].removeprefix("server.job.")
+    _poll_done(port, job["id"])
+    proc.send_signal(signal.SIGTERM)
+    assert proc.wait(timeout=60) == 0
+    reference = (ref_dir / "results" / f"{key}.json").read_bytes()
+
+    # Interrupted: same corner, SIGKILL while the worker is on it.
+    run_dir = tmp_path / "run"
+    run_dir.mkdir()
+    proc = _serve(run_dir, "--journal", str(run_dir / "serve.jnl"))
+    port = _wait_port(run_dir, proc)
+    job = _post(port, CORNER)
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/jobs/{job['id']}", timeout=30
+        ) as response:
+            if json.loads(response.read())["state"] == "running":
+                break
+        time.sleep(0.05)
+    proc.kill()  # SIGKILL: no drain, no journal close, lock left behind
+    proc.wait(timeout=60)
+    assert not (run_dir / "results" / f"{key}.json").exists()
+
+    # Resume completes the journaled job; the persisted result file is
+    # byte-identical to the uninterrupted run's.
+    resume = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "serve", "--no-http",
+            "--resume", str(run_dir / "serve.jnl"),
+            "--results-dir", str(run_dir / "results"),
+            "--exit-when-idle", "--no-ledger", "--workers", "2",
+        ],
+        env=_env(), capture_output=True, text=True, timeout=600,
+    )
+    assert resume.returncode == 0, resume.stderr
+    assert "re-enqueued 1 unfinished job(s)" in resume.stderr
+    resumed = (run_dir / "results" / f"{key}.json").read_bytes()
+    assert resumed == reference
+
+
+def test_drain_timeout_exits_3_and_resume_finishes(tmp_path):
+    proc = _serve(
+        tmp_path,
+        "--journal", str(tmp_path / "serve.jnl"),
+        "--drain-timeout", "0.2",
+    )
+    port = _wait_port(tmp_path, proc)
+    job = _post(port, {"kind": "probe",
+                       "params": {"echo": "slow", "sleep_s": 8}})
+    time.sleep(0.4)  # let a worker pick it up
+    proc.send_signal(signal.SIGTERM)
+    assert proc.wait(timeout=60) == 3  # drain timed out, journal kept
+    resume = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "serve", "--no-http",
+            "--resume", str(tmp_path / "serve.jnl"),
+            "--results-dir", str(tmp_path / "results"),
+            "--exit-when-idle", "--no-ledger",
+        ],
+        env=_env(), capture_output=True, text=True, timeout=600,
+    )
+    assert resume.returncode == 0, resume.stderr
+    key = job["key"].removeprefix("server.job.")
+    result = json.loads((tmp_path / "results" / f"{key}.json").read_text())
+    assert result == {"kind": "probe", "echo": "slow"}

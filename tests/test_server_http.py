@@ -1,0 +1,143 @@
+"""HTTP front end: status-code mapping for the service's decisions.
+
+Runs a real ``ThreadingHTTPServer`` on an ephemeral port; the policy
+itself is tested in ``test_server_service.py`` — here we pin the wire
+contract (202/400/404/409/429/503 + ``Retry-After``).
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.server import CharacterizationService
+from repro.server.http import make_server
+
+# Pins exact status codes for admission decisions; ambient server-site
+# fault plans would legitimately flip 202s into 429s.
+pytestmark = pytest.mark.no_chaos
+
+
+@pytest.fixture
+def served():
+    service = CharacterizationService(capacity=4, workers=2)
+    service.start()
+    httpd = make_server("127.0.0.1", 0, service)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield service, f"http://127.0.0.1:{httpd.server_address[1]}"
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        service.shutdown(timeout=10.0)
+
+
+def _get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _post(url, payload):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode() if payload is not None else b"",
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read()), response.headers
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read()), exc.headers
+
+
+class TestRoutes:
+    def test_submit_poll_result(self, served):
+        service, base = served
+        code, job, _ = _post(f"{base}/jobs",
+                             {"kind": "probe", "params": {"echo": "hi"}})
+        assert code == 202
+        assert service.get(job["id"]).wait(timeout=10.0)
+        code, status = _get(f"{base}/jobs/{job['id']}")
+        assert (code, status["state"]) == (200, "done")
+        code, payload = _get(f"{base}/jobs/{job['id']}/result")
+        assert code == 200
+        assert payload["result"] == {"kind": "probe", "echo": "hi"}
+
+    def test_result_before_terminal_conflicts(self, served):
+        service, base = served
+        code, job, _ = _post(f"{base}/jobs",
+                             {"kind": "probe", "params": {"sleep_s": 1.0}})
+        assert code == 202
+        code, payload = _get(f"{base}/jobs/{job['id']}/result")
+        assert (code, payload["error"]) == (409, "not finished")
+
+    def test_failed_job_reports_error_kind(self, served):
+        service, base = served
+        code, job, _ = _post(f"{base}/jobs",
+                             {"kind": "probe", "params": {"fail": "nope"}})
+        assert service.get(job["id"]).wait(timeout=10.0)
+        code, payload = _get(f"{base}/jobs/{job['id']}/result")
+        assert code == 200
+        assert (payload["error"], payload["error_kind"]) == ("nope", "ValueError")
+
+    def test_unknown_job_and_route_404(self, served):
+        _, base = served
+        assert _get(f"{base}/jobs/job-999999")[0] == 404
+        assert _get(f"{base}/nope")[0] == 404
+
+    def test_malformed_spec_400(self, served):
+        _, base = served
+        assert _post(f"{base}/jobs", {"kind": "mine_bitcoin"})[0] == 400
+        assert _post(f"{base}/jobs", None)[0] == 400
+
+    def test_saturation_429_with_retry_after(self, served):
+        service, base = served
+        # Two workers blocked + four queued fills capacity 4.  Params
+        # differ per job so none of them coalesce.
+        blockers = []
+        for i in range(2):
+            code, job, _ = _post(
+                f"{base}/jobs",
+                {"kind": "probe", "params": {"sleep_s": 1.5, "echo": i}},
+            )
+            assert code == 202
+            blockers.append(job["id"])
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if all(service.get(j).state == "running" for j in blockers):
+                break
+            time.sleep(0.01)
+        for i in range(4):
+            code, _, _ = _post(
+                f"{base}/jobs",
+                {"kind": "probe", "params": {"sleep_s": 1.5, "echo": 10 + i}},
+            )
+            assert code == 202
+        code, payload, headers = _post(
+            f"{base}/jobs", {"kind": "probe", "params": {"echo": "shed"}}
+        )
+        assert code == 429
+        assert payload["retry_after_s"] > 0
+        assert int(headers["Retry-After"]) >= 1
+
+    def test_health_ready_metrics_and_drain(self, served):
+        service, base = served
+        assert _get(f"{base}/healthz")[0] == 200
+        assert _get(f"{base}/readyz")[0] == 200
+        code, _, _ = _post(f"{base}/drain", {})
+        assert code == 202
+        code, health = _get(f"{base}/readyz")
+        assert (code, health["status"]) == (503, "draining")
+        assert _get(f"{base}/healthz")[0] == 200  # still alive
+        code, metrics = _get(f"{base}/metrics")
+        assert code == 200
+        assert "counters" in metrics and "breaker" in metrics
+        code, payload, _ = _post(f"{base}/jobs", {"kind": "probe"})
+        assert code == 503

@@ -1,0 +1,186 @@
+"""Job model, bounded weighted-fair queue, and circuit breaker.
+
+The scheduling substrate of ``repro serve`` (ISSUE 8): content-address
+stability for coalescing, capacity shedding with a retry-after hint,
+smooth-WRR fairness without starvation, and the breaker state machine.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.resilience.errors import QueueSaturatedError
+from repro.server import CircuitBreaker, Job, JobQueue, JobSpec
+
+# Exact saturation/shed accounting: an ambient server.queue_full fault
+# plan would legitimately perturb it.
+pytestmark = pytest.mark.no_chaos
+
+
+def _job(i, tenant="default", priority=0, **spec_kw):
+    return Job(f"job-{i:03d}", JobSpec(
+        kind="probe", params={"echo": i}, tenant=tenant, priority=priority,
+        **spec_kw,
+    ))
+
+
+class TestJobSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown job kind"):
+            JobSpec(kind="mine_bitcoin")
+
+    def test_params_must_be_plain_json(self):
+        with pytest.raises(ValueError, match="plain JSON"):
+            JobSpec(kind="probe", params={"bad": object()})
+
+    def test_nonpositive_deadline_rejected(self):
+        with pytest.raises(ValueError, match="deadline_s"):
+            JobSpec(kind="probe", deadline_s=0)
+
+    def test_key_ignores_scheduling_fields(self):
+        # Same computation for two tenants at different priority must
+        # coalesce: the key covers kind+params only.
+        a = JobSpec(kind="probe", params={"echo": 1}, tenant="a", priority=2)
+        b = JobSpec(kind="probe", params={"echo": 1}, tenant="b", deadline_s=9)
+        assert a.job_key() == b.job_key()
+        assert a.job_key() != JobSpec(kind="probe", params={"echo": 2}).job_key()
+
+    def test_roundtrip(self):
+        spec = JobSpec(kind="evaluate", params={"circuit": "ctrl"},
+                       tenant="t", priority=1, deadline_s=5.0)
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestJobStateMachine:
+    def test_single_terminal_transition(self):
+        job = _job(1)
+        job.start()
+        job.finish(result={"ok": True})
+        assert job.state == "done" and job.terminal
+        with pytest.raises(RuntimeError, match="duplicate terminal"):
+            job.finish(result={"ok": False})
+
+    def test_failed_records_error_kind(self):
+        job = _job(2)
+        job.start()
+        job.finish(error=ValueError("boom"))
+        assert (job.state, job.error_kind) == ("failed", "ValueError")
+
+    def test_requeue_refused_after_terminal(self):
+        job = _job(3)
+        job.start()
+        job.requeued()
+        assert job.state == "pending"
+        job.finish(error="gone")
+        with pytest.raises(RuntimeError):
+            job.requeued()
+
+    def test_wait_unblocks_on_finish(self):
+        job = _job(4)
+        threading.Timer(0.02, lambda: job.finish(result=1)).start()
+        assert job.wait(timeout=5.0)
+
+    def test_deadline_countdown(self):
+        job = _job(5, deadline_s=100.0)
+        assert 99.0 < job.remaining_s() <= 100.0
+        assert _job(6).remaining_s() is None
+
+
+class TestJobQueue:
+    def test_fifo_within_tenant(self):
+        queue = JobQueue(capacity=8)
+        for i in range(3):
+            queue.push(_job(i))
+        assert [queue.pop(0).id for _ in range(3)] == \
+            ["job-000", "job-001", "job-002"]
+
+    def test_priority_preempts_fifo(self):
+        queue = JobQueue(capacity=8)
+        queue.push(_job(0, priority=0))
+        queue.push(_job(1, priority=5))
+        assert queue.pop(0).id == "job-001"
+
+    def test_saturation_sheds_with_retry_after(self):
+        queue = JobQueue(capacity=2)
+        queue.push(_job(0))
+        queue.push(_job(1))
+        with pytest.raises(QueueSaturatedError) as exc_info:
+            queue.push(_job(2))
+        assert exc_info.value.retry_after_s > 0
+        assert queue.depth() == 2
+
+    def test_force_push_bypasses_bound(self):
+        # Crash re-queues must never be shed: the client was already
+        # told the job was admitted.
+        queue = JobQueue(capacity=1)
+        queue.push(_job(0))
+        queue.push(_job(1), force=True)
+        assert queue.depth() == 2
+
+    def test_weighted_fair_share_without_starvation(self):
+        queue = JobQueue(capacity=64, weights={"heavy": 3})
+        for i in range(8):
+            queue.push(_job(i, tenant="heavy"))
+            queue.push(_job(100 + i, tenant="light"))
+        first8 = [queue.pop(0).spec.tenant for _ in range(8)]
+        # 3:1 shares — and the weight-1 tenant is served inside every
+        # window of 4, not starved to the tail.
+        assert first8.count("heavy") == 6
+        assert first8.count("light") == 2
+        assert "light" in first8[:4]
+
+    def test_pop_timeout_and_close(self):
+        queue = JobQueue(capacity=2)
+        assert queue.pop(timeout=0.01) is None
+        waiter = threading.Thread(target=lambda: queue.pop(timeout=30))
+        waiter.start()
+        time.sleep(0.05)
+        queue.close()
+        waiter.join(timeout=5.0)
+        assert not waiter.is_alive()
+
+    def test_retry_after_tracks_service_rate(self):
+        queue = JobQueue(capacity=4)
+        for _ in range(20):
+            queue.note_service_rate(2.0)
+        queue.push(_job(0))
+        queue.push(_job(1))
+        # ~2 s/job x 2 queued: the hint reflects the backlog.
+        assert queue.retry_after_s() > 1.0
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(threshold=3, cooldown_s=60.0)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open" and not breaker.allow()
+
+    def test_success_resets_the_streak(self):
+        breaker = CircuitBreaker(threshold=2, cooldown_s=60.0)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_single_probe_then_close(self):
+        breaker = CircuitBreaker(threshold=1, cooldown_s=0.05)
+        breaker.record_failure()
+        assert not breaker.allow()  # still cooling down
+        time.sleep(0.06)
+        assert breaker.allow()      # the one half-open probe
+        assert not breaker.allow()  # everyone else keeps waiting
+        breaker.record_success()
+        assert breaker.state == "closed" and breaker.allow()
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker = CircuitBreaker(threshold=1, cooldown_s=0.05)
+        breaker.record_failure()
+        time.sleep(0.06)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()  # cooldown restarted

@@ -1,0 +1,276 @@
+"""Characterization service: admission control, coalescing, retries.
+
+The service contract (ISSUE 8): every admitted job reaches exactly one
+terminal state, duplicate submissions coalesce onto one computation,
+shedding is typed and counted, worker crashes retry behind a circuit
+breaker, deadlines expire jobs instead of wedging workers, and drain
+leaves a journal ``--resume`` can complete.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.resilience import (
+    FaultPlan,
+    FaultSpec,
+    QueueSaturatedError,
+    QuotaExceededError,
+    RunJournal,
+    ServiceDrainingError,
+    injecting,
+)
+from repro.server import CharacterizationService, JobSpec, unfinished_specs
+
+# Exact admission/shed/retry counter bookkeeping: ambient fault plans
+# that include the server sites would legitimately perturb it.
+pytestmark = pytest.mark.no_chaos
+
+
+def probe(i=0, tenant="default", **kw):
+    return JobSpec(kind="probe", params={"echo": i}, tenant=tenant, **kw)
+
+
+def _wait_running(job, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if job.state == "running":
+            return
+        time.sleep(0.01)
+    raise AssertionError(f"{job!r} never started running")
+
+
+@pytest.fixture
+def service():
+    svc = CharacterizationService(capacity=16, workers=2)
+    svc.start()
+    yield svc
+    svc.shutdown(timeout=10.0)
+
+
+class TestSubmission:
+    def test_job_runs_to_done(self, service):
+        job = service.submit(probe(1))
+        assert job.wait(timeout=10.0)
+        assert job.state == "done"
+        assert job.result == {"kind": "probe", "echo": 1}
+
+    def test_failure_is_terminal_not_lost(self, service):
+        job = service.submit(JobSpec(kind="probe", params={"fail": "boom"}))
+        assert job.wait(timeout=10.0)
+        assert (job.state, job.error) == ("failed", "boom")
+
+    def test_duplicates_coalesce_onto_one_primary(self, service):
+        jobs = [service.submit(probe(7, tenant=f"t{i}")) for i in range(6)]
+        for job in jobs:
+            assert job.wait(timeout=10.0)
+            assert job.result == {"kind": "probe", "echo": 7}
+        followers = [j for j in jobs if j.coalesced_into is not None]
+        assert len(followers) == 5
+        assert {j.coalesced_into for j in followers} == {jobs[0].id}
+        assert service.metrics()["counters"]["server.coalesced"] == 5
+
+    def test_completed_key_is_served_from_cache(self, service):
+        first = service.submit(probe(9))
+        assert first.wait(timeout=10.0)
+        again = service.submit(probe(9))
+        # Cached fast-path: terminal at submit, no queue round-trip.
+        assert again.state == "done"
+        assert again.result == first.result
+        assert service.metrics()["counters"]["server.cached"] == 1
+
+
+class TestAdmissionControl:
+    def test_queue_full_sheds_with_retry_after(self):
+        service = CharacterizationService(capacity=2, workers=1)
+        try:
+            blocker = service.submit(JobSpec(kind="probe",
+                                             params={"sleep_s": 1.0}))
+            service.start()
+            _wait_running(blocker)  # off the queue, onto the worker
+            for i in range(2):
+                service.submit(probe(i))
+            with pytest.raises(QueueSaturatedError) as exc_info:
+                service.submit(probe(99))
+            assert exc_info.value.retry_after_s > 0
+            counters = service.metrics()["counters"]
+            assert counters["server.shed.queue_full"] == 1
+        finally:
+            service.shutdown(timeout=10.0)
+
+    def test_tenant_quota_sheds_only_that_tenant(self):
+        service = CharacterizationService(
+            capacity=16, workers=1, quotas={"greedy": 2}
+        )
+        try:
+            service.submit(JobSpec(kind="probe", params={"sleep_s": 1.0},
+                                   tenant="greedy"))
+            service.submit(probe(1, tenant="greedy"))
+            with pytest.raises(QuotaExceededError):
+                service.submit(probe(2, tenant="greedy"))
+            service.submit(probe(3, tenant="polite"))  # unaffected
+            assert service.metrics()["counters"]["server.shed.quota"] == 1
+        finally:
+            service.shutdown(timeout=10.0)
+
+    def test_draining_rejects_new_work(self, service):
+        job = service.submit(probe(1))
+        service.begin_drain()
+        with pytest.raises(ServiceDrainingError):
+            service.submit(probe(2))
+        assert service.drain(timeout=10.0)
+        assert job.state == "done"
+        assert service.metrics()["counters"]["server.shed.draining"] == 1
+
+
+class TestFaultsAndBreaker:
+    def test_worker_crash_retries_to_success(self):
+        plan = FaultPlan([FaultSpec("server.worker_crash", first_n=2)], seed=0)
+        service = CharacterizationService(capacity=8, workers=1,
+                                          max_attempts=3)
+        try:
+            with injecting(plan):
+                service.start()
+                job = service.submit(probe(1))
+                assert job.wait(timeout=10.0)
+            assert (job.state, job.attempts) == ("done", 3)
+            counters = service.metrics()["counters"]
+            assert counters["server.worker_crash"] == 2
+            assert counters["server.retried"] == 2
+        finally:
+            service.shutdown(timeout=0)
+
+    def test_attempts_exhausted_fails_the_job(self):
+        plan = FaultPlan([FaultSpec("server.worker_crash", first_n=10)], seed=0)
+        service = CharacterizationService(capacity=8, workers=1,
+                                          max_attempts=2,
+                                          breaker_threshold=50)
+        try:
+            with injecting(plan):
+                service.start()
+                job = service.submit(probe(1))
+                assert job.wait(timeout=10.0)
+            assert job.state == "failed"
+            assert job.error_kind == "WorkerCrashError"
+        finally:
+            service.shutdown(timeout=0)
+
+    def test_sustained_crashes_trip_the_breaker(self):
+        plan = FaultPlan([FaultSpec("server.worker_crash", first_n=99)], seed=0)
+        service = CharacterizationService(
+            capacity=8, workers=1, max_attempts=2,
+            breaker_threshold=2, breaker_cooldown_s=0.2,
+        )
+        try:
+            with injecting(plan):
+                service.start()
+                # Job 1's two crashes trip the breaker; job 2 then only
+                # dispatches as half-open probes after each cooldown —
+                # buffered while OPEN, never shed.
+                jobs = [service.submit(probe(i)) for i in range(2)]
+                for job in jobs:
+                    assert job.wait(timeout=30.0)
+                    assert job.state == "failed"
+            breaker = service.health()["breaker"]
+            assert breaker["state"] == "open"
+            assert breaker["consecutive_failures"] >= 2
+            # Buffered behind the breaker, never shed.
+            assert "server.shed.queue_full" not in service.metrics()["counters"]
+        finally:
+            service.shutdown(timeout=0)
+
+    def test_expired_deadline_fails_without_running(self):
+        service = CharacterizationService(capacity=8, workers=1)
+        try:
+            blocker = service.submit(JobSpec(kind="probe",
+                                             params={"sleep_s": 0.4}))
+            doomed = service.submit(
+                JobSpec(kind="probe", params={"echo": 1},
+                        deadline_s=0.01)
+            )
+            service.start()
+            assert blocker.wait(timeout=10.0)
+            assert doomed.wait(timeout=10.0)
+            assert doomed.state == "failed"
+            assert doomed.started_at is None  # never dispatched
+            counters = service.metrics()["counters"]
+            assert counters["server.deadline_expired"] == 1
+        finally:
+            service.shutdown(timeout=0)
+
+
+class TestJournalAndResume:
+    def test_drain_leaves_no_unfinished_records(self, tmp_path):
+        journal = RunJournal.create(tmp_path / "serve.jnl",
+                                    {"command": "serve"})
+        service = CharacterizationService(capacity=8, workers=2,
+                                          journal=journal,
+                                          results_dir=tmp_path / "results")
+        service.start()
+        for i in range(4):
+            service.submit(probe(i))
+        assert service.shutdown(timeout=10.0)
+        journal.close()
+        assert unfinished_specs(journal.records) == []
+
+    def test_unfinished_specs_finds_interrupted_jobs(self, tmp_path):
+        with RunJournal.create(tmp_path / "j", {"command": "serve"}) as journal:
+            a, b = probe(1), probe(2)
+            journal.record("job_submit", key=a.job_key(), spec=a.to_dict())
+            journal.record("job_submit", key=b.job_key(), spec=b.to_dict())
+            journal.record("job_done", key=a.job_key(), status="done")
+        pending = unfinished_specs(RunJournal.resume(tmp_path / "j").records)
+        assert pending == [b]
+
+    def test_resubmitted_key_after_done_is_pending_again(self, tmp_path):
+        # Latest-record-wins: a key finished in phase 1 but resubmitted
+        # (e.g. after a result eviction) in phase 2 is pending again.
+        spec = probe(1)
+        with RunJournal.create(tmp_path / "j", {"command": "serve"}) as journal:
+            journal.record("job_submit", key=spec.job_key(),
+                           spec=spec.to_dict())
+            journal.record("job_done", key=spec.job_key(), status="done")
+            journal.record("job_submit", key=spec.job_key(),
+                           spec=spec.to_dict())
+        pending = unfinished_specs(RunJournal.resume(tmp_path / "j").records)
+        assert pending == [spec]
+
+    def test_persisted_results_reload_as_cached(self, tmp_path):
+        journal = RunJournal.create(tmp_path / "serve.jnl",
+                                    {"command": "serve"})
+        service = CharacterizationService(capacity=8, workers=1,
+                                          journal=journal,
+                                          results_dir=tmp_path / "results")
+        service.start()
+        first = service.submit(probe(5))
+        assert first.wait(timeout=10.0)
+        service.shutdown(timeout=10.0)
+        journal.close()
+        result_files = list((tmp_path / "results").glob("*.json"))
+        assert len(result_files) == 1
+        # A fresh service on the same results_dir answers from disk.
+        reborn = CharacterizationService(capacity=8, workers=1,
+                                         results_dir=tmp_path / "results")
+        try:
+            again = reborn.submit(probe(5))
+            assert again.state == "done"
+            assert again.result == first.result
+            counters = reborn.metrics()["counters"]
+            assert counters["server.results_loaded"] == 1
+            assert counters["server.cached"] == 1
+        finally:
+            reborn.shutdown(timeout=0)
+
+    def test_result_files_are_canonical_json(self, tmp_path):
+        service = CharacterizationService(capacity=8, workers=1,
+                                          results_dir=tmp_path / "results")
+        service.start()
+        job = service.submit(probe(3))
+        assert job.wait(timeout=10.0)
+        service.shutdown(timeout=10.0)
+        path, = (tmp_path / "results").glob("*.json")
+        data = path.read_bytes()
+        expected = (json.dumps(job.result, indent=2, sort_keys=True)
+                    + "\n").encode()
+        assert data == expected
