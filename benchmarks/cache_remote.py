@@ -1,0 +1,450 @@
+"""Chaos harness for the remote artifact-cache tier.
+
+Two phases, one machine-readable ``BENCH_cache.json``:
+
+* **in-process load with a mid-run ``kill -9``** — several "hosts"
+  (independent :class:`repro.core.artifacts.ArtifactCache` instances
+  with their own disk tiers) hammer one real ``repro cache-serve``
+  subprocess with deterministic ``cache.remote.timeout`` /
+  ``cache.remote.corrupt`` faults injected; halfway through, the
+  server is SIGKILLed.  The contract asserted: **zero lost results**
+  (every lookup returned a value) and **zero non-identical results**
+  (every value is bit-identical to the expected computation), with the
+  breaker visibly tripping into degraded mode, stashing write-behind
+  uploads, and — once the server is restarted — recovering and
+  flushing them;
+
+* **flow byte-identity** — a baseline ``repro evaluate`` with no
+  remote tier, then two concurrent ``repro evaluate --cache-remote``
+  subprocesses whose cache server is SIGKILLed mid-run.  Both must
+  exit 0 with output JSON byte-identical to the baseline, and their
+  run-ledger records must carry ``cache.remote.*`` counters (the
+  chaos-visibility acceptance criterion of ISSUE 9).
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/cache_remote.py [-o BENCH_cache.json]
+        [--short] [--hosts N] [--keys N] [--rounds N] [--seed N]
+        [--timeout-rate P] [--corrupt-rate P] [--skip-subprocess]
+
+``--short`` is the CI ``cache-soak`` configuration: fewer keys and
+hosts, same assertions.  Exit status is non-zero when any assertion
+fails.  See ``docs/ROBUSTNESS.md`` ("Remote cache tier").
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pickle
+import random
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+SCHEMA = "repro-bench-cache/1"
+
+
+# ---------------------------------------------------------------------------
+# cache-serve subprocess management
+
+
+def _serve(tmp: Path, env, port: int = 0):
+    port_file = tmp / "port.txt"
+    port_file.unlink(missing_ok=True)
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "cache-serve",
+            "--port", str(port), "--port-file", str(port_file),
+            "--dir", str(tmp / "blobs"),
+        ],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True,
+    )
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(f"cache-serve exited early: {proc.stderr.read()}")
+        if port_file.exists() and port_file.read_text().strip():
+            return proc, int(port_file.read_text())
+        time.sleep(0.05)
+    raise RuntimeError("cache-serve never wrote its port file")
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env.pop("REPRO_CACHE_REMOTE", None)
+    env.pop("REPRO_FAULTS", None)
+    return env
+
+
+# ---------------------------------------------------------------------------
+# Phase 1: multi-host load with injected faults and a mid-run kill -9.
+
+
+def _expected_value(key: str) -> dict:
+    """Deterministic artifact for a key (bit-stable across hosts)."""
+    rng = random.Random(key)
+    return {
+        "key": key,
+        "table": [round(rng.uniform(0.0, 5.0), 9) for _ in range(32)],
+    }
+
+
+def run_load_phase(args) -> dict:
+    from repro import obs
+    from repro.cache.remote import RemoteCacheClient
+    from repro.core import ArtifactCache
+    from repro.resilience.faults import injecting, parse_plan
+
+    tmp = Path(tempfile.mkdtemp(prefix="repro-cache-load-"))
+    env = _env()
+    proc, port = _serve(tmp, env)
+    url = f"127.0.0.1:{port}"
+
+    keys = [f"bench:{i:04x}" for i in range(args.keys)]
+    expected = {key: pickle.dumps(_expected_value(key)) for key in keys}
+
+    clients = [
+        RemoteCacheClient(
+            url,
+            connect_timeout_s=0.5,
+            read_timeout_s=2.0,
+            max_retries=1,
+            backoff_base_s=0.005,
+            backoff_cap_s=0.02,
+            breaker_threshold=3,
+            breaker_cooldown_s=0.3,
+            rng=random.Random(args.seed + i),
+        )
+        for i in range(args.hosts)
+    ]
+    mismatches: list[str] = []
+    crashes: list[str] = []
+    kill_gate = threading.Barrier(args.hosts + 1)
+    lock = threading.Lock()
+    ops = 0
+    remote_hits = 0
+
+    def host_loop(host_idx: int) -> None:
+        nonlocal ops, remote_hits
+        # Every host walks the full key set, each starting at its own
+        # offset: hosts race on some keys and inherit others through
+        # the remote tier (the cross-host sharing being measured).
+        shard = keys[host_idx::args.hosts] + [
+            k for i, k in enumerate(keys) if i % args.hosts != host_idx
+        ]
+        for phase in ("before", "after"):
+            # A fresh cache per half: the post-kill half starts with
+            # cold local tiers, so every lookup exercises the dead
+            # remote (miss -> compute -> failed write-through -> stash)
+            # instead of short-circuiting in the memory tier.
+            cache = ArtifactCache(
+                cache_dir=tmp / f"host{host_idx}-{phase}",
+                remote=clients[host_idx],
+            )
+            for round_no in range(args.rounds):
+                for key in shard:
+                    value = cache.get_or_compute(
+                        key, lambda k=key: _expected_value(k)
+                    )
+                    with lock:
+                        ops += 1
+                    if pickle.dumps(value) != expected[key]:
+                        with lock:
+                            mismatches.append(
+                                f"host{host_idx} {phase} round{round_no} {key}"
+                            )
+            with lock:
+                remote_hits += cache.remote_hits
+            if phase == "before":
+                kill_gate.wait()  # everyone pauses while the server dies
+                kill_gate.wait()
+
+    plan = parse_plan(
+        f"seed={args.seed};cache.remote.timeout:{args.timeout_rate};"
+        f"cache.remote.corrupt:{args.corrupt_rate}"
+    )
+    started = time.perf_counter()
+    with obs.Tracer() as tracer, injecting(plan):
+        import contextvars
+
+        threads = [
+            # Each thread runs inside a copy of this context so its
+            # obs counters land in the tracer (threads do not inherit
+            # contextvars on their own).
+            threading.Thread(
+                target=contextvars.copy_context().run,
+                args=(host_loop, i),
+                daemon=True,
+            )
+            for i in range(args.hosts)
+        ]
+        for thread in threads:
+            thread.start()
+        kill_gate.wait()  # all hosts finished the healthy half
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+        kill_gate.wait()  # release hosts against the dead server
+        for thread in threads:
+            thread.join(timeout=600)
+            if thread.is_alive():
+                crashes.append("host thread wedged (never-fail violated)")
+        wall_s = time.perf_counter() - started
+
+        # -- recovery: restart on the same port, wait out the cooldown,
+        #    and let one operation per host double as the probe.
+        proc, port2 = _serve(tmp, env, port=port)
+        time.sleep(0.4)  # > breaker_cooldown_s
+        recovered = 0
+        for client in clients:
+            for _ in range(3):  # probe + margin for a slow first accept
+                if client.probe():
+                    break
+                time.sleep(0.2)
+            if not client.degraded:
+                recovered += 1
+        proc.send_signal(signal.SIGINT)
+        proc.wait(timeout=30)
+
+    counters = dict(tracer.counters)
+    errors = []
+    if mismatches:
+        errors.append(
+            f"non-identical results: {len(mismatches)} lookups diverged "
+            f"(first: {mismatches[0]})"
+        )
+    if crashes:
+        errors.extend(crashes)
+    want_ops = args.hosts * 2 * args.rounds * len(keys)
+    if ops != want_ops:
+        errors.append(f"lost results: {ops} of {want_ops} lookups returned")
+    if counters.get("cache.remote.breaker.trip", 0) < 1:
+        errors.append("breaker never tripped despite kill -9")
+    if counters.get("cache.remote.degraded_skip", 0) < 1:
+        errors.append("degraded mode never skipped a network round trip")
+    if recovered < args.hosts:
+        errors.append(f"only {recovered}/{args.hosts} hosts recovered")
+    if counters.get("cache.remote.recovered", 0) < args.hosts:
+        errors.append("recovery counter below host count")
+    pending = sum(c.stats()["pending_writes"] for c in clients)
+    stashed = counters.get("cache.remote.write_behind", 0)
+    if stashed >= 1 and counters.get("cache.remote.writeback", 0) < 1:
+        errors.append("write-behind uploads were stashed but never flushed")
+
+    return {
+        "hosts": args.hosts,
+        "keys": len(keys),
+        "rounds": args.rounds,
+        "lookups": ops,
+        "mismatches": len(mismatches),
+        "remote_hits": remote_hits,
+        "breaker_trips": counters.get("cache.remote.breaker.trip", 0),
+        "degraded_skips": counters.get("cache.remote.degraded_skip", 0),
+        "injected_timeouts": counters.get("faults.injected.cache.remote.timeout", 0),
+        "injected_corruptions": counters.get(
+            "faults.injected.cache.remote.corrupt", 0
+        ),
+        "corrupt_detected": counters.get("cache.remote.corrupt", 0),
+        "refetches": counters.get("cache.remote.refetch", 0),
+        "write_behind": stashed,
+        "writebacks": counters.get("cache.remote.writeback", 0),
+        "pending_after_recovery": pending,
+        "hosts_recovered": recovered,
+        "wall_s": wall_s,
+        "lookups_per_s": ops / max(1e-9, wall_s),
+        "counters": {
+            name: n
+            for name, n in sorted(counters.items())
+            if name.startswith(("cache.", "faults."))
+        },
+        "errors": errors,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Phase 2: flow byte-identity through subprocesses with a dying server.
+
+
+def _evaluate(out: Path, extra, env, vectors: int):
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "evaluate", "ctrl",
+            "--preset", "small", "--vectors", str(vectors),
+            "--json", str(out),
+        ] + extra,
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True,
+    )
+
+
+def run_flow_phase(args) -> dict:
+    errors = []
+    env = _env()
+    vectors = 64 if args.short else 128
+    tmp = Path(tempfile.mkdtemp(prefix="repro-cache-flow-"))
+
+    # -- baseline: no remote tier at all.
+    baseline = tmp / "baseline.json"
+    started = time.perf_counter()
+    proc = _evaluate(
+        baseline,
+        ["--cache-dir", str(tmp / "cache-base"), "--no-ledger"],
+        env, vectors,
+    )
+    if proc.wait(timeout=600) != 0:
+        errors.append(f"baseline evaluate failed: {proc.stderr.read()}")
+    baseline_wall = time.perf_counter() - started
+
+    # -- two hosts share a cache server that dies mid-run.
+    server, port = _serve(tmp, env)
+    url = f"127.0.0.1:{port}"
+    outs = [tmp / "host1.json", tmp / "host2.json"]
+    ledgers = [tmp / "ledger1.jsonl", tmp / "ledger2.jsonl"]
+    procs = [
+        _evaluate(
+            out,
+            [
+                "--cache-dir", str(tmp / f"cache-{i}"),
+                "--cache-remote", url,
+                "--ledger", str(ledger),
+            ],
+            env, vectors,
+        )
+        for i, (out, ledger) in enumerate(zip(outs, ledgers))
+    ]
+    # SIGKILL the server once the runs are warmed up; they must finish
+    # on local tiers alone.
+    time.sleep(max(0.3, 0.4 * baseline_wall))
+    server.send_signal(signal.SIGKILL)
+    server.wait(timeout=30)
+    exits = [proc.wait(timeout=600) for proc in procs]
+    for i, code in enumerate(exits):
+        if code != 0:
+            errors.append(
+                f"host{i + 1} evaluate exited {code} after server kill: "
+                f"{procs[i].stderr.read()}"
+            )
+
+    identical = all(
+        out.exists() and out.read_bytes() == baseline.read_bytes()
+        for out in outs
+    )
+    if baseline.exists() and not identical:
+        errors.append(
+            "flow output with a dying cache server is not byte-identical "
+            "to the no-remote baseline"
+        )
+
+    # -- acceptance: cache.remote.* counters land in the run ledger.
+    ledger_counters = {}
+    for ledger in ledgers:
+        if not ledger.exists():
+            continue
+        for line in ledger.read_text().splitlines():
+            record = json.loads(line)
+            for name, n in (record.get("counters") or {}).items():
+                if name.startswith("cache.remote."):
+                    ledger_counters[name] = ledger_counters.get(name, 0) + n
+    if not ledger_counters:
+        errors.append("no cache.remote.* counters reached the run ledger")
+
+    return {
+        "vectors": vectors,
+        "baseline_wall_s": baseline_wall,
+        "evaluate_exits": exits,
+        "byte_identical": identical,
+        "ledger_cache_remote_counters": dict(sorted(ledger_counters.items())),
+        "errors": errors,
+    }
+
+
+# ---------------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output", default="BENCH_cache.json")
+    parser.add_argument("--short", action="store_true",
+                        help="CI cache-soak configuration (smaller load)")
+    parser.add_argument("--hosts", type=int, default=None,
+                        help="concurrent cache hosts (default: 4, or 2 --short)")
+    parser.add_argument("--keys", type=int, default=None,
+                        help="distinct artifacts (default: 96, or 32 --short)")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="lookups of every key per half, per host")
+    parser.add_argument("--timeout-rate", type=float, default=0.05,
+                        help="cache.remote.timeout fault probability")
+    parser.add_argument("--corrupt-rate", type=float, default=0.03,
+                        help="cache.remote.corrupt fault probability")
+    parser.add_argument("--seed", type=int, default=2023)
+    parser.add_argument("--skip-subprocess", action="store_true",
+                        help="skip the flow byte-identity subprocess phase")
+    args = parser.parse_args(argv)
+    if args.hosts is None:
+        args.hosts = 2 if args.short else 4
+    if args.keys is None:
+        args.keys = 32 if args.short else 96
+
+    print(
+        f"cache load: {args.hosts} hosts x {args.keys} keys x "
+        f"{args.rounds} rounds/half, timeout rate {args.timeout_rate}, "
+        f"corrupt rate {args.corrupt_rate}",
+        flush=True,
+    )
+    load = run_load_phase(args)
+    print(
+        f"  {load['lookups']} lookups ({load['remote_hits']} remote hits), "
+        f"{load['mismatches']} mismatches, breaker trips "
+        f"{load['breaker_trips']}, degraded skips {load['degraded_skips']}, "
+        f"writebacks {load['writebacks']}/{load['write_behind']}, "
+        f"{load['hosts_recovered']}/{load['hosts']} hosts recovered",
+        flush=True,
+    )
+    flow = {"skipped": True, "errors": []}
+    if not args.skip_subprocess:
+        flow = run_flow_phase(args)
+        print(
+            f"  flow: exits {flow['evaluate_exits']}, byte-identical "
+            f"{flow['byte_identical']}, ledger cache.remote counters "
+            f"{len(flow['ledger_cache_remote_counters'])}",
+            flush=True,
+        )
+
+    report = {
+        "schema": SCHEMA,
+        "short": args.short,
+        "config": {
+            "hosts": args.hosts,
+            "keys": args.keys,
+            "rounds": args.rounds,
+            "timeout_rate": args.timeout_rate,
+            "corrupt_rate": args.corrupt_rate,
+            "seed": args.seed,
+        },
+        "load": load,
+        "flow": flow,
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+
+    failures = load["errors"] + flow["errors"]
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print(
+            "OK: zero lost, zero non-identical, breaker tripped and "
+            "recovered, write-behind flushed, counters in the ledger"
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,299 @@
+"""The remote artifact-cache blob server (``repro cache-serve``).
+
+A deliberately dumb, deliberately robust HTTP blob store: it holds
+sha256-framed cache entries (:mod:`repro.cache.framing`) keyed by the
+same ``sha256(cache_key)`` digest the disk tier uses, so any number of
+characterization hosts can share one warm cache.  All policy lives in
+the client (:class:`repro.cache.remote.RemoteCacheClient`) — the
+server only stores, verifies, and bounds:
+
+* **verifies on upload** — a ``PUT`` whose body fails
+  :func:`repro.cache.framing.verify_frame` is rejected with ``400``
+  and never stored, so one corrupting client cannot poison the fleet;
+* **verifies on read** — a blob that rotted on the server's own disk
+  is quarantined (renamed ``*.corrupt``) and answered ``404``, which
+  the client treats as an ordinary miss;
+* **bounded** — ``max_mb`` caps the store; least-recently-used blobs
+  (mtime, refreshed on every hit) are evicted after each write;
+* **scrubbable** — ``POST /scrub`` re-verifies every blob in place and
+  quarantines failures (also reachable via ``repro cache scrub
+  --remote``).
+
+Routes::
+
+    GET  /healthz            liveness + entry/byte counts
+    GET  /metrics            counter snapshot (cache.remote.server.*)
+    GET  /blob/<digest>      frame bytes, 404 when absent/corrupt
+    PUT  /blob/<digest>      store a verified frame (200; 400 bad frame)
+    POST /quarantine/<digest> client-reported corruption (idempotent)
+    POST /scrub              verify everything, quarantine failures
+
+Standard-library only (``http.server``), same as ``repro serve``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any
+
+from ..resilience.errors import CacheCorruptionError
+from .framing import verify_frame
+
+__all__ = ["BlobStore", "BlobCacheServer", "make_blob_server"]
+
+#: Blob names are hex digests of cache keys (the disk tier truncates
+#: sha256 to 40 hex chars; accept anything digest-shaped).
+_DIGEST_RE = re.compile(r"^[0-9a-f]{8,64}$")
+
+#: Maximum accepted blob size: characterized libraries pickle to well
+#: under this; anything larger is a client bug, not an artifact.
+MAX_BLOB_BYTES = 64 << 20
+
+
+class BlobStore:
+    """Thread-safe, size-bounded directory of verified frames."""
+
+    def __init__(self, root: str | os.PathLike, max_mb: float | None = None):
+        self.root = Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.max_mb = max_mb
+        self._lock = threading.Lock()
+        self.counters: dict[str, int] = {}
+
+    def _count(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + n
+
+    def _path(self, digest: str) -> Path:
+        return self.root / f"{digest}.blob"
+
+    # -- operations -----------------------------------------------------
+    def get(self, digest: str) -> bytes | None:
+        """The verified frame for ``digest``, or ``None``.
+
+        Verification happens on *every* read: a blob that fails its
+        checksum is quarantined immediately so it is served at most
+        zero times — the client's own verification is a second,
+        independent line of defense, not the only one.
+        """
+        path = self._path(digest)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            self._count("cache.remote.server.miss")
+            return None
+        try:
+            verify_frame(data)
+        except CacheCorruptionError:
+            self.quarantine(digest)
+            self._count("cache.remote.server.miss")
+            return None
+        # Refresh mtime so LRU eviction sees this blob as hot.
+        with contextlib.suppress(OSError):
+            os.utime(path)
+        self._count("cache.remote.server.hit")
+        return data
+
+    def put(self, digest: str, data: bytes) -> None:
+        """Store one verified frame (raises on a bad frame)."""
+        verify_frame(data)
+        path = self._path(digest)
+        tmp = path.with_suffix(f".tmp{os.getpid()}.{threading.get_ident()}")
+        try:
+            tmp.write_bytes(data)
+            os.replace(tmp, path)
+        except OSError:
+            with contextlib.suppress(OSError):
+                tmp.unlink()
+            raise
+        self._count("cache.remote.server.put")
+        self._enforce_cap(keep=path)
+
+    def quarantine(self, digest: str) -> bool:
+        """Move a blob aside so it is never served again."""
+        path = self._path(digest)
+        if not path.exists():
+            return False
+        with contextlib.suppress(OSError):
+            os.replace(path, path.with_suffix(".corrupt"))
+            self._count("cache.remote.server.quarantined")
+            return True
+        return False
+
+    def scrub(self) -> dict[str, int]:
+        """Re-verify every blob; quarantine failures; report counts."""
+        checked = ok = quarantined = 0
+        for path in sorted(self.root.glob("*.blob")):
+            checked += 1
+            try:
+                verify_frame(path.read_bytes())
+            except (OSError, CacheCorruptionError):
+                if self.quarantine(path.stem):
+                    quarantined += 1
+            else:
+                ok += 1
+        self._count("cache.remote.server.scrubs")
+        return {"checked": checked, "ok": ok, "quarantined": quarantined}
+
+    def _enforce_cap(self, keep: Path | None = None) -> None:
+        """Evict least-recently-used blobs over the size cap."""
+        if self.max_mb is None:
+            return
+        budget = self.max_mb * 1024 * 1024
+        with self._lock:
+            entries = []
+            total = 0
+            for path in self.root.glob("*.blob"):
+                with contextlib.suppress(OSError):
+                    st = path.stat()
+                    entries.append((st.st_mtime, st.st_size, path))
+                    total += st.st_size
+            entries.sort()  # oldest first
+            for _, size, path in entries:
+                if total <= budget:
+                    break
+                if keep is not None and path == keep:
+                    continue
+                with contextlib.suppress(OSError):
+                    path.unlink()
+                    total -= size
+                    self.counters["cache.remote.server.evict"] = (
+                        self.counters.get("cache.remote.server.evict", 0) + 1
+                    )
+
+    # -- introspection --------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        entries = 0
+        total = 0
+        for path in self.root.glob("*.blob"):
+            with contextlib.suppress(OSError):
+                total += path.stat().st_size
+                entries += 1
+        with self._lock:
+            counters = dict(sorted(self.counters.items()))
+        return {
+            "entries": entries,
+            "bytes": total,
+            "max_mb": self.max_mb,
+            "counters": counters,
+        }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-cache-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def store(self) -> BlobStore:
+        return self.server.store  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if getattr(self.server, "verbose", False):  # type: ignore[attr-defined]
+            super().log_message(format, *args)
+
+    # -- plumbing -------------------------------------------------------
+    def _send_json(self, code: int, payload: dict[str, Any]) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_bytes(self, data: bytes) -> None:
+        self.send_response(200)
+        self.send_header("Content-Type", "application/octet-stream")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _digest(self, prefix: str) -> str | None:
+        rest = self.path.rstrip("/")[len(prefix):]
+        return rest if _DIGEST_RE.fullmatch(rest) else None
+
+    # -- routes ---------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        if self.path.rstrip("/") in ("/healthz", ""):
+            stats = self.store.stats()
+            self._send_json(
+                200,
+                {"status": "ok", "entries": stats["entries"], "bytes": stats["bytes"]},
+            )
+        elif self.path.rstrip("/") == "/metrics":
+            self._send_json(200, self.store.stats())
+        elif self.path.startswith("/blob/"):
+            digest = self._digest("/blob/")
+            if digest is None:
+                self._send_json(400, {"error": "malformed blob digest"})
+                return
+            data = self.store.get(digest)
+            if data is None:
+                self._send_json(404, {"error": f"no blob {digest!r}"})
+            else:
+                self._send_bytes(data)
+        else:
+            self._send_json(404, {"error": f"no route {self.path!r}"})
+
+    def do_PUT(self) -> None:  # noqa: N802 (http.server API)
+        if not self.path.startswith("/blob/"):
+            self._send_json(404, {"error": f"no route {self.path!r}"})
+            return
+        digest = self._digest("/blob/")
+        if digest is None:
+            self._send_json(400, {"error": "malformed blob digest"})
+            return
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0 or length > MAX_BLOB_BYTES:
+            self._send_json(400, {"error": f"bad blob size {length}"})
+            return
+        try:
+            data = self.rfile.read(length)
+            self.store.put(digest, data)
+        except CacheCorruptionError as exc:
+            # Reject, never store: an upload that fails verification
+            # would otherwise poison every other host's cache.
+            self._send_json(400, {"error": f"rejected corrupt frame: {exc}"})
+        except OSError as exc:
+            self._send_json(500, {"error": f"store failed: {exc}"})
+        else:
+            self._send_json(200, {"stored": digest})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        if self.path.startswith("/quarantine/"):
+            digest = self._digest("/quarantine/")
+            if digest is None:
+                self._send_json(400, {"error": "malformed blob digest"})
+                return
+            self._send_json(200, {"quarantined": self.store.quarantine(digest)})
+        elif self.path.rstrip("/") == "/scrub":
+            self._send_json(200, self.store.scrub())
+        else:
+            self._send_json(404, {"error": f"no route {self.path!r}"})
+
+
+class BlobCacheServer(ThreadingHTTPServer):
+    """``ThreadingHTTPServer`` carrying the blob store."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, store: BlobStore, verbose: bool = False):
+        super().__init__(address, _Handler)
+        self.store = store
+        self.verbose = verbose
+
+
+def make_blob_server(
+    host: str,
+    port: int,
+    root: str | os.PathLike,
+    max_mb: float | None = None,
+    verbose: bool = False,
+) -> BlobCacheServer:
+    return BlobCacheServer((host, port), BlobStore(root, max_mb=max_mb), verbose)

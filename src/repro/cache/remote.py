@@ -1,0 +1,417 @@
+"""Fault-tolerant client for the remote artifact-cache tier.
+
+:class:`RemoteCacheClient` is the third tier behind
+:class:`repro.core.artifacts.ArtifactCache` (memory → disk → remote).
+Its one design rule is **never-fail**: no remote condition — a dead
+server, a slow server, a partitioned network, a server returning
+garbage — may ever make a characterization run slower than bounded,
+wrong, or dead.  Every public method catches everything and degrades
+to "cache miss" / "upload deferred"; the flow then simply computes
+locally, exactly as if no remote tier were configured.
+
+Hardening, layer by layer:
+
+* **timeouts** — separate connect and read timeouts on every request;
+  a hung server costs at most ``connect + read`` seconds, once,
+  because…
+* **circuit breaker** — a reused
+  :class:`repro.server.breaker.CircuitBreaker` counts consecutive
+  transport failures; past the threshold the client trips into
+  *local-only degraded mode* (gauge ``cache.remote.degraded`` = 1) and
+  every operation is skipped at the cost of one lock acquisition.
+  After the cooldown the next operation doubles as the half-open
+  probe; success closes the breaker (gauge back to 0) and flushes the
+  write-behind queue;
+* **bounded retries with full jitter** — transient transport errors
+  retry up to ``max_retries`` times inside one operation, sleeping
+  ``uniform(0, min(cap, base·2^attempt))`` so a thundering herd of
+  workers never synchronizes on a recovering server;
+* **integrity** — every fetched blob is verified against its sha256
+  frame (:func:`repro.cache.framing.verify_frame`) *before* unpickling
+  anywhere; a mismatch re-fetches exactly once (in-flight corruption
+  heals itself).  A second bad copy quarantines the blob on the server
+  (``POST /quarantine``) and counts as a breaker failure — a lying
+  server is an unhealthy server — and the lookup degrades to a miss;
+* **write-behind** — a put that cannot reach the server (or arrives
+  while degraded) is stashed in a bounded latest-wins queue and
+  uploaded when the breaker closes again, so a server outage costs
+  warm-cache sharing only for its own duration.
+
+Chaos sites ``cache.remote.timeout`` / ``cache.remote.corrupt`` /
+``cache.remote.partition`` (:mod:`repro.resilience.faults`) inject
+each failure class deterministically; ``benchmarks/cache_remote.py``
+drives them plus a real ``kill -9`` of the server.
+
+Counters (ledger-persisted via the ``cache.`` prefix):
+``cache.remote.hit/miss/put/error/timeout/corrupt/refetch/
+write_behind/writeback/degraded_skip``; gauge ``cache.remote.degraded``;
+breaker counters under ``cache.remote.breaker.*``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import http.client
+import random
+import socket
+import threading
+import time
+from collections import OrderedDict
+from typing import Any
+from urllib.parse import urlparse
+
+from .. import obs
+from ..resilience import faults
+from ..resilience.errors import CacheCorruptionError, TransientError
+from ..server.breaker import CircuitBreaker
+from .framing import verify_frame
+
+__all__ = ["RemoteCacheClient", "RemoteCacheError"]
+
+
+class RemoteCacheError(TransientError):
+    """A remote cache operation failed after its bounded retries.
+
+    Internal to the client — the public methods translate it into a
+    miss/deferred-upload; it never escapes to flow code."""
+
+
+def _parse_url(url: str) -> tuple[str, int]:
+    """``host:port`` or ``http://host:port[/]`` -> ``(host, port)``."""
+    text = url.strip()
+    if "//" not in text:
+        text = "//" + text
+    parsed = urlparse(text, scheme="http")
+    if parsed.scheme != "http":
+        raise ValueError(f"remote cache URL must be http://, got {url!r}")
+    if not parsed.hostname or not parsed.port:
+        raise ValueError(f"remote cache URL needs host and port, got {url!r}")
+    return parsed.hostname, parsed.port
+
+
+class RemoteCacheClient:
+    """Never-fail HTTP client for one ``repro cache-serve`` endpoint."""
+
+    def __init__(
+        self,
+        url: str,
+        *,
+        connect_timeout_s: float = 1.0,
+        read_timeout_s: float = 5.0,
+        max_retries: int = 2,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 1.0,
+        breaker_threshold: int = 3,
+        breaker_cooldown_s: float = 5.0,
+        max_pending_writes: int = 64,
+        rng: random.Random | None = None,
+        clock=time.monotonic,
+    ):
+        self.url = url
+        self.host, self.port = _parse_url(url)
+        self.connect_timeout_s = connect_timeout_s
+        self.read_timeout_s = read_timeout_s
+        self.max_retries = max(0, int(max_retries))
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.breaker = CircuitBreaker(
+            threshold=breaker_threshold,
+            cooldown_s=breaker_cooldown_s,
+            name="cache.remote.breaker",
+            clock=clock,
+        )
+        self._rng = rng if rng is not None else random.Random()
+        self._lock = threading.Lock()
+        #: key -> frame bytes awaiting upload (latest wins, bounded).
+        self._pending: OrderedDict[str, bytes] = OrderedDict()
+        self.max_pending_writes = max_pending_writes
+        self.counters: dict[str, int] = {}
+        obs.gauge("cache.remote.degraded", 0)
+
+    # -- bookkeeping ----------------------------------------------------
+    def _count(self, name: str, n: int = 1) -> None:
+        obs.count(name, n)
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + n
+
+    @property
+    def degraded(self) -> bool:
+        """Local-only mode: the breaker is keeping the network away."""
+        return self.breaker.state != "closed"
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            counters = dict(sorted(self.counters.items()))
+            pending = len(self._pending)
+        return {
+            "url": self.url,
+            "breaker": self.breaker.snapshot(),
+            "pending_writes": pending,
+            "counters": counters,
+        }
+
+    # -- transport ------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> tuple[int, bytes]:
+        """One HTTP round trip with injected-fault hooks.
+
+        Raises :class:`RemoteCacheError` on any transport failure
+        (refused, reset, timed out); HTTP status handling is the
+        caller's job.
+        """
+        if faults.should_fire("cache.remote.partition"):
+            raise RemoteCacheError(
+                "injected network partition", site="cache.remote.partition"
+            )
+        if faults.should_fire("cache.remote.timeout"):
+            self._count("cache.remote.timeout")
+            raise RemoteCacheError(
+                "injected remote timeout", site="cache.remote.timeout"
+            )
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.connect_timeout_s
+        )
+        try:
+            conn.connect()
+            # Connect succeeded under the (short) connect budget; reads
+            # get their own, typically longer, allowance.
+            if conn.sock is not None:
+                conn.sock.settimeout(self.read_timeout_s)
+            conn.request(
+                method,
+                path,
+                body=body,
+                headers={"Content-Length": str(len(body))} if body else {},
+            )
+            response = conn.getresponse()
+            data = response.read()
+            return response.status, data
+        except socket.timeout as exc:
+            self._count("cache.remote.timeout")
+            raise RemoteCacheError(
+                f"remote cache timed out: {exc}", site="cache.remote.timeout"
+            ) from exc
+        except (OSError, http.client.HTTPException) as exc:
+            raise RemoteCacheError(
+                f"remote cache unreachable: {exc}", site="cache.remote.partition"
+            ) from exc
+        finally:
+            with contextlib.suppress(Exception):
+                conn.close()
+
+    def _request_with_retry(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> tuple[int, bytes]:
+        """Bounded retries with full-jitter exponential backoff."""
+        last: Exception | None = None
+        for attempt in range(self.max_retries + 1):
+            if attempt:
+                cap = min(self.backoff_cap_s, self.backoff_base_s * 2**attempt)
+                time.sleep(self._rng.uniform(0.0, cap))
+                self._count("cache.remote.retry")
+            try:
+                return self._request(method, path, body)
+            except RemoteCacheError as exc:
+                last = exc
+        raise last  # type: ignore[misc]  # loop always ran once
+
+    # -- breaker choreography -------------------------------------------
+    def _admit(self) -> bool:
+        """May this operation touch the network right now?"""
+        if self.breaker.allow():
+            return True
+        self._count("cache.remote.degraded_skip")
+        return False
+
+    def _succeeded(self) -> None:
+        recovered = self.breaker.state != "closed"
+        self.breaker.record_success()
+        if recovered:
+            obs.gauge("cache.remote.degraded", 0)
+            self._count("cache.remote.recovered")
+        self._flush_pending()
+
+    def _failed(self) -> None:
+        was_open = self.breaker.state == "open"
+        self.breaker.record_failure()
+        if self.breaker.state == "open" and not was_open:
+            obs.gauge("cache.remote.degraded", 1)
+
+    # -- public API -----------------------------------------------------
+    def get(self, digest: str) -> bytes | None:
+        """The verified frame stored under ``digest``, else ``None``.
+
+        ``None`` covers every non-answer uniformly: a true miss, a
+        degraded-mode skip, a timeout, and a blob that failed
+        verification twice.  The caller recomputes; correctness never
+        depends on the remote tier answering.
+        """
+        if not self._admit():
+            return None
+        try:
+            data = self._fetch_verified(digest)
+        except RemoteCacheError:
+            self._count("cache.remote.error")
+            self._failed()
+            return None
+        except Exception:
+            # Absolute backstop: a client bug must degrade to a miss,
+            # not take the flow down.
+            self._count("cache.remote.error")
+            self._failed()
+            return None
+        self._succeeded()
+        if data is None:
+            self._count("cache.remote.miss")
+        else:
+            self._count("cache.remote.hit")
+        return data
+
+    def _fetch_verified(self, digest: str) -> bytes | None:
+        """GET + verify, with one quarantine-and-refetch on corruption."""
+        for fetch in range(2):
+            status, data = self._request_with_retry("GET", f"/blob/{digest}")
+            if status == 404:
+                return None
+            if status != 200:
+                raise RemoteCacheError(
+                    f"remote cache answered HTTP {status} for {digest}",
+                    site="cache.remote.partition",
+                )
+            data = faults.corrupt_bytes("cache.remote.corrupt", data)
+            try:
+                verify_frame(data)
+            except CacheCorruptionError:
+                self._count("cache.remote.corrupt")
+                if fetch == 0:
+                    # Could be in-flight corruption: one clean refetch
+                    # settles it without destroying a good server copy.
+                    self._count("cache.remote.refetch")
+                    continue
+                # Two bad copies: the stored blob (or the path to it)
+                # is rotten.  Quarantine it server-side so no other
+                # host burns a fetch on it, and treat the server as
+                # unhealthy so the breaker can take it out of the loop.
+                with contextlib.suppress(RemoteCacheError):
+                    self._request_with_retry("POST", f"/quarantine/{digest}")
+                raise RemoteCacheError(
+                    f"remote blob {digest} failed verification twice",
+                    site="cache.remote.corrupt",
+                )
+            return data
+        return None  # unreachable; loop returns or raises
+
+    def put(self, digest: str, data: bytes) -> bool:
+        """Upload one frame; defer (write-behind) when that fails.
+
+        Returns ``True`` when the frame reached the server now,
+        ``False`` when it was stashed for later — either way the
+        caller's local tiers already hold the value, so this is purely
+        advisory.
+        """
+        if not self._admit():
+            self._stash(digest, data)
+            return False
+        try:
+            status, _ = self._request_with_retry("PUT", f"/blob/{digest}", data)
+        except RemoteCacheError:
+            self._count("cache.remote.put_error")
+            self._failed()
+            self._stash(digest, data)
+            return False
+        except Exception:
+            self._count("cache.remote.put_error")
+            self._failed()
+            self._stash(digest, data)
+            return False
+        if status != 200:
+            # The server refused the frame (4xx) — most likely an
+            # injected local corruption caught before it spread.  Not a
+            # transport failure: the server is healthy, drop the write.
+            self._count("cache.remote.put_rejected")
+            self._succeeded()
+            return False
+        self._count("cache.remote.put")
+        self._succeeded()
+        return True
+
+    def probe(self) -> bool:
+        """One explicit health check (used by recovery loops/tests)."""
+        if not self._admit():
+            return False
+        try:
+            status, _ = self._request_with_retry("GET", "/healthz")
+        except Exception:
+            self._failed()
+            return False
+        if status != 200:
+            self._failed()
+            return False
+        self._succeeded()
+        return True
+
+    def scrub(self) -> dict[str, int] | None:
+        """Ask the server to re-verify its store (``repro cache scrub``)."""
+        if not self._admit():
+            return None
+        try:
+            status, body = self._request_with_retry("POST", "/scrub")
+        except Exception:
+            self._failed()
+            return None
+        if status != 200:
+            self._failed()
+            return None
+        self._succeeded()
+        import json
+
+        try:
+            return json.loads(body)
+        except ValueError:
+            return None
+
+    # -- write-behind ---------------------------------------------------
+    def _stash(self, digest: str, data: bytes) -> None:
+        """Queue an upload for when the server comes back."""
+        with self._lock:
+            if digest in self._pending:
+                self._pending.move_to_end(digest)
+            self._pending[digest] = data
+            while len(self._pending) > self.max_pending_writes:
+                self._pending.popitem(last=False)
+                self._count_locked("cache.remote.write_behind_dropped")
+        self._count("cache.remote.write_behind")
+
+    def _count_locked(self, name: str, n: int = 1) -> None:
+        # Counter twin of _count for paths already holding self._lock.
+        obs.count(name, n)
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def _flush_pending(self) -> None:
+        """Upload deferred writes after a recovery (bounded, one pass)."""
+        while True:
+            with self._lock:
+                if not self._pending:
+                    return
+                digest, data = self._pending.popitem(last=False)
+            try:
+                status, _ = self._request_with_retry(
+                    "PUT", f"/blob/{digest}", data
+                )
+            except Exception:
+                # Server went away again mid-flush: re-stash and let
+                # the breaker machinery handle the new outage.
+                with self._lock:
+                    self._pending[digest] = data
+                    self._pending.move_to_end(digest, last=False)
+                self._failed()
+                return
+            if status == 200:
+                self._count("cache.remote.writeback")
+
+    def __repr__(self) -> str:
+        return (
+            f"RemoteCacheClient({self.url!r}, breaker={self.breaker.state}, "
+            f"pending={len(self._pending)})"
+        )

@@ -204,8 +204,8 @@ def _journal_config(args: argparse.Namespace) -> dict:
         return {"command": "serve"}
     excluded = {
         "func", "journal", "resume", "trace", "profile", "cache_dir",
-        "faults", "jobs", "isolate", "json", "output", "report", "strict",
-        "ledger", "no_ledger",
+        "cache_remote", "faults", "jobs", "isolate", "json", "output",
+        "report", "strict", "ledger", "no_ledger",
     }
     return {
         key: value
@@ -279,15 +279,33 @@ def _journaling(args: argparse.Namespace, argv: list[str]):
 
 @contextlib.contextmanager
 def _caching(args: argparse.Namespace):
-    """Install a disk-backed artifact cache when ``--cache-dir`` asks."""
+    """Install the artifact cache ``--cache-dir``/``--cache-remote`` ask for.
+
+    ``--cache-remote URL`` additionally exports
+    :envvar:`REPRO_CACHE_REMOTE` for the duration of the run so
+    isolated worker subprocesses (which rebuild their cache from just
+    a directory) join the same remote tier; see ``docs/ROBUSTNESS.md``
+    ("Remote cache tier").
+    """
     cache_dir = getattr(args, "cache_dir", None)
-    if not cache_dir:
+    cache_remote = getattr(args, "cache_remote", None)
+    if not cache_dir and not cache_remote:
         yield
         return
     from .core import ArtifactCache, using_cache
 
-    with using_cache(ArtifactCache(cache_dir=cache_dir)):
-        yield
+    previous = os.environ.get("REPRO_CACHE_REMOTE")
+    if cache_remote:
+        os.environ["REPRO_CACHE_REMOTE"] = cache_remote
+    try:
+        with using_cache(ArtifactCache(cache_dir=cache_dir, remote=cache_remote)):
+            yield
+    finally:
+        if cache_remote:
+            if previous is None:
+                os.environ.pop("REPRO_CACHE_REMOTE", None)
+            else:
+                os.environ["REPRO_CACHE_REMOTE"] = previous
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
@@ -339,6 +357,13 @@ def _add_cache_flag(parser: argparse.ArgumentParser) -> None:
         metavar="DIR",
         help="persist artifacts (characterized libraries, optimized "
              "networks) to an on-disk cache (default dir: ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--cache-remote", metavar="URL", default=None,
+        help="also share artifacts through a remote cache server "
+             "(repro cache-serve) at URL, e.g. host:8358; a slow or "
+             "dead server degrades to local-only (overrides "
+             "$REPRO_CACHE_REMOTE) — see docs/ROBUSTNESS.md",
     )
 
 
@@ -695,6 +720,79 @@ def _cmd_ledger(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache_serve(args: argparse.Namespace) -> int:
+    """Run the remote artifact-cache blob server until interrupted.
+
+    Exit codes: ``0`` — clean shutdown on SIGINT/SIGTERM.  The server
+    is stateless beyond its blob directory; killing it (``kill -9``
+    included) never loses client work — clients degrade to local-only
+    and upload their backlog when a restarted server reappears.
+    """
+    from .cache import make_blob_server
+
+    httpd = make_blob_server(
+        args.host, args.port, args.dir, max_mb=args.max_mb, verbose=args.verbose
+    )
+    host, port = httpd.server_address[:2]
+    print(
+        f"repro cache-serve: listening on http://{host}:{port} "
+        f"(dir={Path(args.dir).expanduser()})",
+        file=sys.stderr,
+    )
+    if args.port_file:
+        Path(args.port_file).write_text(f"{port}\n")
+    try:
+        httpd.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        stats = httpd.store.stats()
+        print(
+            f"repro cache-serve: {stats['entries']} blob(s), "
+            f"{stats['bytes'] // 1024} KiB on shutdown",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Cache maintenance; today one action: ``scrub``."""
+    from .cache import scrub_disk, scrub_remote
+
+    cache_dir = (
+        args.cache_dir
+        or os.environ.get("REPRO_CACHE_DIR")
+        or "~/.cache/repro"
+    )
+    root = Path(cache_dir).expanduser()
+    quarantined = 0
+    if root.is_dir():
+        report = scrub_disk(root)
+        quarantined += report["quarantined"]
+        print(
+            f"disk {root}: {report['checked']} checked, {report['ok']} ok, "
+            f"{report['quarantined']} quarantined"
+        )
+    else:
+        print(f"disk {root}: no cache directory, skipped")
+    if args.remote:
+        report = scrub_remote(args.remote)
+        if report is None:
+            print(f"remote {args.remote}: unreachable", file=sys.stderr)
+            return 2
+        quarantined += report.get("quarantined", 0)
+        print(
+            f"remote {args.remote}: {report.get('checked', 0)} checked, "
+            f"{report.get('ok', 0)} ok, "
+            f"{report.get('quarantined', 0)} quarantined"
+        )
+    # Quarantined entries mean the scrub *worked*, but surface them in
+    # the exit status so cron jobs can alarm on bit rot.
+    return 1 if quarantined else 0
+
+
 def _cmd_report_trace(args: argparse.Namespace) -> int:
     from .obs import read_jsonl, render_summary
 
@@ -944,6 +1042,36 @@ def build_parser() -> argparse.ArgumentParser:
     _add_resilience_flags(p)
     _add_journal_flags(p)
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "cache-serve",
+        help="shared remote artifact-cache blob server (third cache tier)",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="HTTP bind address")
+    p.add_argument("--port", type=int, default=8358,
+                   help="HTTP port (0 picks an ephemeral one)")
+    p.add_argument("--port-file", metavar="PATH",
+                   help="write the bound port here (handy with --port 0)")
+    p.add_argument("--dir", default="~/.cache/repro-blobs",
+                   help="blob storage directory")
+    p.add_argument("--max-mb", type=float, default=None, metavar="MB",
+                   help="LRU cap on stored blob bytes (default: unbounded)")
+    p.add_argument("--verbose", action="store_true",
+                   help="log each HTTP request to stderr")
+    p.set_defaults(func=_cmd_cache_serve)
+
+    p = sub.add_parser("cache", help="artifact-cache maintenance")
+    csub = p.add_subparsers(dest="cache_action", required=True)
+    cp = csub.add_parser(
+        "scrub",
+        help="re-verify sha256 frames; quarantine corrupt entries",
+    )
+    cp.add_argument("--cache-dir", metavar="DIR", default=None,
+                    help="disk tier to scrub (default: $REPRO_CACHE_DIR "
+                         "or ~/.cache/repro)")
+    cp.add_argument("--remote", metavar="URL", default=None,
+                    help="also ask this blob server to scrub itself")
+    p.set_defaults(func=_cmd_cache)
 
     p = sub.add_parser("compare", help="Fig. 3: scenarios on EPFL circuits")
     p.add_argument("circuits", nargs="*", help="circuit names (default: all)")

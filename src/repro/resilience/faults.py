@@ -23,6 +23,9 @@ Sites instrumented across the pipeline:
 ``server.submit``           a service submission fails transiently at admission
 ``server.queue_full``       the service queue reports saturation (load shed)
 ``server.worker_crash``     a service worker dies mid-job (breaker/retry path)
+``cache.remote.timeout``    a remote-cache request times out
+``cache.remote.partition``  the remote cache server is unreachable
+``cache.remote.corrupt``    a fetched remote blob fails sha256 verification
 ==========================  ==================================================
 
 Activation, in priority order:
@@ -72,6 +75,9 @@ KNOWN_SITES = (
     "server.submit",
     "server.queue_full",
     "server.worker_crash",
+    "cache.remote.timeout",
+    "cache.remote.partition",
+    "cache.remote.corrupt",
 )
 
 

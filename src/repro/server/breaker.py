@@ -1,17 +1,21 @@
-"""Circuit breaker around the service's worker pool.
+"""Circuit breaker over a repeatedly-failing dependency.
 
-Worker crashes (subprocess death, watchdog kills, injected chaos) are
+Grown for the service's worker pool, reused verbatim by the remote
+artifact-cache tier (:class:`repro.cache.remote.RemoteCacheClient`):
+worker crashes (subprocess death, watchdog kills, injected chaos) are
 retried per job — but when *every* job starts crashing the pool, the
-failure is systemic (a poisoned corner, an OOM'ing host) and retrying
-each job three times only multiplies the damage.  The breaker watches
-consecutive worker failures across jobs and, past a threshold, stops
-dispatch entirely for a cooldown; one half-open probe job then decides
-whether the pool has recovered.
+failure is systemic (a poisoned corner, an OOM'ing host, a partitioned
+cache server) and retrying each operation only multiplies the damage.
+The breaker watches consecutive failures across operations and, past a
+threshold, stops dispatch entirely for a cooldown; one half-open probe
+then decides whether the dependency has recovered.
 
-The breaker gates **dequeue, not admission**: while OPEN, jobs keep
-queuing (up to the queue's own bound, whose shedding stays in effect),
-so a transient pool outage delays work instead of rejecting it — the
-queue is exactly the buffer that makes that graceful.
+In the service the breaker gates **dequeue, not admission**: while
+OPEN, jobs keep queuing (up to the queue's own bound, whose shedding
+stays in effect), so a transient pool outage delays work instead of
+rejecting it.  In the cache tier it gates **every remote operation**:
+while OPEN the cache runs local-only (degraded mode) and the next
+post-cooldown lookup doubles as the recovery probe.
 
 States and transitions::
 
@@ -20,8 +24,14 @@ States and transitions::
     HALF_OPEN --(probe succeeds)---------------> CLOSED
     HALF_OPEN --(probe fails)------------------> OPEN (cooldown restarts)
 
-Counters: ``server.breaker.trip`` / ``.probe`` / ``.close``; gauge
-``server.breaker.state`` (0 closed, 1 half-open, 2 open).
+Counters (under the breaker's ``name``, default ``server.breaker``):
+``<name>.trip`` / ``.probe`` / ``.close``; gauge ``<name>.state``
+(0 closed, 1 half-open, 2 open).
+
+``clock`` is injectable (default :func:`time.monotonic`) so tests can
+drive the cooldown deterministically; the breaker assumes the clock
+never goes backwards — exactly the guarantee ``time.monotonic`` makes
+and wall clocks do not (see ``tests/test_breaker.py``).
 """
 
 from __future__ import annotations
@@ -43,11 +53,20 @@ _STATE_GAUGE = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
 class CircuitBreaker:
     """Consecutive-failure breaker with a single half-open probe."""
 
-    def __init__(self, threshold: int = 3, cooldown_s: float = 5.0):
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown_s: float = 5.0,
+        *,
+        name: str = "server.breaker",
+        clock=time.monotonic,
+    ):
         if threshold < 1:
             raise ValueError(f"threshold must be >= 1, got {threshold}")
         self.threshold = threshold
         self.cooldown_s = cooldown_s
+        self.name = name
+        self._clock = clock
         self._lock = threading.Lock()
         self._state = CLOSED
         self._failures = 0
@@ -61,7 +80,7 @@ class CircuitBreaker:
 
     def _set_state(self, state: str) -> None:
         self._state = state
-        obs.gauge("server.breaker.state", _STATE_GAUGE[state])
+        obs.gauge(f"{self.name}.state", _STATE_GAUGE[state])
 
     def allow(self) -> bool:
         """May a worker dispatch the next job right now?
@@ -73,7 +92,7 @@ class CircuitBreaker:
             if self._state == CLOSED:
                 return True
             if self._state == OPEN:
-                if time.monotonic() - self._opened_at < self.cooldown_s:
+                if self._clock() - self._opened_at < self.cooldown_s:
                     return False
                 self._set_state(HALF_OPEN)
                 self._probing = False
@@ -81,7 +100,7 @@ class CircuitBreaker:
             if self._probing:
                 return False
             self._probing = True
-            obs.count("server.breaker.probe")
+            obs.count(f"{self.name}.probe")
             return True
 
     def record_success(self) -> None:
@@ -91,7 +110,7 @@ class CircuitBreaker:
             self._failures = 0
             if self._state != CLOSED:
                 self._set_state(CLOSED)
-                obs.count("server.breaker.close")
+                obs.count(f"{self.name}.close")
             self._probing = False
 
     def record_failure(self) -> None:
@@ -103,10 +122,10 @@ class CircuitBreaker:
             )
             if tripped and self._state != OPEN:
                 self._set_state(OPEN)
-                self._opened_at = time.monotonic()
-                obs.count("server.breaker.trip")
+                self._opened_at = self._clock()
+                obs.count(f"{self.name}.trip")
             elif self._state == OPEN:
-                self._opened_at = time.monotonic()
+                self._opened_at = self._clock()
             self._probing = False
 
     def snapshot(self) -> dict:

@@ -12,6 +12,8 @@ maps it onto status codes:
                       ``503`` + ``Retry-After`` while draining, ``400`` on
                       a malformed spec
 ``GET /jobs/<id>``    job status (``to_dict``), ``404`` unknown
+``GET /jobs/<id>/progress``  live progress: job status plus the queue /
+                      breaker / counter snapshot explaining it
 ``GET /jobs/<id>/result``  the result JSON once done (``409`` if not yet
                       terminal, ``500``-style body if the job failed)
 ``GET /healthz``      liveness — always ``200`` while the process serves
@@ -97,6 +99,12 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send(404, {"error": f"no such job {parts[2]!r}"})
             else:
                 self._send(200, job.to_dict())
+        elif len(parts) == 4 and parts[1] == "jobs" and parts[3] == "progress":
+            progress = self.service.progress(parts[2])
+            if progress is None:
+                self._send(404, {"error": f"no such job {parts[2]!r}"})
+            else:
+                self._send(200, progress)
         elif len(parts) == 4 and parts[1] == "jobs" and parts[3] == "result":
             job = self.service.get(parts[2])
             if job is None:

@@ -27,6 +27,7 @@ idle workers cost nothing.
 from __future__ import annotations
 
 import heapq
+import random
 import threading
 from typing import Any
 
@@ -44,7 +45,10 @@ class JobQueue:
     ``weights`` maps tenant name to a positive integer share; unknown
     tenants get ``default_weight``.  ``retry_after_s`` on the
     saturation error is ``depth / throughput`` using the caller-fed
-    service rate (:meth:`note_service_rate`), clamped to a sane floor.
+    service rate (:meth:`note_service_rate`), clamped to a sane floor
+    and jittered ±25% so a burst of shed clients doesn't resubmit in
+    lockstep and re-saturate the queue on the same tick (``rng`` is
+    injectable for deterministic tests).
     """
 
     def __init__(
@@ -52,6 +56,7 @@ class JobQueue:
         capacity: int = 64,
         weights: dict[str, int] | None = None,
         default_weight: int = 1,
+        rng: random.Random | None = None,
     ):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -69,6 +74,7 @@ class JobQueue:
         self._closed = False
         #: EWMA of seconds of service per job (for retry-after).
         self._service_s = 1.0
+        self._rng = rng or random.Random()
 
     # -- sizing ---------------------------------------------------------
     def __len__(self) -> int:
@@ -88,7 +94,13 @@ class JobQueue:
     def retry_after_s(self) -> float:
         """How long a shed client should wait before resubmitting."""
         with self._lock:
-            return max(0.05, self._size * self._service_s)
+            return self._retry_after_locked()
+
+    def _retry_after_locked(self) -> float:
+        # ±25% jitter decorrelates shed clients: without it every
+        # client told "retry in 3.2 s" comes back in the same instant.
+        jitter = self._rng.uniform(0.75, 1.25)
+        return max(0.05, self._size * self._service_s * jitter)
 
     # -- producer side --------------------------------------------------
     def push(self, job: Job, force: bool = False) -> None:
@@ -109,7 +121,7 @@ class JobQueue:
                     f"job queue is full ({self._size}/{self.capacity} "
                     f"pending); retry later",
                     site="server.queue_full",
-                    retry_after_s=max(0.05, self._size * self._service_s),
+                    retry_after_s=self._retry_after_locked(),
                 )
             tenant = job.spec.tenant
             backlog = self._backlogs.setdefault(tenant, [])

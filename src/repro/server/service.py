@@ -377,6 +377,29 @@ class CharacterizationService:
         job = self.get(job_id)
         return None if job is None or job.state != "done" else job.result
 
+    def progress(self, job_id: str) -> dict[str, Any] | None:
+        """Live progress view for one job (``GET /jobs/<id>/progress``).
+
+        The job's own status (state, attempt count, timestamps) plus a
+        snapshot of the service-wide context a client needs to judge
+        *why* the job is where it is: queue depth (is it waiting behind
+        a backlog?), breaker state (is dequeue paused?), in-flight
+        count, and the ``server.*`` / stage counters at this instant.
+        Polling the endpoint twice and diffing the counters shows what
+        the service did in between.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            return {
+                "job": job.to_dict(),
+                "counters": dict(sorted(self.counters.items())),
+                "queue": self._queue.snapshot(),
+                "breaker": self._breaker.snapshot(),
+                "inflight": self._inflight,
+            }
+
     def health(self) -> dict[str, Any]:
         with self._lock:
             return {

@@ -1,0 +1,195 @@
+"""Circuit-breaker state machine, including half-open edge cases.
+
+The breaker is shared by two tiers with different stakes: in the
+characterization service it pauses dequeue; in the remote cache tier
+it flips the client into local-only degraded mode.  The edge cases
+here — concurrent half-open probes, a failure *during* the probe, and
+clock handling — are exactly the windows where a buggy breaker either
+lets a thundering herd through or wedges open forever.
+"""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.server.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+pytestmark = pytest.mark.no_chaos
+
+
+class FakeClock:
+    """Monotonic test clock advanced explicitly."""
+
+    def __init__(self, t: float = 0.0):
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+def tripped_breaker(threshold=3, cooldown_s=10.0, **kw):
+    clock = FakeClock()
+    breaker = CircuitBreaker(threshold, cooldown_s, clock=clock, **kw)
+    for _ in range(threshold):
+        breaker.record_failure()
+    assert breaker.state == OPEN
+    return breaker, clock
+
+
+class TestBasicTransitions:
+    def test_closed_until_threshold(self):
+        breaker = CircuitBreaker(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN and not breaker.allow()
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_probe_success_closes(self):
+        breaker, clock = tripped_breaker(cooldown_s=5.0)
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED and breaker.allow()
+
+
+class TestHalfOpenEdgeCases:
+    def test_concurrent_probes_admit_exactly_one(self):
+        """N threads racing allow() after cooldown: one probe, N-1 waiters.
+
+        Two admitted probes would mean double traffic into a dependency
+        the breaker believes is down — the exact herd it exists to stop.
+        """
+        breaker, clock = tripped_breaker(cooldown_s=1.0)
+        clock.advance(1.0)
+        start = threading.Barrier(8)
+        admitted = []
+
+        def racer():
+            start.wait()
+            if breaker.allow():
+                admitted.append(threading.get_ident())
+
+        threads = [threading.Thread(target=racer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(admitted) == 1
+        assert breaker.state == HALF_OPEN
+        # And the waiters keep being refused until the probe resolves.
+        assert not breaker.allow()
+
+    def test_failure_during_probe_reopens_and_restarts_cooldown(self):
+        breaker, clock = tripped_breaker(cooldown_s=4.0)
+        clock.advance(4.0)
+        assert breaker.allow()  # the probe
+        clock.advance(1.0)
+        breaker.record_failure()  # probe's operation lost its worker
+        assert breaker.state == OPEN
+        # Cooldown restarts from the probe *failure*, not the original
+        # trip: 3.9s later (7.9s > original 4s cooldown) still refused.
+        clock.advance(3.9)
+        assert not breaker.allow()
+        clock.advance(0.1)
+        assert breaker.allow()
+
+    def test_failed_probe_releases_probe_slot(self):
+        """After a probe fails, the next half-open window admits a new
+        probe — ``_probing`` must not stay latched or the breaker
+        wedges open forever."""
+        breaker, clock = tripped_breaker(cooldown_s=2.0)
+        for _ in range(3):  # several probe/fail rounds
+            clock.advance(2.0)
+            assert breaker.allow()
+            breaker.record_failure()
+            assert breaker.state == OPEN
+
+    def test_single_failure_in_half_open_trips_below_threshold(self):
+        """HALF_OPEN is a vote of one: a single probe failure re-opens
+        even though threshold is 3 consecutive failures in CLOSED."""
+        breaker, clock = tripped_breaker(threshold=3, cooldown_s=1.0)
+        breaker.record_success()  # back to CLOSED... (not via probe)
+        assert breaker.state == CLOSED
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+
+    def test_success_during_half_open_clears_probe_flag(self):
+        breaker, clock = tripped_breaker(cooldown_s=1.0)
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success()
+        # A fresh trip must behave like the first: probe admitted after
+        # cooldown, i.e. no stale _probing latch from the last cycle.
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+
+
+class TestClockBehavior:
+    def test_cooldown_boundary_is_exact_with_injected_clock(self):
+        breaker, clock = tripped_breaker(cooldown_s=5.0)
+        clock.advance(4.999999)
+        assert not breaker.allow()
+        clock.advance(0.000001)
+        assert breaker.allow()
+
+    def test_repeated_failures_while_open_push_cooldown_forward(self):
+        """Failures recorded while OPEN (e.g. queued operations draining
+        into a dead dependency) restart the cooldown — the window is
+        measured from the *latest* evidence of failure."""
+        breaker, clock = tripped_breaker(cooldown_s=3.0)
+        clock.advance(2.0)
+        breaker.record_failure()  # still down
+        clock.advance(2.0)  # 4.0 since trip, 2.0 since last failure
+        assert not breaker.allow()
+        clock.advance(1.0)
+        assert breaker.allow()
+
+    def test_frozen_clock_never_half_opens(self):
+        """A clock that does not advance (legal for monotonic: it may
+        stand still, never run backwards) keeps the breaker OPEN
+        rather than dividing by an elapsed-time assumption."""
+        breaker, clock = tripped_breaker(cooldown_s=0.5)
+        for _ in range(100):
+            assert not breaker.allow()
+        assert breaker.state == OPEN
+
+
+class TestNaming:
+    def test_metrics_emitted_under_custom_name(self):
+        with obs.Tracer() as tracer:
+            breaker, clock = tripped_breaker(
+                threshold=2, cooldown_s=1.0, name="cache.remote.breaker"
+            )
+            clock.advance(1.0)
+            assert breaker.allow()
+            breaker.record_success()
+        assert tracer.counters["cache.remote.breaker.trip"] == 1
+        assert tracer.counters["cache.remote.breaker.probe"] == 1
+        assert tracer.counters["cache.remote.breaker.close"] == 1
+        gauges = tracer.metrics_snapshot()["gauges"]
+        assert gauges["cache.remote.breaker.state"] == 0  # closed again
+        assert "server.breaker.trip" not in tracer.counters
+
+    def test_default_name_unchanged(self):
+        with obs.Tracer() as tracer:
+            breaker = CircuitBreaker(threshold=1)
+            breaker.record_failure()
+        assert tracer.counters["server.breaker.trip"] == 1

@@ -1,0 +1,467 @@
+"""The remote artifact-cache tier: framing, server, client, integration.
+
+ISSUE 9's robustness contract, tested bottom-up:
+
+* the sha256 frame verifies without unpickling (no host ever
+  ``pickle.loads`` unverified network bytes);
+* the blob server verifies on upload *and* on read, quarantines rot,
+  and bounds its store;
+* the client never fails — every failure class (dead server, timeout,
+  partition, corruption, HTTP garbage) degrades to a miss or a
+  deferred upload, the breaker trips into local-only mode, and
+  recovery flushes the write-behind queue;
+* :class:`repro.core.artifacts.ArtifactCache` composes all three tiers
+  so two "hosts" share one computation, and flows stay bit-identical
+  with the server up, down, or lying.
+"""
+
+import pickle
+import random
+import threading
+
+import pytest
+
+from repro import obs
+from repro.cache import (
+    BlobStore,
+    RemoteCacheClient,
+    decode_entry,
+    encode_entry,
+    make_blob_server,
+    scrub_disk,
+    verify_frame,
+)
+from repro.cache.framing import HEADER_LEN, MAGIC
+from repro.cache.remote import _parse_url
+from repro.core import ArtifactCache
+from repro.resilience import faults
+from repro.resilience.errors import CacheCorruptionError
+
+# Exact hit/miss/error bookkeeping throughout; ambient cache-site fault
+# plans would legitimately perturb it.
+pytestmark = pytest.mark.no_chaos
+
+
+@pytest.fixture
+def served(tmp_path):
+    """A live blob server on an ephemeral port."""
+    httpd = make_blob_server("127.0.0.1", 0, tmp_path / "blobs")
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield httpd, f"127.0.0.1:{httpd.server_address[1]}"
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+
+
+def fast_client(url, **kw):
+    """A client tuned so failure paths cost milliseconds, not seconds."""
+    kw.setdefault("connect_timeout_s", 0.5)
+    kw.setdefault("read_timeout_s", 1.0)
+    kw.setdefault("max_retries", 0)
+    kw.setdefault("backoff_base_s", 0.001)
+    kw.setdefault("backoff_cap_s", 0.002)
+    kw.setdefault("rng", random.Random(0))
+    return RemoteCacheClient(url, **kw)
+
+
+def free_port_url():
+    """An address nothing listens on (bound then released)."""
+    import socket
+
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return f"127.0.0.1:{port}"
+
+
+DIGEST = "ab" * 20
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        value = {"cells": ["inv", "nand2"], "t": 10.0}
+        frame = encode_entry(value)
+        assert frame.startswith(MAGIC)
+        verify_frame(frame)
+        assert decode_entry(frame) == value
+
+    def test_truncation_detected_without_unpickle(self):
+        frame = encode_entry([1, 2, 3])
+        for cut in (0, 3, HEADER_LEN - 1, HEADER_LEN, len(frame) - 1):
+            with pytest.raises(CacheCorruptionError):
+                verify_frame(frame[:cut])
+
+    def test_bitflip_detected(self):
+        frame = bytearray(encode_entry("payload"))
+        frame[-1] ^= 0x01
+        with pytest.raises(CacheCorruptionError):
+            verify_frame(bytes(frame))
+
+    def test_wrong_magic_rejected(self):
+        frame = encode_entry("x")
+        with pytest.raises(CacheCorruptionError):
+            verify_frame(b"X" + frame[1:])
+
+    def test_verify_does_not_unpickle(self):
+        # A frame around a bomb payload must verify (checksum is fine)
+        # without ever executing pickle machinery.
+        import hashlib
+
+        bomb = b"cos\nsystem\n(S'true'\ntR."  # classic RCE pickle
+        frame = MAGIC + hashlib.sha256(bomb).digest() + bomb
+        verify_frame(frame)  # fine: checksum math only
+        with pytest.raises(Exception):
+            pickle.loads(bomb.replace(b"cos", b"cnosuch", 1))
+
+
+class TestBlobStore:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = BlobStore(tmp_path)
+        frame = encode_entry({"a": 1})
+        store.put(DIGEST, frame)
+        assert store.get(DIGEST) == frame
+        assert store.stats()["entries"] == 1
+
+    def test_put_rejects_corrupt_frame(self, tmp_path):
+        store = BlobStore(tmp_path)
+        with pytest.raises(CacheCorruptionError):
+            store.put(DIGEST, b"not a frame")
+        assert store.get(DIGEST) is None
+        assert store.stats()["entries"] == 0
+
+    def test_read_quarantines_rotted_blob(self, tmp_path):
+        store = BlobStore(tmp_path)
+        store.put(DIGEST, encode_entry("v"))
+        # Rot the stored bytes behind the store's back.
+        path = tmp_path / f"{DIGEST}.blob"
+        path.write_bytes(path.read_bytes()[:-3])
+        assert store.get(DIGEST) is None
+        assert not path.exists()
+        assert path.with_suffix(".corrupt").exists()
+        # Never served again.
+        assert store.get(DIGEST) is None
+
+    def test_scrub_counts_and_quarantines(self, tmp_path):
+        store = BlobStore(tmp_path)
+        store.put("aa" * 20, encode_entry(1))
+        store.put("bb" * 20, encode_entry(2))
+        (tmp_path / ("bb" * 20 + ".blob")).write_bytes(b"rotted")
+        report = store.scrub()
+        assert report == {"checked": 2, "ok": 1, "quarantined": 1}
+        assert store.get("aa" * 20) is not None
+        assert store.get("bb" * 20) is None
+
+    def test_lru_eviction_respects_cap(self, tmp_path):
+        payload = encode_entry(b"x" * 4096)
+        cap_mb = (3 * len(payload)) / (1024 * 1024)
+        store = BlobStore(tmp_path, max_mb=cap_mb)
+        import os
+        import time as _time
+
+        digests = [f"{i:02d}" * 20 for i in range(5)]
+        now = _time.time()
+        for i, digest in enumerate(digests):
+            store.put(digest, payload)
+            # Deterministic LRU order without sleeping.
+            os.utime(tmp_path / f"{digest}.blob", (now + i, now + i))
+            store._enforce_cap()
+        held = {d for d in digests if store.get(d) is not None}
+        assert len(held) <= 3
+        assert digests[-1] in held  # newest survives
+        assert digests[0] not in held  # oldest evicted
+
+
+class TestBlobServerHTTP:
+    def test_roundtrip_over_http(self, served):
+        _, url = served
+        client = fast_client(url)
+        frame = encode_entry({"k": "v"})
+        assert client.put(DIGEST, frame) is True
+        assert client.get(DIGEST) == frame
+        assert client.counters["cache.remote.hit"] == 1
+        assert client.counters["cache.remote.put"] == 1
+
+    def test_miss_is_none(self, served):
+        _, url = served
+        client = fast_client(url)
+        assert client.get("ee" * 20) is None
+        assert client.counters["cache.remote.miss"] == 1
+        assert not client.degraded  # a miss is a healthy answer
+
+    def test_server_rejects_corrupt_upload(self, served):
+        _, url = served
+        client = fast_client(url)
+        assert client.put(DIGEST, b"garbage") is False
+        assert client.counters["cache.remote.put_rejected"] == 1
+        assert client.get(DIGEST) is None  # nothing was stored
+        assert not client.degraded  # a 4xx is not a transport failure
+
+    def test_healthz_and_scrub(self, served):
+        httpd, url = served
+        client = fast_client(url)
+        client.put(DIGEST, encode_entry(1))
+        assert client.probe() is True
+        path = httpd.store.root / f"{DIGEST}.blob"
+        path.write_bytes(b"rot")
+        report = client.scrub()
+        assert report["quarantined"] == 1
+
+    def test_url_parsing(self):
+        assert _parse_url("127.0.0.1:8358") == ("127.0.0.1", 8358)
+        assert _parse_url("http://localhost:99/") == ("localhost", 99)
+        with pytest.raises(ValueError):
+            _parse_url("https://localhost:99")
+        with pytest.raises(ValueError):
+            _parse_url("localhost")
+
+
+class TestClientNeverFails:
+    def test_dead_server_degrades_to_miss(self):
+        client = fast_client(free_port_url(), breaker_threshold=2)
+        frame = encode_entry("v")
+        assert client.get(DIGEST) is None
+        assert client.put(DIGEST, frame) is False
+        assert client.counters["cache.remote.error"] == 1
+        assert client.counters["cache.remote.write_behind"] == 1
+
+    def test_breaker_trips_into_degraded_mode(self):
+        with obs.Tracer() as tracer:
+            client = fast_client(free_port_url(), breaker_threshold=2)
+            for _ in range(5):
+                assert client.get(DIGEST) is None
+            # Two transport failures tripped the breaker; the next
+            # three lookups were skipped without touching the network.
+            assert client.degraded
+            assert client.counters["cache.remote.error"] == 2
+            assert client.counters["cache.remote.degraded_skip"] == 3
+        snap = tracer.metrics_snapshot()
+        assert snap["gauges"]["cache.remote.degraded"] == 1
+        assert tracer.counters["cache.remote.breaker.trip"] == 1
+
+    def test_recovery_closes_breaker_and_flushes_writes(self, tmp_path):
+        clock_now = [0.0]
+        with obs.Tracer() as tracer:
+            httpd = make_blob_server("127.0.0.1", 0, tmp_path / "blobs")
+            url = f"127.0.0.1:{httpd.server_address[1]}"
+            client = fast_client(
+                url,
+                breaker_threshold=1,
+                breaker_cooldown_s=5.0,
+                clock=lambda: clock_now[0],
+            )
+            # Server not serving yet: trip + stash two writes.
+            frames = {f"{i:02d}" * 20: encode_entry(i) for i in (1, 2)}
+            for digest, frame in frames.items():
+                assert client.put(digest, frame) is False
+            assert client.degraded
+            assert client.stats()["pending_writes"] == 2
+            # Server comes up; cooldown elapses; next op is the probe.
+            thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+            thread.start()
+            try:
+                clock_now[0] = 5.0
+                assert client.probe() is True
+                assert not client.degraded
+                assert client.stats()["pending_writes"] == 0
+                for digest, frame in frames.items():
+                    assert client.get(digest) == frame
+            finally:
+                httpd.shutdown()
+                httpd.server_close()
+            assert client.counters["cache.remote.recovered"] == 1
+            assert client.counters["cache.remote.writeback"] == 2
+        assert tracer.metrics_snapshot()["gauges"]["cache.remote.degraded"] == 0
+
+    def test_write_behind_is_bounded_latest_wins(self):
+        client = fast_client(
+            free_port_url(), breaker_threshold=1, max_pending_writes=3
+        )
+        for i in range(6):
+            client.put(f"{i:02d}" * 20, encode_entry(i))
+        stats = client.stats()
+        assert stats["pending_writes"] == 3
+        assert client.counters["cache.remote.write_behind_dropped"] == 3
+
+    def test_injected_timeout_and_partition_degrade(self):
+        plan = faults.FaultPlan(
+            [faults.FaultSpec(site="cache.remote.timeout", first_n=1)]
+        )
+        # Target a live-looking URL; the injected fault fires before
+        # any socket is opened, so nothing need be listening.
+        client = fast_client("127.0.0.1:9", breaker_threshold=10)
+        with faults.injecting(plan):
+            assert client.get(DIGEST) is None
+        assert client.counters["cache.remote.timeout"] == 1
+        plan = faults.FaultPlan(
+            [faults.FaultSpec(site="cache.remote.partition", first_n=1)]
+        )
+        with faults.injecting(plan):
+            assert client.put(DIGEST, encode_entry(1)) is False
+        assert client.counters["cache.remote.put_error"] >= 1
+
+    def test_corrupt_fetch_quarantines_and_refetches_once(self, served):
+        httpd, url = served
+        client = fast_client(url, breaker_threshold=2)
+        frame = encode_entry({"good": True})
+        assert client.put(DIGEST, frame)
+        # First fetch corrupted in flight; the refetch gets clean bytes.
+        plan = faults.FaultPlan(
+            [faults.FaultSpec(site="cache.remote.corrupt", first_n=1)]
+        )
+        with faults.injecting(plan):
+            assert client.get(DIGEST) == frame
+        assert client.counters["cache.remote.corrupt"] == 1
+        assert client.counters["cache.remote.refetch"] == 1
+        assert not client.degraded
+
+    def test_persistently_lying_server_counts_as_failure(self, served):
+        httpd, url = served
+        client = fast_client(url, breaker_threshold=1)
+        assert client.put(DIGEST, encode_entry("v"))
+        # Every fetched copy corrupts: refetch once, then give up and
+        # treat the server as unhealthy.
+        plan = faults.FaultPlan(
+            [faults.FaultSpec(site="cache.remote.corrupt", first_n=10)]
+        )
+        with faults.injecting(plan):
+            assert client.get(DIGEST) is None
+        assert client.counters["cache.remote.error"] == 1
+        assert client.degraded
+
+
+class TestArtifactCacheIntegration:
+    def _compute_counter(self):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"result": len(calls)}
+
+        return calls, compute
+
+    def test_two_hosts_share_one_computation(self, served, tmp_path):
+        _, url = served
+        host1 = ArtifactCache(cache_dir=tmp_path / "h1", remote=url)
+        host2 = ArtifactCache(cache_dir=tmp_path / "h2", remote=url)
+        calls, compute = self._compute_counter()
+        key = "lib:deadbeef"
+        assert host1.get_or_compute(key, compute) == {"result": 1}
+        assert host2.get_or_compute(key, compute) == {"result": 1}
+        assert calls == [1]  # computed exactly once across "hosts"
+        assert host2.remote_hits == 1
+        # The remote hit backfilled host2's local tiers: a third read
+        # with the remote gone is still a local hit.
+        host3 = ArtifactCache(cache_dir=tmp_path / "h2", remote=False)
+        assert host3.get_or_compute(key, compute) == {"result": 1}
+        assert calls == [1]
+
+    def test_dead_remote_is_bit_identical_to_no_remote(self, tmp_path):
+        def compute():
+            return {"delay": [1.25, 3.5], "slew": 0.125}
+
+        with_remote = ArtifactCache(
+            cache_dir=tmp_path / "a",
+            remote=fast_client(free_port_url(), breaker_threshold=1),
+        )
+        value = with_remote.get_or_compute("k:1", compute)
+        without = ArtifactCache(cache_dir=tmp_path / "b", remote=False)
+        assert pickle.dumps(without.get_or_compute("k:1", compute)) == (
+            pickle.dumps(value)
+        )
+        # And the on-disk frames match byte for byte.
+        assert with_remote._disk_path("k:1").read_bytes() == (
+            without._disk_path("k:1").read_bytes()
+        )
+
+    def test_memory_and_disk_win_over_remote(self, served, tmp_path):
+        httpd, url = served
+        cache = ArtifactCache(cache_dir=tmp_path / "d", remote=url)
+        calls, compute = self._compute_counter()
+        cache.get_or_compute("k:2", compute)
+        before = httpd.store.counters.get("cache.remote.server.hit", 0)
+        for _ in range(5):
+            cache.get_or_compute("k:2", compute)
+        assert calls == [1]
+        # All five were memory hits; the server saw no new traffic.
+        assert httpd.store.counters.get("cache.remote.server.hit", 0) == before
+
+    def test_env_var_wires_remote(self, served, tmp_path, monkeypatch):
+        _, url = served
+        monkeypatch.setenv("REPRO_CACHE_REMOTE", url)
+        cache = ArtifactCache(cache_dir=tmp_path / "env")
+        assert cache.remote is not None
+        assert cache.remote.url == url
+        monkeypatch.setenv("REPRO_CACHE_REMOTE", "")
+        assert ArtifactCache(cache_dir=tmp_path / "env2").remote is None
+
+    def test_bad_remote_url_disables_tier(self, tmp_path):
+        cache = ArtifactCache(cache_dir=tmp_path, remote="no-port-here")
+        assert cache.remote is None  # never fatal
+
+    def test_stats_expose_remote_tier(self, served, tmp_path):
+        _, url = served
+        cache = ArtifactCache(cache_dir=tmp_path / "s", remote=url)
+        calls, compute = self._compute_counter()
+        cache.get_or_compute("k:3", compute)
+        stats = cache.stats()
+        assert stats["remote_hits"] == 0
+        assert stats["remote"]["breaker"]["state"] == "closed"
+
+
+class TestScrubCLI:
+    def test_cache_scrub_exit_codes(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache = ArtifactCache(cache_dir=tmp_path, remote=False)
+        cache.put("k:a", 1)
+        assert main(["cache", "scrub", "--cache-dir", str(tmp_path)]) == 0
+        assert "1 checked, 1 ok, 0 quarantined" in capsys.readouterr().out
+        bad = cache._disk_path("k:a")
+        bad.write_bytes(bad.read_bytes()[:4])
+        assert main(["cache", "scrub", "--cache-dir", str(tmp_path)]) == 1
+        assert "1 quarantined" in capsys.readouterr().out
+
+    def test_cache_scrub_with_remote(self, served, tmp_path, capsys):
+        from repro.cli import main
+
+        httpd, url = served
+        client = fast_client(url)
+        client.put(DIGEST, encode_entry(1))
+        (httpd.store.root / ("cc" * 20 + ".blob")).write_bytes(b"rot")
+        code = main([
+            "cache", "scrub", "--cache-dir", str(tmp_path / "none"),
+            "--remote", url,
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "0 checked, 0 ok, 0 quarantined" in out  # empty disk tier
+        assert "2 checked, 1 ok, 1 quarantined" in out
+
+    def test_cache_scrub_unreachable_remote_exits_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main([
+            "cache", "scrub", "--cache-dir", str(tmp_path / "none"),
+            "--remote", free_port_url(),
+        ])
+        assert code == 2
+
+
+class TestScrub:
+    def test_scrub_disk_quarantines_corrupt_entries(self, tmp_path):
+        cache = ArtifactCache(cache_dir=tmp_path, remote=False)
+        cache.put("k:good", {"v": 1})
+        cache.put("k:bad", {"v": 2})
+        bad = cache._disk_path("k:bad")
+        bad.write_bytes(bad.read_bytes()[:-5])
+        report = scrub_disk(tmp_path)
+        assert report == {"checked": 2, "ok": 1, "quarantined": 1}
+        assert not bad.exists()
+        assert bad.with_suffix(".corrupt").exists()
+        # Idempotent: a second sweep finds only the good entry.
+        assert scrub_disk(tmp_path) == {
+            "checked": 1, "ok": 1, "quarantined": 0,
+        }

@@ -87,6 +87,34 @@ class TestRoutes:
         assert code == 200
         assert (payload["error"], payload["error_kind"]) == ("nope", "ValueError")
 
+    def test_progress_endpoint(self, served):
+        service, base = served
+        code, job, _ = _post(f"{base}/jobs",
+                             {"kind": "probe", "params": {"echo": "p"}})
+        assert code == 202
+        code, progress = _get(f"{base}/jobs/{job['id']}/progress")
+        assert code == 200
+        # The job's own live status...
+        assert progress["job"]["id"] == job["id"]
+        assert progress["job"]["state"] in (
+            "pending", "running", "done", "failed"
+        )
+        assert progress["job"]["attempts"] >= 0
+        # ...plus the service-wide context explaining it.
+        assert progress["counters"]["server.submitted"] >= 1
+        assert progress["queue"]["capacity"] == 4
+        assert progress["breaker"]["state"] == "closed"
+        assert "inflight" in progress
+        # Attempts are visible once the job actually ran.
+        assert service.get(job["id"]).wait(timeout=10.0)
+        _, progress = _get(f"{base}/jobs/{job['id']}/progress")
+        assert progress["job"]["state"] == "done"
+        assert progress["job"]["attempts"] == 1
+
+    def test_progress_unknown_job_404(self, served):
+        _, base = served
+        assert _get(f"{base}/jobs/job-999999/progress")[0] == 404
+
     def test_unknown_job_and_route_404(self, served):
         _, base = served
         assert _get(f"{base}/jobs/job-999999")[0] == 404

@@ -5,6 +5,7 @@ stability for coalescing, capacity shedding with a retry-after hint,
 smooth-WRR fairness without starvation, and the breaker state machine.
 """
 
+import random
 import threading
 import time
 
@@ -148,6 +149,34 @@ class TestJobQueue:
         queue.push(_job(1))
         # ~2 s/job x 2 queued: the hint reflects the backlog.
         assert queue.retry_after_s() > 1.0
+
+    def test_retry_after_jittered_plus_minus_25_percent(self):
+        # Shed clients must not resubmit in lockstep: the hint spreads
+        # over [0.75, 1.25] x the EWMA estimate.
+        queue = JobQueue(capacity=4, rng=random.Random(7))
+        for _ in range(50):
+            queue.note_service_rate(1.0)
+        queue.push(_job(0))
+        queue.push(_job(1))
+        base = 2 * queue._service_s
+        hints = [queue.retry_after_s() for _ in range(200)]
+        assert all(0.75 * base <= h <= 1.25 * base for h in hints)
+        assert min(hints) < 0.85 * base  # actually spread, not constant
+        assert max(hints) > 1.15 * base
+        assert len(set(hints)) > 100
+
+    def test_saturation_error_hint_is_jittered_too(self):
+        queue = JobQueue(capacity=1, rng=random.Random(3))
+        for _ in range(50):
+            queue.note_service_rate(1.0)
+        queue.push(_job(0))
+        hints = set()
+        for i in range(20):
+            with pytest.raises(QueueSaturatedError) as exc_info:
+                queue.push(_job(1 + i))
+            assert 0.75 <= exc_info.value.retry_after_s <= 1.25
+            hints.add(exc_info.value.retry_after_s)
+        assert len(hints) > 10
 
 
 class TestCircuitBreaker:
