@@ -2,23 +2,27 @@
 
 Times the computational kernels the flow is built on — AIG simulation,
 cut enumeration, SAT, SPICE transients (both stamping kernels), a
-charlib SPICE arc (both kernels), and a device Monte-Carlo sweep — and
-writes one machine-readable ``BENCH_kernels.json``.  CI's bench-smoke
-job runs this once per change and archives the JSON, so the numbers
-form a trajectory across commits rather than a one-off measurement.
+charlib SPICE arc (scalar vs vector), a whole NLDM grid through the
+trajectory-batched solver (batch vs vector), a full SPICE cell
+characterization, and a device Monte-Carlo sweep — and writes one
+machine-readable ``BENCH_kernels.json``.  CI's bench-smoke job runs
+this once per change and archives the JSON, so the numbers form a
+trajectory across commits rather than a one-off measurement.
 
 Usage (from the repository root)::
 
     PYTHONPATH=src python benchmarks/kernels.py [-o BENCH_kernels.json]
-        [--repeats N] [--assert-vector-default]
+        [--repeats N] [--assert-batch-default] [--assert-speedup MIN]
 
 Each section reports best-of-``repeats`` wall time; the SPICE and
-charlib sections additionally report the scalar/vector pair and the
-derived speedup.  Observability counters recorded during the run
-(``spice.kernel.*``, ``charlib.spice.kernel.*``, Newton statistics)
-are embedded under ``"counters"`` so the artifact also proves *which*
-kernel path executed — ``--assert-vector-default`` fails the run if
-the default path was not the vectorized one.
+charlib sections additionally report their kernel pair and the derived
+speedup.  Observability counters recorded during the run
+(``spice.kernel.*``, ``spice.batch.*``, ``charlib.spice.kernel.*``,
+Newton statistics) are embedded under ``"counters"`` so the artifact
+also proves *which* kernel path executed — ``--assert-batch-default``
+fails the run if the default path was not the trajectory-batched one,
+and ``--assert-speedup MIN`` fails it if the whole-grid batch kernel
+beats the per-instance vector loop by less than ``MIN``x.
 
 See ``docs/PERFORMANCE.md`` for the schema and how to add a section.
 """
@@ -152,6 +156,61 @@ def bench_charlib_arc(repeats: int) -> dict:
     }
 
 
+def _charlib_full_grid(settings):
+    from repro.charlib.spice_char import SpiceCharacterizer
+    from repro.pdk import cryo5_technology
+    from repro.pdk.catalog import make_inv
+
+    tech = cryo5_technology()
+    char = SpiceCharacterizer(tech, 77.0, settings=settings)
+    return char.characterize_cell(make_inv(1), tech.slew_grid, tech.load_grid)
+
+
+def bench_charlib_full_arc(repeats: int) -> dict:
+    """Whole 7x7 NLDM grid: one trajectory batch vs the serial loop.
+
+    This is the workload the batch kernel exists for — all 98 arc
+    transients of the grid advance in lockstep through one batched
+    Newton solve per time step instead of 98 serial transients.  Both
+    paths are single-shot (the grid takes seconds; best-of-``repeats``
+    would triple the bench-smoke budget for noise filtering the gate's
+    tolerance already absorbs).
+    """
+    from repro.spice import SimulatorSettings
+
+    batch = best_of(lambda: _charlib_full_grid(SimulatorSettings(kernel="batch")), 1)
+    vector = best_of(lambda: _charlib_full_grid(SimulatorSettings(kernel="vector")), 1)
+    return {
+        "batch_seconds": batch,
+        "vector_seconds": vector,
+        "speedup": vector / batch,
+        "detail": "INVx1 full 7x7 slew/load grid, SPICE backend, 77 K, single-shot",
+    }
+
+
+def bench_charlib_cell_flow(repeats: int) -> dict:
+    """Full characterization entry point on the default (batch) path."""
+    from repro.charlib import characterize_library
+    from repro.pdk import cryo5_technology
+    from repro.pdk.catalog import make_nand
+
+    def run():
+        library = characterize_library(
+            cryo5_technology(),
+            77.0,
+            cells=[make_nand(2, 1)],
+            backend="spice",
+            name="bench_nand2_77k",
+            cache=False,
+        )
+        assert not library.degraded_arcs()
+
+    return {
+        "seconds": best_of(run, 1),
+        "detail": "characterize_library, NAND2x1, SPICE backend, 77 K, single-shot",
+    }
+
+
 def bench_monte_carlo(repeats: int) -> dict:
     from repro.device import default_nfet_5nm
     from repro.device.montecarlo import mc_device_metric
@@ -178,6 +237,8 @@ SECTIONS = {
     "sat": bench_sat,
     "spice_transient": bench_spice_transient,
     "charlib_arc": bench_charlib_arc,
+    "charlib_full_arc": bench_charlib_full_arc,
+    "charlib_cell_flow": bench_charlib_cell_flow,
     "monte_carlo": bench_monte_carlo,
 }
 
@@ -209,9 +270,18 @@ def main(argv=None) -> int:
     parser.add_argument("-o", "--output", default="BENCH_kernels.json")
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
-        "--assert-vector-default",
+        "--assert-batch-default",
         action="store_true",
-        help="fail unless the default-configured runs used the vector kernel",
+        help="fail unless the default-configured runs used the trajectory-"
+             "batched kernel",
+    )
+    parser.add_argument(
+        "--assert-speedup",
+        type=float,
+        default=None,
+        metavar="MIN",
+        help="fail unless the whole-grid charlib_full_arc section shows at "
+             "least MINx batch-over-vector speedup",
     )
     args = parser.parse_args(argv)
 
@@ -222,27 +292,42 @@ def main(argv=None) -> int:
 
     for name, entry in report["results"].items():
         if "speedup" in entry:
-            print(
-                f"[bench] {name}: scalar {entry['scalar_seconds'] * 1e3:.1f} ms, "
-                f"vector {entry['vector_seconds'] * 1e3:.1f} ms "
-                f"({entry['speedup']:.2f}x)"
-            )
+            pair = [
+                f"{key.removesuffix('_seconds')} {entry[key] * 1e3:.1f} ms"
+                for key in ("scalar_seconds", "vector_seconds", "batch_seconds")
+                if key in entry
+            ]
+            print(f"[bench] {name}: {', '.join(pair)} ({entry['speedup']:.2f}x)")
         else:
             print(f"[bench] {name}: {entry['seconds'] * 1e3:.2f} ms")
     print(f"[bench] wrote {args.output}")
 
-    if args.assert_vector_default:
-        if report["default_kernel"] != "vector":
-            print("[bench] FAIL: default kernel is not 'vector'", file=sys.stderr)
+    if args.assert_batch_default:
+        if report["default_kernel"] != "batch":
+            print("[bench] FAIL: default kernel is not 'batch'", file=sys.stderr)
             return 1
-        if report["counters"].get("spice.kernel.vector", 0) <= 0:
+        if report["counters"].get("spice.batch.runs", 0) <= 0:
             print(
-                "[bench] FAIL: vector kernel path never executed "
-                "(spice.kernel.vector counter is 0)",
+                "[bench] FAIL: batch kernel path never executed "
+                "(spice.batch.runs counter is 0)",
                 file=sys.stderr,
             )
             return 1
-        print("[bench] vector kernel default confirmed by obs counters")
+        print("[bench] batch kernel default confirmed by obs counters")
+
+    if args.assert_speedup is not None:
+        speedup = report["results"]["charlib_full_arc"]["speedup"]
+        if speedup < args.assert_speedup:
+            print(
+                f"[bench] FAIL: charlib_full_arc batch speedup {speedup:.2f}x "
+                f"< required {args.assert_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"[bench] charlib_full_arc speedup {speedup:.2f}x >= "
+            f"{args.assert_speedup:.2f}x"
+        )
     return 0
 
 

@@ -24,15 +24,32 @@ from ..pdk.cells import CellTemplate
 from ..pdk.technology import Technology
 from ..resilience import faults
 from ..resilience.errors import MeasurementError
-from ..spice.engine import ConvergenceError, Simulator
+from ..spice.batch import BatchedSimulator, TrajectorySpec
+from ..spice.engine import ConvergenceError, Simulator, TransientResult
 from ..spice.kernels import SimulatorSettings
 from ..spice.analysis import propagation_delay, supply_energy, transition_time
+from ..spice.netlist import Circuit
 from ..spice.waveforms import DC, ramp
 from .nldm import LibertyCell, NLDMTable, TimingArc
 from .analytic import AnalyticCharacterizer
 
 #: Liberty slew thresholds span 20..80 % -> full-swing conversion.
 _SLEW_TO_FULL = 1.0 / 0.6
+
+
+def _instance_label(
+    cell: CellTemplate, pin: str, output: str, input_rising: bool,
+    slew: float, load: float,
+) -> str:
+    """Stable per-transient label for fault-injection scoping.
+
+    The serial loop and the trajectory batch both scope their fault
+    checks by this label, so each grid point consumes an identical
+    deterministic fault stream no matter how the grid is executed —
+    the property the fault-differential tests rely on.
+    """
+    edge = "r" if input_rising else "f"
+    return f"{cell.name}:{pin}->{output}:{edge}:{slew!r}:{load!r}"
 
 
 @dataclass(frozen=True)
@@ -57,7 +74,7 @@ class SpiceCharacterizer:
         self.temperature_k = temperature_k
         #: SPICE engine settings used for every arc transient; the
         #: default picks the kernel from :envvar:`REPRO_KERNEL`
-        #: (``vector`` unless overridden — see docs/PERFORMANCE.md).
+        #: (``batch`` unless overridden — see docs/PERFORMANCE.md).
         self.settings = settings if settings is not None else SimulatorSettings()
         # Sense/sensitization logic is shared with the analytic backend.
         self._analytic = AnalyticCharacterizer(tech, temperature_k)
@@ -83,7 +100,7 @@ class SpiceCharacterizer:
                 }
         raise ValueError(f"{cell.name}: output {output} insensitive to {pin}")
 
-    def measure_arc(
+    def _arc_stimulus(
         self,
         cell: CellTemplate,
         pin: str,
@@ -91,8 +108,8 @@ class SpiceCharacterizer:
         input_rising: bool,
         slew: float,
         load: float,
-    ) -> ArcMeasurement:
-        """Run one transient and extract delay/slew/energy.
+    ) -> tuple[Circuit, float, float, float]:
+        """Build one arc transient: ``(circuit, t_edge, t_stop, dt)``.
 
         ``slew`` is the Liberty transition time of the driving ramp
         (20/80 rescaled); ``load`` the external output capacitance.
@@ -110,11 +127,19 @@ class SpiceCharacterizer:
         # Conservative horizon: stimulus + generous settling.
         t_stop = t_edge + full_ramp + 3e-10 + 200.0 * load
         dt = min(2e-12, full_ramp / 8.0)
-        obs.count(f"charlib.spice.kernel.{self.settings.kernel}")
-        result = Simulator(
-            circuit, self.temperature_k, settings=self.settings
-        ).transient(t_stop, dt)
+        return circuit, t_edge, t_stop, dt
 
+    def _extract(
+        self,
+        result: TransientResult,
+        cell: CellTemplate,
+        pin: str,
+        output: str,
+        input_rising: bool,
+        t_edge: float,
+    ) -> ArcMeasurement:
+        """Measure delay/slew/energy from one arc transient."""
+        vdd = self.tech.vdd
         delay = propagation_delay(result, pin, output, vdd, input_rising, after=t_edge * 0.5)
         wave = result.voltage(output)
         output_rising = wave[-1] > wave[0]
@@ -128,6 +153,33 @@ class SpiceCharacterizer:
                 site="charlib.measure",
             )
         return ArcMeasurement(delay=delay, output_slew=out_slew, energy=energy)
+
+    def measure_arc(
+        self,
+        cell: CellTemplate,
+        pin: str,
+        output: str,
+        input_rising: bool,
+        slew: float,
+        load: float,
+    ) -> ArcMeasurement:
+        """Run one transient and extract delay/slew/energy.
+
+        Fault checks run under the grid point's instance scope so the
+        serial loop and the trajectory batch consume identical
+        per-instance fault streams.
+        """
+        circuit, t_edge, t_stop, dt = self._arc_stimulus(
+            cell, pin, output, input_rising, slew, load
+        )
+        obs.count(f"charlib.spice.kernel.{self.settings.kernel}")
+        with faults.instance_scope(
+            _instance_label(cell, pin, output, input_rising, slew, load)
+        ):
+            result = Simulator(
+                circuit, self.temperature_k, settings=self.settings
+            ).transient(t_stop, dt)
+            return self._extract(result, cell, pin, output, input_rising, t_edge)
 
     # ------------------------------------------------------------------
     def characterize_cell(
@@ -190,7 +242,15 @@ class SpiceCharacterizer:
         slews: tuple[float, ...],
         loads: tuple[float, ...],
     ) -> TimingArc:
-        """Measure one arc's full (slew x load) grid by transients."""
+        """Measure one arc's full (slew x load) grid by transients.
+
+        Under the ``batch`` kernel the whole grid (every slew x load
+        point, both edge directions) is submitted as one trajectory
+        batch; the serial per-point loop below is the reference path
+        for the ``vector``/``scalar`` kernels.
+        """
+        if self.settings.kernel == "batch":
+            return self._characterize_arc_batched(cell, template_arc, slews, loads)
         pin, out = template_arc.related_pin, template_arc.output_pin
         rise_d, fall_d, rise_s, fall_s, rise_e, fall_e = ([] for _ in range(6))
         for slew in slews:
@@ -202,6 +262,92 @@ class SpiceCharacterizer:
                 falling_out = self._measure_for_output_dir(
                     cell, pin, out, False, slew, load, template_arc.timing_sense
                 )
+                rd_row.append(rising_out.delay)
+                rs_row.append(rising_out.output_slew)
+                re_row.append(max(rising_out.energy, 0.0))
+                fd_row.append(falling_out.delay)
+                fs_row.append(falling_out.output_slew)
+                fe_row.append(max(falling_out.energy, 0.0))
+            rise_d.append(tuple(rd_row))
+            fall_d.append(tuple(fd_row))
+            rise_s.append(tuple(rs_row))
+            fall_s.append(tuple(fs_row))
+            rise_e.append(tuple(re_row))
+            fall_e.append(tuple(fe_row))
+
+        def table(rows):
+            return NLDMTable(tuple(slews), tuple(loads), tuple(rows))
+
+        return TimingArc(
+            related_pin=pin,
+            output_pin=out,
+            timing_sense=template_arc.timing_sense,
+            cell_rise=table(rise_d),
+            cell_fall=table(fall_d),
+            rise_transition=table(rise_s),
+            fall_transition=table(fall_s),
+            rise_power=table(rise_e),
+            fall_power=table(fall_e),
+        )
+
+    def _characterize_arc_batched(
+        self,
+        cell: CellTemplate,
+        template_arc: TimingArc,
+        slews: tuple[float, ...],
+        loads: tuple[float, ...],
+    ) -> TimingArc:
+        """Measure one arc's grid as a single trajectory batch.
+
+        Builds the same 2 x len(slews) x len(loads) transients the
+        serial loop would run — in the same order, under the same
+        per-instance fault labels — and advances them in lockstep
+        through :class:`BatchedSimulator`.  The waveforms (and thus the
+        tables) are bit-identical to the serial vector path.
+        """
+        pin, out = template_arc.related_pin, template_arc.output_pin
+        sense = template_arc.timing_sense
+
+        specs: list[TrajectorySpec] = []
+        meta: list[tuple[float, bool]] = []  # (t_edge, input_rising)
+        for slew in slews:
+            for load in loads:
+                for output_rising in (True, False):
+                    if sense == "negative_unate":
+                        input_rising = not output_rising
+                    else:
+                        input_rising = output_rising
+                    circuit, t_edge, t_stop, dt = self._arc_stimulus(
+                        cell, pin, out, input_rising, slew, load
+                    )
+                    specs.append(
+                        TrajectorySpec(
+                            circuit, t_stop, dt,
+                            label=_instance_label(
+                                cell, pin, out, input_rising, slew, load
+                            ),
+                        )
+                    )
+                    meta.append((t_edge, input_rising))
+        obs.count(f"charlib.spice.kernel.{self.settings.kernel}", len(specs))
+
+        results = BatchedSimulator(
+            specs, self.temperature_k, settings=self.settings
+        ).transient_all()
+        measurements: list[ArcMeasurement] = []
+        for spec, result, (t_edge, input_rising) in zip(specs, results, meta):
+            with faults.instance_scope(spec.label):
+                measurements.append(
+                    self._extract(result, cell, pin, out, input_rising, t_edge)
+                )
+
+        rise_d, fall_d, rise_s, fall_s, rise_e, fall_e = ([] for _ in range(6))
+        it = iter(measurements)
+        for _slew in slews:
+            rd_row, fd_row, rs_row, fs_row, re_row, fe_row = ([] for _ in range(6))
+            for _load in loads:
+                rising_out = next(it)
+                falling_out = next(it)
                 rd_row.append(rising_out.delay)
                 rs_row.append(rising_out.output_slew)
                 re_row.append(max(rising_out.energy, 0.0))

@@ -344,10 +344,11 @@ def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
 
 def _add_kernel_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--kernel", choices=["vector", "scalar"], default=None,
-        help="SPICE stamping kernel: 'vector' (batched, default) or "
-             "'scalar' (per-element reference path); overrides "
-             "$REPRO_KERNEL — see docs/PERFORMANCE.md",
+        "--kernel", choices=["batch", "vector", "scalar"], default=None,
+        help="SPICE stamping kernel: 'batch' (trajectory-batched NLDM "
+             "grids, default), 'vector' (per-instance vectorized "
+             "stamps) or 'scalar' (per-element reference path); "
+             "overrides $REPRO_KERNEL — see docs/PERFORMANCE.md",
     )
 
 

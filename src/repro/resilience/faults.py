@@ -49,6 +49,7 @@ for the cookbook.
 from __future__ import annotations
 
 import contextlib
+import contextvars
 import hashlib
 import os
 import re
@@ -79,6 +80,45 @@ KNOWN_SITES = (
     "cache.remote.partition",
     "cache.remote.corrupt",
 )
+
+
+# ----------------------------------------------------------------------
+# Instance scoping
+# ----------------------------------------------------------------------
+#: Ambient instance label for scoped check streams (see
+#: :func:`instance_scope`).
+_instance_var: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "repro_fault_instance", default=None
+)
+
+
+@contextlib.contextmanager
+def instance_scope(label: str) -> Iterator[str]:
+    """Scope fault checks to a named *instance* of a site.
+
+    Inside the scope, every check of a site consumes the check counter
+    (and deterministic draw stream) keyed ``"site@label"`` instead of
+    the site-global one.  Two executions that check a site under the
+    same labels therefore see identical per-instance fault decisions
+    *regardless of interleaving* — this is what makes a trajectory
+    batch (all grid points of an arc advancing in lockstep) injection-
+    equivalent to the serial loop over the same grid points.
+
+    Fire accounting (``fires()``, ``max_fires``) stays aggregated by
+    site, so a plan capping total fires may cap *different* instances
+    under different interleavings; plans used for differential testing
+    should not set ``max_fires`` on scoped sites.
+    """
+    token = _instance_var.set(label)
+    try:
+        yield label
+    finally:
+        _instance_var.reset(token)
+
+
+def current_instance() -> str | None:
+    """The ambient instance label, if any."""
+    return _instance_var.get()
 
 
 @dataclass(frozen=True)
@@ -120,23 +160,32 @@ class FaultPlan:
         self._fires: dict[str, int] = {}
         self._lock = threading.Lock()
 
-    def should_fire(self, site: str, attempt: int = 0) -> bool:
+    def should_fire(self, site: str, attempt: int = 0, instance: str | None = None) -> bool:
         """Decide (deterministically) whether ``site`` fails this check.
 
         ``attempt`` is the retry-rung index of the caller: attempt 0
         consumes one check of the site's sequence; attempts > 0 fire
         iff ``attempt < depth`` (sustained failure through the first
         ``depth`` rungs of a retry sequence).
+
+        ``instance`` (defaulting to the ambient :func:`instance_scope`
+        label) selects a *scoped* check stream: the check counter and
+        draw key become ``"site@instance"`` so per-instance decision
+        sequences are independent of how instances interleave.  Fire
+        totals stay aggregated per site.
         """
         spec = self.specs.get(site)
         if spec is None:
             return False
+        if instance is None:
+            instance = _instance_var.get()
+        key = site if instance is None else f"{site}@{instance}"
         if attempt > 0:
             fire = attempt < spec.depth
         else:
             with self._lock:
-                n = self._checks.get(site, 0)
-                self._checks[site] = n + 1
+                n = self._checks.get(key, 0)
+                self._checks[key] = n + 1
                 fired = self._fires.get(site, 0)
                 if spec.max_fires is not None and fired >= spec.max_fires:
                     return False
@@ -145,7 +194,7 @@ class FaultPlan:
                     (n - spec.after) < spec.first_n
                     or (
                         spec.probability > 0.0
-                        and _draw(self.seed, site, n) < spec.probability
+                        and _draw(self.seed, key, n) < spec.probability
                     )
                 )
                 if fire:
@@ -261,10 +310,10 @@ def active_plan() -> FaultPlan | None:
 # ----------------------------------------------------------------------
 # Instrumentation-point helpers
 # ----------------------------------------------------------------------
-def should_fire(site: str, attempt: int = 0) -> bool:
+def should_fire(site: str, attempt: int = 0, instance: str | None = None) -> bool:
     """Cheap site check: False (one dict/env lookup) with no plan."""
     plan = active_plan()
-    return plan is not None and plan.should_fire(site, attempt)
+    return plan is not None and plan.should_fire(site, attempt, instance=instance)
 
 
 def corrupt_value(site: str, value: float, attempt: int = 0) -> float:

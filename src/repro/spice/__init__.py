@@ -8,7 +8,8 @@ the SiliconSmart-style waveform measurements.
 
 from .netlist import Circuit, GROUND
 from .engine import ConvergenceError, OperatingPoint, Simulator, TransientResult
-from .kernels import SimulatorSettings, VALID_KERNELS, default_kernel
+from .kernels import BatchStamper, SimulatorSettings, VALID_KERNELS, default_kernel
+from .batch import BatchedSimulator, TrajectorySpec
 from .waveforms import DC, PWL, Waveform, pulse, ramp
 from .analysis import (
     crossing_time,
@@ -19,8 +20,11 @@ from .analysis import (
 )
 
 __all__ = [
+    "BatchStamper",
+    "BatchedSimulator",
     "Circuit",
     "GROUND",
+    "TrajectorySpec",
     "ConvergenceError",
     "OperatingPoint",
     "Simulator",

@@ -116,6 +116,41 @@ def _build_system(circuit: Circuit) -> _System:
     )
 
 
+def _v_of(state: np.ndarray, i: int) -> float:
+    """Voltage of unknown ``i`` in ``state`` (ground for ``i < 0``).
+
+    Hoisted to module level: the transient inner loop previously
+    re-bound an equivalent closure on every ``_advance_step`` call,
+    which showed up in profiles.
+    """
+    return 0.0 if i < 0 else float(state[i])
+
+
+def build_time_grid(circuit: Circuit, t_stop: float, dt: float) -> tuple[np.ndarray, int]:
+    """Transient time grid: uniform samples plus stimulus breakpoints.
+
+    Returns ``(times, uniform_steps)`` where ``uniform_steps`` is the
+    number of points the uniform grid alone would have contributed
+    (used for the breakpoint-refinement counter).  Near-coincident
+    points are merged: a stimulus breakpoint landing on (but not
+    exactly equal to) an arange sample would otherwise produce a
+    femto-scale step whose companion conductance ``2/h`` destroys the
+    Jacobian's conditioning.  Shared by the serial transient loop and
+    the trajectory-batched simulator so both integrate the exact same
+    grid.
+    """
+    grid = set(np.arange(0.0, t_stop + dt * 0.5, dt).tolist())
+    uniform_steps = len(grid)
+    for src in circuit.vsources:
+        for bp in src.waveform.breakpoints():
+            if 0.0 < bp < t_stop:
+                grid.add(float(bp))
+    times = np.array(sorted(grid))
+    keep = np.ones(len(times), dtype=bool)
+    keep[1:] = np.diff(times) > dt * 1e-9
+    return times[keep], uniform_steps
+
+
 @dataclass
 class OperatingPoint:
     """DC solution: node voltages [V] and source branch currents [A]."""
@@ -175,12 +210,17 @@ class Simulator:
         #: the nominal settings.  Override for tests or stiff circuits.
         self.ladder = ladder if ladder is not None else NEWTON_LADDER
         #: Engine configuration; the ``kernel`` field selects between
-        #: the batched vector stamping path (default) and the scalar
-        #: per-element reference path (``REPRO_KERNEL=scalar``).
+        #: the trajectory-batched path (default; falls back to vector
+        #: stamping for a single simulator), the vector stamping path
+        #: (``REPRO_KERNEL=vector``) and the scalar per-element
+        #: reference path (``REPRO_KERNEL=scalar``).
         self.settings = settings if settings is not None else SimulatorSettings()
+        # The "batch" kernel batches *across* simulators (see
+        # spice/batch.py); a lone Simulator under it uses the same
+        # vector stamper, so serial and batched runs share assembly.
         self._stamper = (
             VectorStamper(circuit, self.system, temperature_k, self._caps)
-            if self.settings.kernel == "vector"
+            if self.settings.kernel in ("vector", "batch")
             else None
         )
 
@@ -505,20 +545,7 @@ class Simulator:
         sys = self.system
 
         # Time grid: uniform plus stimulus breakpoints.
-        grid = set(np.arange(0.0, t_stop + dt * 0.5, dt).tolist())
-        uniform_steps = len(grid)
-        for src in self.circuit.vsources:
-            for bp in src.waveform.breakpoints():
-                if 0.0 < bp < t_stop:
-                    grid.add(float(bp))
-        times = np.array(sorted(grid))
-        # Merge near-coincident points: a stimulus breakpoint landing on
-        # (but not exactly equal to) an arange sample would otherwise
-        # produce a femto-scale step whose companion conductance
-        # ``2/h`` destroys the Jacobian's conditioning.
-        keep = np.ones(len(times), dtype=bool)
-        keep[1:] = np.diff(times) > dt * 1e-9
-        times = times[keep]
+        times, uniform_steps = build_time_grid(self.circuit, t_stop, dt)
         obs.count("spice.transient.runs")
         obs.count("spice.transient.steps", len(times) - 1)
         obs.count(
@@ -589,16 +616,12 @@ class Simulator:
         and re-integrated — the "finer time step" rung of the
         transient recovery ladder.
         """
-
-        def v_of(state: np.ndarray, i: int) -> float:
-            return 0.0 if i < 0 else float(state[i])
-
         h = t1 - t0
         if use_trap:
             geq = 2.0 / h
             history = np.array(
                 [
-                    -geq * c * (v_of(x, a) - v_of(x, b)) - i_cap_prev[j]
+                    -geq * c * (_v_of(x, a) - _v_of(x, b)) - i_cap_prev[j]
                     for j, (a, b, c) in enumerate(self._caps)
                 ]
             )
@@ -606,7 +629,7 @@ class Simulator:
             geq = 1.0 / h
             history = np.array(
                 [
-                    -geq * c * (v_of(x, a) - v_of(x, b))
+                    -geq * c * (_v_of(x, a) - _v_of(x, b))
                     for j, (a, b, c) in enumerate(self._caps)
                 ]
             )
@@ -629,5 +652,5 @@ class Simulator:
         i_cap_new = i_cap_prev.copy()
         for j, (a, b, c) in enumerate(self._caps):
             g = geq * c
-            i_cap_new[j] = g * (v_of(x_new, a) - v_of(x_new, b)) + history[j]
+            i_cap_new[j] = g * (_v_of(x_new, a) - _v_of(x_new, b)) + history[j]
         return x_new, i_cap_new

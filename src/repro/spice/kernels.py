@@ -16,10 +16,22 @@ module provides the batched alternative:
   call per distinct parameter set, and scattered back into the
   Jacobian with ``np.add.at`` on precomputed flat indices.
 
+On top of the per-instance vector kernel, :class:`BatchStamper` stacks
+N topology-identical instances (the 7x7 NLDM grid of an arc) into one
+``(N, size, size)`` assembly so a whole characterization table costs
+one ``ids_core`` call per Newton iteration — see ``spice/batch.py``
+for the masked lockstep solver built on it.  Every batched operation
+is chosen for *bitwise* agreement with the per-instance vector path
+(stacked ``np.linalg.solve`` / ``np.matmul`` and row-major
+``np.add.at`` are element-for-element the same computations), which is
+what lets the batch kernel be the default without perturbing golden
+files.
+
 Kernel selection is carried by :class:`SimulatorSettings` (default
-from :envvar:`REPRO_KERNEL`, ``vector`` unless overridden) so every
+from :envvar:`REPRO_KERNEL`, ``batch`` unless overridden) so every
 result stays differentially checkable against the scalar reference —
-see ``tests/test_spice_kernels.py`` and ``docs/PERFORMANCE.md``.
+see ``tests/test_spice_kernels.py``, ``tests/test_spice_batch.py`` and
+``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
@@ -33,7 +45,7 @@ from ..device.bsimcmg import ids_core
 from .netlist import Circuit
 
 #: Kernel implementations selectable through ``REPRO_KERNEL``.
-VALID_KERNELS: tuple[str, ...] = ("scalar", "vector")
+VALID_KERNELS: tuple[str, ...] = ("scalar", "vector", "batch")
 
 #: Central-difference stencil step [V] — must match the default ``dv``
 #: of :meth:`CryoFinFET.gm`/:meth:`gds` so the vector path computes the
@@ -42,8 +54,8 @@ STENCIL_DV: float = 1e-4
 
 
 def default_kernel() -> str:
-    """The kernel the environment asks for (``vector`` by default)."""
-    kernel = os.environ.get("REPRO_KERNEL", "vector").strip().lower()
+    """The kernel the environment asks for (``batch`` by default)."""
+    kernel = os.environ.get("REPRO_KERNEL", "batch").strip().lower()
     if kernel not in VALID_KERNELS:
         raise ValueError(
             f"REPRO_KERNEL must be one of {VALID_KERNELS}, got {kernel!r}"
@@ -55,11 +67,14 @@ def default_kernel() -> str:
 class SimulatorSettings:
     """Engine configuration independent of the circuit.
 
-    ``kernel`` selects the stamping implementation: ``"vector"`` (the
-    batched kernels in this module) or ``"scalar"`` (the per-element
-    reference path).  The default is read from :envvar:`REPRO_KERNEL`
-    at construction time so a CLI flag or test can flip the whole
-    process without threading an argument through every layer.
+    ``kernel`` selects the stamping implementation: ``"batch"``
+    (trajectory batching across whole NLDM grids, falling back to
+    vector stamping for lone simulators), ``"vector"`` (the
+    per-instance batched kernels in this module) or ``"scalar"`` (the
+    per-element reference path).  The default is read from
+    :envvar:`REPRO_KERNEL` at construction time so a CLI flag or test
+    can flip the whole process without threading an argument through
+    every layer.
     """
 
     kernel: str = field(default_factory=default_kernel)
@@ -249,4 +264,130 @@ class VectorStamper:
                 [values_by_kind[kind][sel] for kind, sel in self._jac_kinds]
             )
             np.add.at(jac.reshape(-1), self._fet_flat, vals)
+        return jac, res
+
+
+class BatchStamper:
+    """Stacked assembly for N topology-identical simulator instances.
+
+    Wraps the per-instance :class:`VectorStamper` objects of a
+    trajectory batch (one per NLDM grid point) into ``(N, size, size)``
+    constant arrays so a masked Newton iteration can assemble every
+    active instance's ``(jac, res)`` with a handful of numpy calls and
+    exactly **one** ``ids_core`` evaluation.
+
+    Bitwise contract: for each instance row, every operation here is
+    element-for-element the same float64 computation the instance's
+    own ``VectorStamper.stamp`` would perform (stacked copies, scalar
+    broadcasts, ``np.matmul`` over the last two axes, and row-major
+    ``np.add.at`` scatters), so batched assembly is bit-identical to
+    the serial vector path — the property the differential suite in
+    ``tests/test_spice_batch.py`` pins down.
+
+    All instances must share the MNA topology (same node ordering,
+    sources, FinFET index arrays and capacitor list length); only the
+    *values* (capacitances, stimulus, model parameters) may differ per
+    instance.
+    """
+
+    def __init__(self, stampers: list[VectorStamper]):
+        if not stampers:
+            raise ValueError("BatchStamper needs at least one instance")
+        first = stampers[0]
+        for s in stampers[1:]:
+            if (
+                s.size != first.size
+                or s.n_nodes != first.n_nodes
+                or s._cap_incidence.shape != first._cap_incidence.shape
+                or not np.array_equal(s._d_idx, first._d_idx)
+                or not np.array_equal(s._g_idx, first._g_idx)
+                or not np.array_equal(s._s_idx, first._s_idx)
+                or not np.array_equal(s._fet_flat, first._fet_flat)
+            ):
+                raise ValueError(
+                    "trajectory batch requires identical circuit topology "
+                    "across all instances (node ordering, sources, FinFETs "
+                    "and capacitor count must match)"
+                )
+        self.n_instances = len(stampers)
+        self.n_nodes = first.n_nodes
+        self.size = first.size
+        self.n_fets = len(first.circuit.finfets)
+        self._diag = first._diag
+        self._jac_lin = np.stack([s._jac_lin for s in stampers])
+        self._cap_pat = np.stack([s._cap_pat for s in stampers])
+        self._cap_incidence = np.stack([s._cap_incidence for s in stampers])
+        self._d_idx, self._g_idx, self._s_idx = first._d_idx, first._g_idx, first._s_idx
+        self._res_d, self._res_d_sel = first._res_d, first._res_d_sel
+        self._res_s, self._res_s_sel = first._res_s, first._res_s_sel
+        self._jac_kinds = first._jac_kinds
+        self._fet_flat = first._fet_flat
+        if self.n_fets:
+            keys = first._kernel_params_5
+            self._kernel_params_5 = {
+                key: np.stack([s._kernel_params_5[key] for s in stampers])
+                for key in keys
+            }
+        else:
+            self._kernel_params_5 = {}
+
+    # ------------------------------------------------------------------
+    def stamp(
+        self,
+        sel: np.ndarray,
+        x: np.ndarray,
+        gmin: np.ndarray,
+        geq: np.ndarray | None,
+        cap_history: np.ndarray | None,
+        src_values: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Assemble ``(jac, res)`` for the active instance rows.
+
+        ``sel`` indexes the active instances into the stacked constant
+        arrays; ``x`` is their ``(B, size)`` state, ``gmin`` their
+        per-instance conductance floors (retry rungs differ per
+        instance), ``geq``/``cap_history`` the companion-model terms
+        (``None`` for the DC solve, matching the serial path's skipped
+        stamps), and ``src_values`` the ``(B, n_sources)`` pre-sampled
+        stimulus.
+        """
+        nn = self.n_nodes
+        b = len(sel)
+
+        jac = self._jac_lin[sel].copy()
+        jac[:, self._diag, self._diag] += gmin[:, None]
+        if geq is not None:
+            jac += geq[:, None, None] * self._cap_pat[sel]
+
+        res = np.matmul(jac, x[:, :, None])[:, :, 0]
+        res[:, nn:] -= src_values
+        if geq is not None and cap_history is not None and cap_history.shape[1]:
+            res += np.matmul(self._cap_incidence[sel], cap_history[:, :, None])[:, :, 0]
+
+        if self.n_fets:
+            x_aug = np.concatenate([x, np.zeros((b, 1))], axis=1)
+            vgs = x_aug[:, self._g_idx] - x_aug[:, self._s_idx]
+            vds = x_aug[:, self._d_idx] - x_aug[:, self._s_idx]
+            n = self.n_fets
+            dv = STENCIL_DV
+            vg_st = np.concatenate([vgs, vgs + dv, vgs - dv, vgs, vgs], axis=1)
+            vd_st = np.concatenate([vds, vds, vds, vds + dv, vds - dv], axis=1)
+            params = {k: v[sel] for k, v in self._kernel_params_5.items()}
+            i = ids_core(vg_st, vd_st, **params)
+            ids = i[:, :n]
+            gm = (i[:, n : 2 * n] - i[:, 2 * n : 3 * n]) / (2.0 * dv)
+            gds = (i[:, 3 * n : 4 * n] - i[:, 4 * n : 5 * n]) / (2.0 * dv)
+            rows = np.arange(b)[:, None]
+            if len(self._res_d):
+                np.add.at(res, (rows, self._res_d[None, :]), ids[:, self._res_d_sel])
+            if len(self._res_s):
+                np.subtract.at(res, (rows, self._res_s[None, :]), ids[:, self._res_s_sel])
+            gsum = gm + gds
+            values_by_kind = (gm, gds, -gsum, -gm, -gds, gsum)
+            vals = np.concatenate(
+                [values_by_kind[kind][:, s] for kind, s in self._jac_kinds], axis=1
+            )
+            np.add.at(
+                jac.reshape(b, -1), (rows, self._fet_flat[None, :]), vals
+            )
         return jac, res

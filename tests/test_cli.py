@@ -448,8 +448,9 @@ class TestCrashSafety:
 
 class TestKernelFlag:
     def test_parser_accepts_kernel_choices(self):
-        args = build_parser().parse_args(["evaluate", "ctrl", "--kernel", "scalar"])
-        assert args.kernel == "scalar"
+        for kernel in ("batch", "vector", "scalar"):
+            args = build_parser().parse_args(["evaluate", "ctrl", "--kernel", kernel])
+            assert args.kernel == kernel
         with pytest.raises(SystemExit):
             build_parser().parse_args(["evaluate", "ctrl", "--kernel", "simd"])
 

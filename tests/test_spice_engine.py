@@ -165,6 +165,51 @@ class TestTransient:
             Simulator(c).transient(t_stop=1e-9, dt=-1.0)
 
 
+class TestStepAccounting:
+    """Pins the transient loop's step/solve bookkeeping.
+
+    The inner loop used to re-bind a ``v_of`` closure on every
+    ``_advance_step`` call; it is now the module-level ``_v_of`` and the
+    time grid comes from ``build_time_grid``.  These tests pin the
+    observable contract of that refactor: identical grids and identical
+    per-step Newton effort across kernels.
+    """
+
+    def _counters(self, kernel):
+        from repro import obs
+        from repro.spice import SimulatorSettings
+
+        with obs.Tracer() as tracer:
+            result = Simulator(
+                make_inverter(), 300.0, settings=SimulatorSettings(kernel=kernel)
+            ).transient(t_stop=2e-10, dt=2e-12)
+        return result, tracer.counters
+
+    def test_step_count_matches_time_grid(self):
+        from repro.spice.engine import build_time_grid
+
+        result, counters = self._counters("vector")
+        times, _ = build_time_grid(make_inverter(), 2e-10, 2e-12)
+        steps = counters["spice.transient.steps"]
+        assert steps == len(result.time) - 1
+        assert steps >= len(times) - 1  # breakpoint refinement only adds
+        # One Newton solve for the DC point plus one per accepted step
+        # (clean run: no time-step halving on this stimulus).
+        assert counters["spice.newton.solves"] == steps + 1
+
+    def test_step_count_parity_across_kernels(self):
+        result_s, counters_s = self._counters("scalar")
+        result_v, counters_v = self._counters("vector")
+        assert len(result_s.time) == len(result_v.time)
+        for name in (
+            "spice.transient.steps",
+            "spice.transient.breakpoint_refinements",
+            "spice.newton.solves",
+            "spice.newton.iterations",
+        ):
+            assert counters_s.get(name, 0) == counters_v.get(name, 0), name
+
+
 class TestInverterTransient:
     @pytest.fixture(scope="class")
     def result(self):

@@ -182,14 +182,18 @@ class TestDifferentialTransient:
 
 
 class TestKernelSelection:
-    def test_default_kernel_is_vector(self, monkeypatch):
+    def test_default_kernel_is_batch(self, monkeypatch):
         monkeypatch.delenv("REPRO_KERNEL", raising=False)
-        assert default_kernel() == "vector"
-        assert SimulatorSettings().kernel == "vector"
+        assert default_kernel() == "batch"
+        assert SimulatorSettings().kernel == "batch"
 
     def test_env_selects_scalar(self, monkeypatch):
         monkeypatch.setenv("REPRO_KERNEL", "scalar")
         assert SimulatorSettings().kernel == "scalar"
+
+    def test_env_selects_vector(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "vector")
+        assert SimulatorSettings().kernel == "vector"
 
     def test_env_rejects_unknown(self, monkeypatch):
         monkeypatch.setenv("REPRO_KERNEL", "simd")
